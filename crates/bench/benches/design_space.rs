@@ -1,0 +1,54 @@
+//! Section V.A regeneration bench: synthesis of the twelve designs and the
+//! behavioural structural characterization, plus a bench-scale table
+//! printout.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isa_core::combine::structural_errors;
+use isa_core::{Design, IsaConfig, SpeculativeAdder};
+use isa_experiments::{design_table, ExperimentConfig};
+use isa_netlist::cell::CellLibrary;
+use isa_netlist::synth::{synthesize_exact, synthesize_isa, SynthesisOptions};
+use isa_workloads::{take_pairs, UniformWorkload};
+
+fn bench_design_space(c: &mut Criterion) {
+    let lib = CellLibrary::industrial_65nm();
+    let mut group = c.benchmark_group("design_space");
+    group.sample_size(10);
+
+    group.bench_function("synthesize_isa_8_0_0_4", |b| {
+        let cfg = IsaConfig::new(32, 8, 0, 0, 4).unwrap();
+        b.iter(|| {
+            let s = synthesize_isa(&cfg, 300.0, &lib, &SynthesisOptions::default()).unwrap();
+            std::hint::black_box(s.critical_ps)
+        });
+    });
+
+    group.bench_function("synthesize_exact_with_recovery", |b| {
+        b.iter(|| {
+            let s = synthesize_exact(32, 300.0, &lib, &SynthesisOptions::paper()).unwrap();
+            std::hint::black_box(s.critical_ps)
+        });
+    });
+
+    group.bench_function("structural_characterization_100k", |b| {
+        let isa = SpeculativeAdder::new(IsaConfig::new(32, 8, 0, 1, 4).unwrap());
+        let inputs = take_pairs(UniformWorkload::new(32, 1), 100_000);
+        b.iter(|| {
+            let stats = structural_errors(&isa, inputs.iter().copied());
+            std::hint::black_box(stats.re_struct.rms())
+        });
+    });
+    group.finish();
+
+    let config = ExperimentConfig::default();
+    let table = design_table::run(&config, 100_000);
+    println!("\n{}", table.render());
+    // Quick sanity echo: the exact baseline is design 12.
+    assert!(matches!(
+        isa_core::paper_designs().last(),
+        Some(Design::Exact { .. })
+    ));
+}
+
+criterion_group!(benches, bench_design_space);
+criterion_main!(benches);

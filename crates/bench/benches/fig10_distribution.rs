@@ -1,0 +1,39 @@
+//! Fig. 10 regeneration bench: bit-level-equivalent error distribution of
+//! ISA (8,0,0,4) at 15 % CPR, plus a bench-scale printout.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isa_bench::support::bench_inputs;
+use isa_core::{BitErrorDistribution, Design, IsaConfig};
+use isa_experiments::{fig10, DesignContext, ExperimentConfig};
+
+fn bench_fig10(c: &mut Criterion) {
+    let config = ExperimentConfig::default();
+    let ctx = DesignContext::build(
+        Design::Isa(IsaConfig::new(32, 8, 0, 0, 4).unwrap()),
+        &config,
+    );
+    let clk = config.clock_ps(0.15);
+    let inputs = bench_inputs(1_000);
+
+    let mut group = c.benchmark_group("fig10_distribution");
+    group.sample_size(10);
+    group.bench_function("trace_and_bin_1000_cycles", |b| {
+        b.iter(|| {
+            let trace = ctx.trace(clk, &inputs);
+            let mut structural = BitErrorDistribution::new(33);
+            let mut timing = BitErrorDistribution::new(33);
+            for rec in &trace {
+                structural.record_arithmetic(rec.settled as i64 - (rec.a + rec.b) as i64);
+                timing.record_flips(rec.sampled, rec.settled);
+            }
+            std::hint::black_box((structural.peak(), timing.peak()))
+        });
+    });
+    group.finish();
+
+    let report = fig10::run(&config, 10_000);
+    println!("\n{}", report.render());
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Fig. 7 regeneration bench: data collection + per-bit Random Forest
+//! training + ABPER evaluation for one design/CPR, plus a bench-scale
+//! printout of the full figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isa_bench::support::bench_inputs;
+use isa_core::Design;
+use isa_experiments::prediction::{self, trace_to_cycles};
+use isa_experiments::{DesignContext, ExperimentConfig};
+use isa_learn::{PredictorConfig, TimingErrorPredictor};
+use isa_metrics::AbperAccumulator;
+
+fn bench_fig7(c: &mut Criterion) {
+    let config = ExperimentConfig::default();
+    let ctx = DesignContext::build(Design::Exact { width: 32 }, &config);
+    let clk = config.clock_ps(0.15);
+    let train_inputs = bench_inputs(1_500);
+    let train = trace_to_cycles(&ctx.trace(clk, &train_inputs));
+
+    let mut group = c.benchmark_group("fig7_abper");
+    group.sample_size(10);
+    group.bench_function("train_per_bit_forests_exact_cpr15", |b| {
+        b.iter(|| {
+            let model = TimingErrorPredictor::train(&train, 32, &PredictorConfig::default());
+            std::hint::black_box(model.trained_bits())
+        });
+    });
+
+    let model = TimingErrorPredictor::train(&train, 32, &PredictorConfig::default());
+    group.bench_function("evaluate_abper_1500_cycles", |b| {
+        b.iter(|| {
+            let mut acc = AbperAccumulator::new(33);
+            for cycle in &train {
+                acc.record(model.predict_flips(cycle), cycle.flips);
+            }
+            std::hint::black_box(acc.abper())
+        });
+    });
+    group.finish();
+
+    // Bench-scale figure regeneration.
+    let report = prediction::run(&config, 1_500, 800);
+    println!("\n{}", report.render_fig7());
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Fig. 8 regeneration bench: value-level prediction (predicted ysilver
+//! deduction + AVPE), plus a bench-scale printout of the figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isa_bench::support::bench_inputs;
+use isa_core::{Design, IsaConfig};
+use isa_experiments::prediction::{self, trace_to_cycles};
+use isa_experiments::{DesignContext, ExperimentConfig};
+use isa_learn::{PredictorConfig, TimingErrorPredictor};
+use isa_metrics::AvpeAccumulator;
+
+fn bench_fig8(c: &mut Criterion) {
+    let config = ExperimentConfig::default();
+    let ctx = DesignContext::build(
+        Design::Isa(IsaConfig::new(32, 8, 0, 1, 6).unwrap()),
+        &config,
+    );
+    let clk = config.clock_ps(0.15);
+    let cycles = trace_to_cycles(&ctx.trace(clk, &bench_inputs(1_500)));
+    let model = TimingErrorPredictor::train(&cycles, 32, &PredictorConfig::default());
+
+    let mut group = c.benchmark_group("fig8_avpe");
+    group.sample_size(10);
+    group.bench_function("predict_silver_and_avpe_1500_cycles", |b| {
+        b.iter(|| {
+            let mut acc = AvpeAccumulator::new();
+            for cycle in &cycles {
+                let predicted = model.predict_silver(cycle);
+                let real = cycle.gold ^ cycle.flips;
+                acc.record(predicted, real);
+            }
+            std::hint::black_box(acc.avpe())
+        });
+    });
+    group.finish();
+
+    let report = prediction::run(&config, 1_500, 800);
+    println!("\n{}", report.render_fig8());
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Fig. 9 regeneration bench: the full error-combination flow (gate-level
+//! overclocked trace + signed error statistics) per design class, plus a
+//! one-shot run that prints the figure's rows so `cargo bench` output
+//! doubles as a miniature reproduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isa_bench::support::bench_inputs;
+use isa_core::{Design, IsaConfig};
+use isa_experiments::{fig9, DesignContext, ExperimentConfig};
+
+fn bench_fig9(c: &mut Criterion) {
+    let config = ExperimentConfig::default();
+    let inputs = bench_inputs(1_000);
+
+    let mut group = c.benchmark_group("fig9_joint_error");
+    group.sample_size(10);
+    for (label, design) in [
+        ("isa_8_0_0_4", Design::Isa(IsaConfig::new(32, 8, 0, 0, 4).unwrap())),
+        ("isa_16_2_1_6", Design::Isa(IsaConfig::new(32, 16, 2, 1, 6).unwrap())),
+        ("exact", Design::Exact { width: 32 }),
+    ] {
+        let ctx = DesignContext::build(design, &config);
+        for cpr in [0.05, 0.15] {
+            let clk = config.clock_ps(cpr);
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("cpr{}", (cpr * 100.0) as u32)),
+                &clk,
+                |b, &clk| {
+                    b.iter(|| {
+                        let trace = ctx.trace(clk, &inputs);
+                        std::hint::black_box(trace.len())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // Regenerate the figure at bench scale and print it once.
+    let report = fig9::run(&config, 2_000);
+    println!("\n{}", report.render());
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

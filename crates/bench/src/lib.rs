@@ -1,0 +1,10 @@
+//! # isa-bench
+//!
+//! Criterion benchmark harness for the paper reproduction. See the `benches/`
+//! directory: one bench per paper figure plus micro-benchmarks of the
+//! substrates. This library crate only hosts shared bench helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod support;

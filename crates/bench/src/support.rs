@@ -1,0 +1,9 @@
+//! Shared helpers for the Criterion benches.
+
+use isa_workloads::{take_pairs, UniformWorkload};
+
+/// Deterministic uniform 32-bit operand pairs for benchmarking.
+#[must_use]
+pub fn bench_inputs(n: usize) -> Vec<(u64, u64)> {
+    take_pairs(UniformWorkload::new(32, 0xBEAC_0FFE), n)
+}

@@ -1,0 +1,145 @@
+//! The behavioural adder abstraction and the exact reference adder.
+
+use std::fmt::Debug;
+
+/// Masks `value` to the low `width` bits.
+///
+/// # Panics
+///
+/// Panics in debug builds if `width > 64`.
+#[must_use]
+pub(crate) fn mask(width: u32) -> u64 {
+    debug_assert!(width <= 64);
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// A combinational unsigned adder producing a `width() + 1` bit result.
+///
+/// The result includes the carry-out as its most significant bit, matching
+/// the paper's convention (Fig. 10's bit axis spans positions `0..=32` for
+/// 32-bit adders).
+///
+/// Implementations must be pure functions of the operands: the same inputs
+/// always produce the same output. This is what the paper calls the
+/// *behavioural* (golden) level — structural errors are defined against it,
+/// timing errors are defined on top of it.
+pub trait Adder: Debug {
+    /// Operand width in bits.
+    fn width(&self) -> u32;
+
+    /// Adds two `width()`-bit unsigned operands.
+    ///
+    /// Operands are masked to `width()` bits before use, so callers may pass
+    /// wider values without affecting the result.
+    fn add(&self, a: u64, b: u64) -> u64;
+
+    /// Human-readable design label (e.g. `"exact"` or `"(8,0,1,4)"`).
+    fn label(&self) -> String;
+}
+
+/// The exact (conventional) adder: the paper's `ydiamond` reference.
+///
+/// # Examples
+///
+/// ```
+/// use isa_core::{Adder, ExactAdder};
+///
+/// let adder = ExactAdder::new(32);
+/// assert_eq!(adder.add(u32::MAX as u64, 1), 1 << 32); // carry-out is bit 32
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExactAdder {
+    width: u32,
+}
+
+impl ExactAdder {
+    /// Creates an exact adder of the given operand width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 63 (results must fit a `u64`).
+    #[must_use]
+    pub fn new(width: u32) -> Self {
+        assert!(
+            width > 0 && width <= 63,
+            "exact adder width must be in 1..=63, got {width}"
+        );
+        Self { width }
+    }
+}
+
+impl Adder for ExactAdder {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn add(&self, a: u64, b: u64) -> u64 {
+        let m = mask(self.width);
+        (a & m) + (b & m)
+    }
+
+    fn label(&self) -> String {
+        "exact".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_adder_small_values() {
+        let adder = ExactAdder::new(8);
+        assert_eq!(adder.add(3, 4), 7);
+        assert_eq!(adder.add(0, 0), 0);
+    }
+
+    #[test]
+    fn exact_adder_carry_out_is_top_bit() {
+        let adder = ExactAdder::new(8);
+        assert_eq!(adder.add(255, 255), 510);
+        assert_eq!(adder.add(255, 1), 256);
+    }
+
+    #[test]
+    fn exact_adder_masks_wide_operands() {
+        let adder = ExactAdder::new(8);
+        assert_eq!(adder.add(0x1_00, 0x2_03), 3);
+    }
+
+    #[test]
+    fn exact_adder_max_width() {
+        let adder = ExactAdder::new(63);
+        let m = (1u64 << 63) - 1;
+        assert_eq!(adder.add(m, 1), 1u64 << 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in 1..=63")]
+    fn exact_adder_rejects_zero_width() {
+        let _ = ExactAdder::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in 1..=63")]
+    fn exact_adder_rejects_width_64() {
+        let _ = ExactAdder::new(64);
+    }
+
+    #[test]
+    fn mask_widths() {
+        assert_eq!(mask(0), 0);
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(8), 0xFF);
+        assert_eq!(mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn label_is_exact() {
+        assert_eq!(ExactAdder::new(32).label(), "exact");
+    }
+}

@@ -1,0 +1,518 @@
+//! Exact analytical error statistics for speculate-at-0 ISA designs.
+//!
+//! For uniform random operands the ISA's structural-error behaviour is a
+//! Markov chain over its blocks: each block maps an incoming
+//! (speculated carry, true carry) state to a distribution over its carry
+//! outputs, speculation window generate, correction-group state and
+//! reduction-target bits. This module computes that transfer exactly with
+//! a per-bit dynamic program (no enumeration of the 2^2B block contents)
+//! and chains it across blocks, yielding:
+//!
+//! * exact per-boundary fault probabilities,
+//! * the exact structural error rate `P(E_struct != 0)`,
+//! * the exact mean signed error `E[E_struct]`,
+//! * the RMS of `E_struct` under a documented independence approximation
+//!   across boundaries (cross-boundary covariances are neglected; the
+//!   Monte-Carlo comparison tests bound the resulting deviation).
+//!
+//! Everything is validated against the behavioural model in this module's
+//! tests — the analytical and simulated numbers must agree.
+//!
+//! Limitations (checked at run time): speculation guess 0 (the paper's
+//! designs) and non-overlapping compensation (`C + R <= B`), so correction
+//! never rewrites the bits a later reduction forces.
+
+use std::collections::HashMap;
+
+use crate::config::{IsaConfig, SpecGuess};
+
+/// Distribution over a block's exit state, conditioned on its entering
+/// carries.
+///
+/// Keys are `(cout_local, cout_true, window_generate, low_c_all_ones, v)`
+/// where `v` is the value of the block's top `R` sum bits.
+type BlockDistribution = HashMap<(bool, bool, bool, bool, u32), f64>;
+
+/// Per-bit dynamic program over one block's uniform content.
+///
+/// Tracks the joint distribution of the local carry (chain seeded with
+/// `cin_local`), the true carry (seeded with `cin_true`), the speculation
+/// window's generate/propagate over the top `s` bits, the all-ones flag of
+/// the low `c` sum bits, and the rolling top `r` sum bits.
+fn block_transfer(
+    b: u32,
+    s: u32,
+    c: u32,
+    r: u32,
+    cin_local: bool,
+    cin_true: bool,
+) -> BlockDistribution {
+    // State: (c_local, c_true, g_win, p_win, low_all_ones, v)
+    type State = (bool, bool, bool, bool, bool, u32);
+    let mut dist: HashMap<State, f64> = HashMap::new();
+    // Window starts undetermined: for an empty window G=0, P=1.
+    dist.insert((cin_local, cin_true, false, true, true, 0), 1.0);
+    let v_mask = if r == 0 { 0 } else { (1u32 << r) - 1 };
+
+    for i in 0..b {
+        let mut next: HashMap<State, f64> = HashMap::new();
+        let in_window = i >= b - s;
+        let window_restarts = s > 0 && i == b - s;
+        for (&(cl, ct, gw, pw, low, v), &p) in &dist {
+            for bits in 0..4u8 {
+                let ai = bits & 1 == 1;
+                let bi = bits & 2 == 2;
+                let gen = ai && bi;
+                let prop = ai ^ bi;
+                let sum_bit = prop ^ cl;
+                let ncl = gen || (prop && cl);
+                let nct = gen || (prop && ct);
+                // Speculation window over the top `s` bits only.
+                let (mut ngw, mut npw) = (gw, pw);
+                if window_restarts {
+                    ngw = false;
+                    npw = true;
+                }
+                if in_window || window_restarts {
+                    ngw = gen || (prop && ngw);
+                    npw = npw && prop;
+                }
+                let nlow = if i < c { low && sum_bit } else { low };
+                let nv = if r == 0 {
+                    0
+                } else {
+                    ((v >> 1) | (u32::from(sum_bit) << (r - 1))) & v_mask
+                };
+                *next.entry((ncl, nct, ngw, npw, nlow, nv)).or_insert(0.0) += p * 0.25;
+            }
+        }
+        dist = next;
+    }
+
+    let mut out: BlockDistribution = HashMap::new();
+    for ((cl, ct, gw, _pw, low, v), p) in dist {
+        *out.entry((cl, ct, gw, low, v)).or_insert(0.0) += p;
+    }
+    out
+}
+
+/// Statistics of one speculation boundary (between path `k-1` and `k`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundaryStats {
+    /// Boundary bit position (`k * B`).
+    pub position: u32,
+    /// Probability that the boundary's COMP detects a fault.
+    pub fault_probability: f64,
+    /// Probability that a fault leaves a non-zero error (uncorrectable).
+    pub residual_probability: f64,
+    /// Expected signed error contribution of this boundary.
+    pub mean_contribution: f64,
+    /// Expected squared error contribution of this boundary.
+    pub mean_sq_contribution: f64,
+}
+
+/// Exact-analysis results for one design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignAnalysis {
+    boundaries: Vec<BoundaryStats>,
+    error_rate: f64,
+    mean_e: f64,
+    rms_e_approx: f64,
+}
+
+impl DesignAnalysis {
+    /// Analyzes a speculate-at-0 design under uniform random operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design speculates at 1 or its compensation overlaps
+    /// (`C + R > B`), which this analysis does not model.
+    #[must_use]
+    pub fn analyze(cfg: &IsaConfig) -> Self {
+        assert_eq!(
+            cfg.guess(),
+            SpecGuess::Zero,
+            "analysis models the paper's speculate-at-0 designs"
+        );
+        assert!(
+            cfg.correction() + cfg.reduction() <= cfg.block_size(),
+            "overlapping compensation (C + R > B) is not modelled"
+        );
+        let (b, s, c, r) = (
+            cfg.block_size(),
+            cfg.spec_size(),
+            cfg.correction(),
+            cfg.reduction(),
+        );
+        let paths = cfg.num_paths();
+
+        // Block transfers for the four possible entering carry pairs.
+        let mut transfers: HashMap<(bool, bool), BlockDistribution> = HashMap::new();
+        for cl in [false, true] {
+            for ct in [false, true] {
+                transfers.insert((cl, ct), block_transfer(b, s, c, r, cl, ct));
+            }
+        }
+        // Probability the *next* block's correction group can absorb a +1:
+        // its local sum modulo 2^C is uniform, so all-ones has mass 2^-C.
+        let uncorrectable = if c == 0 { 1.0 } else { 0.5f64.powi(c as i32) };
+
+        // Chain DP. Entering state per block k: (spec_k, c_true_in,
+        // fault_at_boundary_k, error_free_so_far).
+        type ChainState = (bool, bool, bool, bool);
+        let mut chain: HashMap<ChainState, f64> = HashMap::new();
+        chain.insert((false, false, false, true), 1.0);
+
+        let mut boundaries = Vec::new();
+        let mut mean_e = 0.0f64;
+        let mut var_terms = 0.0f64;
+        let mut mean_terms: Vec<f64> = Vec::new();
+
+        for k in 0..paths {
+            // Resolve boundary k's error using this block's correction
+            // group, then transfer through block k. The reduction value for
+            // boundary k+1 uses this block's top R bits, so its expectation
+            // is folded in at fault-production time.
+            let mut next: HashMap<ChainState, f64> = HashMap::new();
+            let mut mean_v1 = 0.0f64; // E[(v+1) ; fault at boundary k+1]
+            let mut mean_v1_sq = 0.0f64;
+            for (&(spec, ct, fault, clean), &p) in &chain {
+                let transfer = &transfers[&(spec, ct)];
+                for (&(cout_l, cout_t, g_win, low, v), &tp) in transfer {
+                    let joint = p * tp;
+                    if joint == 0.0 {
+                        continue;
+                    }
+                    // Boundary k's error resolves with this block's
+                    // correction group: err iff fault and (C == 0 or the
+                    // group is all ones).
+                    let err_here = fault && (c == 0 || low);
+                    let nclean = clean && !err_here;
+                    // Next boundary's fault: speculate-at-0 misses a carry
+                    // iff the window does not generate but the local chain
+                    // carries out.
+                    let nfault = !g_win && cout_l;
+                    if nfault && k + 1 < paths {
+                        // Reduction statistics for boundary k+1 use THIS
+                        // block's top R bits.
+                        let v1 = f64::from(v + 1);
+                        mean_v1 += joint * v1;
+                        mean_v1_sq += joint * v1 * v1;
+                    }
+                    *next.entry((g_win, cout_t, nfault, nclean)).or_insert(0.0) += joint;
+                }
+            }
+
+            // Store the statistics produced *for* boundary k+1.
+            if k + 1 < paths {
+                let position = (k + 1) * b;
+                let weight = 2f64.powi(position as i32);
+                let fault_p_next: f64 = next
+                    .iter()
+                    .filter(|(&(_, _, fault, _), _)| fault)
+                    .map(|(_, &p)| p)
+                    .sum();
+                let (mean_contribution, mean_sq_contribution) = if r > 0 {
+                    let red_weight = 2f64.powi((position - r) as i32);
+                    (
+                        -uncorrectable * mean_v1 * red_weight,
+                        uncorrectable * mean_v1_sq * red_weight * red_weight,
+                    )
+                } else {
+                    (
+                        -uncorrectable * fault_p_next * weight,
+                        uncorrectable * fault_p_next * weight * weight,
+                    )
+                };
+                boundaries.push(BoundaryStats {
+                    position,
+                    fault_probability: fault_p_next,
+                    residual_probability: fault_p_next * uncorrectable,
+                    mean_contribution,
+                    mean_sq_contribution,
+                });
+                mean_e += mean_contribution;
+                var_terms += mean_sq_contribution;
+                mean_terms.push(mean_contribution);
+            }
+            chain = next;
+        }
+
+        // Exact error rate from the chain's clean flag (the last block's
+        // boundary was resolved inside the loop; the final pending fault
+        // flag corresponds to the carry-out, which is always exact).
+        let clean_prob: f64 = chain
+            .iter()
+            .filter(|(&(_, _, _, clean), _)| clean)
+            .map(|(_, &p)| p)
+            .sum();
+        // Independence approximation for the second moment: cross terms
+        // use products of means.
+        let mut cross = 0.0f64;
+        for i in 0..mean_terms.len() {
+            for j in 0..i {
+                cross += 2.0 * mean_terms[i] * mean_terms[j];
+            }
+        }
+        let rms_e_approx = (var_terms + cross).sqrt();
+
+        Self {
+            boundaries,
+            error_rate: 1.0 - clean_prob,
+            mean_e,
+            rms_e_approx,
+        }
+    }
+
+    /// Per-boundary statistics, LSB-most boundary first.
+    #[must_use]
+    pub fn boundaries(&self) -> &[BoundaryStats] {
+        &self.boundaries
+    }
+
+    /// Exact probability that an addition has a non-zero structural error.
+    #[must_use]
+    pub fn error_rate(&self) -> f64 {
+        self.error_rate
+    }
+
+    /// Exact expected signed structural error.
+    #[must_use]
+    pub fn mean_error(&self) -> f64 {
+        self.mean_e
+    }
+
+    /// RMS of the structural error under the cross-boundary independence
+    /// approximation.
+    #[must_use]
+    pub fn rms_error_approx(&self) -> f64 {
+        self.rms_e_approx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adder::{Adder, ExactAdder};
+    use crate::designs::paper_isa_configs;
+    use crate::isa::SpeculativeAdder;
+
+    /// Monte-Carlo reference statistics.
+    fn monte_carlo(cfg: &IsaConfig, n: usize) -> (f64, f64, f64) {
+        let isa = SpeculativeAdder::new(*cfg);
+        let exact = ExactAdder::new(cfg.width());
+        let mut seed = 0x5EED_0001u64;
+        let mut errors = 0usize;
+        let mut sum_e = 0.0f64;
+        let mut sum_e2 = 0.0f64;
+        let mask = (1u64 << cfg.width()) - 1;
+        for _ in 0..n {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            let a = seed & mask;
+            let b = (seed >> 27).wrapping_mul(seed) & mask;
+            let e = isa.add(a, b) as i64 - exact.add(a, b) as i64;
+            if e != 0 {
+                errors += 1;
+            }
+            sum_e += e as f64;
+            sum_e2 += (e as f64) * (e as f64);
+        }
+        (
+            errors as f64 / n as f64,
+            sum_e / n as f64,
+            (sum_e2 / n as f64).sqrt(),
+        )
+    }
+
+    #[test]
+    fn closed_form_fault_probability_for_plain_truncation() {
+        // (8,0,0,0): fault at boundary 8 iff block 0 carries out:
+        // P(a+b >= 256) for uniform 8-bit a, b = sum_a a / 2^16.
+        let cfg = IsaConfig::new(32, 8, 0, 0, 0).unwrap();
+        let analysis = DesignAnalysis::analyze(&cfg);
+        let expected = (0..256u32).map(f64::from).sum::<f64>() / 65536.0;
+        let first = analysis.boundaries()[0];
+        assert!(
+            (first.fault_probability - expected).abs() < 1e-12,
+            "{} vs {expected}",
+            first.fault_probability
+        );
+    }
+
+    #[test]
+    fn analytical_error_rate_matches_monte_carlo() {
+        for cfg in paper_isa_configs() {
+            let analysis = DesignAnalysis::analyze(&cfg);
+            let (mc_rate, _, _) = monte_carlo(&cfg, 200_000);
+            let sigma = (mc_rate * (1.0 - mc_rate) / 200_000.0).sqrt().max(1e-6);
+            assert!(
+                (analysis.error_rate() - mc_rate).abs() < 5.0 * sigma + 1e-4,
+                "{cfg}: analytical {} vs MC {mc_rate}",
+                analysis.error_rate()
+            );
+        }
+    }
+
+    #[test]
+    fn analytical_mean_error_matches_monte_carlo() {
+        // The analytical mean is exact (see the exhaustive tests), so the
+        // only deviation is Monte-Carlo noise: compare within 5 standard
+        // errors of the MC estimate.
+        let n = 200_000usize;
+        for cfg in paper_isa_configs() {
+            let analysis = DesignAnalysis::analyze(&cfg);
+            let (_, mc_mean, mc_rms) = monte_carlo(&cfg, n);
+            let se = (mc_rms * mc_rms - mc_mean * mc_mean).max(0.0).sqrt()
+                / (n as f64).sqrt();
+            assert!(
+                (analysis.mean_error() - mc_mean).abs() < 5.0 * se + 1e-9,
+                "{cfg}: analytical {} vs MC {mc_mean} (se {se})",
+                analysis.mean_error()
+            );
+        }
+    }
+
+    #[test]
+    fn rms_approximation_is_close_for_paper_designs() {
+        for cfg in paper_isa_configs() {
+            let analysis = DesignAnalysis::analyze(&cfg);
+            let (_, _, mc_rms) = monte_carlo(&cfg, 200_000);
+            if mc_rms == 0.0 {
+                continue;
+            }
+            let ratio = analysis.rms_error_approx() / mc_rms;
+            assert!(
+                (0.8..1.25).contains(&ratio),
+                "{cfg}: analytical {} vs MC {mc_rms} (ratio {ratio})",
+                analysis.rms_error_approx()
+            );
+        }
+    }
+
+    #[test]
+    fn exact_design_has_zero_everything() {
+        let cfg = IsaConfig::new(32, 32, 0, 0, 0).unwrap();
+        let analysis = DesignAnalysis::analyze(&cfg);
+        assert_eq!(analysis.boundaries().len(), 0);
+        assert_eq!(analysis.error_rate(), 0.0);
+        assert_eq!(analysis.mean_error(), 0.0);
+    }
+
+    #[test]
+    fn speculation_reduces_fault_probability_monotonically() {
+        let mut last = f64::INFINITY;
+        for s in [0u32, 1, 2, 4, 7] {
+            let cfg = IsaConfig::new(32, 8, s, 0, 0).unwrap();
+            let analysis = DesignAnalysis::analyze(&cfg);
+            let p = analysis.boundaries()[0].fault_probability;
+            assert!(p < last, "S={s}: {p} not below {last}");
+            last = p;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "speculate-at-0")]
+    fn guess_one_is_rejected() {
+        let cfg = IsaConfig::with_guess(32, 8, 0, 0, 0, SpecGuess::One).unwrap();
+        let _ = DesignAnalysis::analyze(&cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping compensation")]
+    fn overlapping_compensation_is_rejected() {
+        let cfg = IsaConfig::new(32, 8, 0, 4, 6).unwrap();
+        let _ = DesignAnalysis::analyze(&cfg);
+    }
+}
+
+#[cfg(test)]
+mod exactness_tests {
+    use super::*;
+
+    /// Brute-force the block transfer for a small block and compare with
+    /// the DP, proving the DP exact.
+    #[test]
+    fn block_transfer_matches_enumeration() {
+        let (b, s, c, r) = (6u32, 2u32, 1u32, 3u32);
+        for cin_local in [false, true] {
+            for cin_true in [false, true] {
+                let dp = block_transfer(b, s, c, r, cin_local, cin_true);
+                let mut brute: BlockDistribution = HashMap::new();
+                let total = 1u64 << (2 * b);
+                for a in 0..(1u64 << b) {
+                    for x in 0..(1u64 << b) {
+                        let raw_local = a + x + u64::from(cin_local);
+                        let raw_true = a + x + u64::from(cin_true);
+                        let sum_local = raw_local & ((1 << b) - 1);
+                        let cout_local = raw_local >> b == 1;
+                        let cout_true = raw_true >> b == 1;
+                        // Window generate over top S bits.
+                        let mut gen = false;
+                        for i in b - s..b {
+                            let ai = (a >> i) & 1 == 1;
+                            let xi = (x >> i) & 1 == 1;
+                            gen = (ai && xi) || ((ai ^ xi) && gen);
+                        }
+                        let low = sum_local & ((1 << c) - 1) == (1 << c) - 1;
+                        let v = ((sum_local >> (b - r)) & ((1 << r) - 1)) as u32;
+                        *brute
+                            .entry((cout_local, cout_true, gen, low, v))
+                            .or_insert(0.0) += 1.0 / total as f64;
+                    }
+                }
+                for (key, &bp) in &brute {
+                    let dpv = dp.get(key).copied().unwrap_or(0.0);
+                    assert!(
+                        (bp - dpv).abs() < 1e-12,
+                        "cin=({cin_local},{cin_true}) state {key:?}: brute {bp} vs dp {dpv}"
+                    );
+                }
+                for (key, &dpv) in &dp {
+                    assert!(
+                        brute.contains_key(key) || dpv < 1e-12,
+                        "dp-only state {key:?} with mass {dpv}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Full-design exactness on a tiny adder where every operand pair can
+    /// be enumerated: analytical error rate and mean must match exactly.
+    #[test]
+    fn whole_design_matches_exhaustive_enumeration() {
+        use crate::adder::{Adder, ExactAdder};
+        use crate::isa::SpeculativeAdder;
+        for quad in [(4u32, 0u32, 0u32, 0u32), (4, 1, 0, 2), (4, 2, 1, 2), (4, 0, 1, 2)] {
+            let cfg = IsaConfig::new(8, quad.0, quad.1, quad.2, quad.3).unwrap();
+            let analysis = DesignAnalysis::analyze(&cfg);
+            let isa = SpeculativeAdder::new(cfg);
+            let exact = ExactAdder::new(8);
+            let mut errors = 0usize;
+            let mut sum_e = 0.0f64;
+            for a in 0..256u64 {
+                for b in 0..256u64 {
+                    let e = isa.add(a, b) as i64 - exact.add(a, b) as i64;
+                    if e != 0 {
+                        errors += 1;
+                    }
+                    sum_e += e as f64;
+                }
+            }
+            let rate = errors as f64 / 65536.0;
+            let mean = sum_e / 65536.0;
+            assert!(
+                (analysis.error_rate() - rate).abs() < 1e-12,
+                "{cfg}: rate {} vs exhaustive {rate}",
+                analysis.error_rate()
+            );
+            assert!(
+                (analysis.mean_error() - mean).abs() < 1e-9,
+                "{cfg}: mean {} vs exhaustive {mean}",
+                analysis.mean_error()
+            );
+        }
+    }
+}

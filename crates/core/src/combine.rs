@@ -1,0 +1,236 @@
+//! The error-combination flow of Fig. 6.
+//!
+//! For every ISA architecture and every input vector the flow computes
+//! `ydiamond`, `ygold` and `E_struct`; then for every clock period it obtains
+//! `ysilver` from the overclocked circuit, computes `E_timing` and combines
+//! both into `E_joint`. This module implements that loop generically over a
+//! [`SilverSource`] so the gate-level simulator (or, in tests, a synthetic
+//! fault injector) can provide the overclocked outputs.
+
+use crate::adder::{Adder, ExactAdder};
+use crate::error::OutputTriple;
+use crate::stats::ErrorStats;
+
+/// Provider of overclocked (`ysilver`) outputs for a fixed design and clock
+/// period.
+///
+/// Implementations are stateful on purpose: timing errors depend on the
+/// previous circuit state, so inputs must be presented in stream order. The
+/// gate-level clocked harness implements this trait; tests use closures.
+pub trait SilverSource {
+    /// Returns the overclocked circuit output for the cycle's operands.
+    fn next_silver(&mut self, a: u64, b: u64) -> u64;
+}
+
+impl<F: FnMut(u64, u64) -> u64> SilverSource for F {
+    fn next_silver(&mut self, a: u64, b: u64) -> u64 {
+        self(a, b)
+    }
+}
+
+/// Aggregated error statistics of one (design, clock) run of Fig. 6.
+///
+/// Arithmetic (`E`) and relative (`RE`) statistics are kept for each of the
+/// three error contributions.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CombinedErrorStats {
+    /// Statistics of the signed structural arithmetic error `E_struct`.
+    pub e_struct: ErrorStats,
+    /// Statistics of the signed timing arithmetic error `E_timing`.
+    pub e_timing: ErrorStats,
+    /// Statistics of the signed joint arithmetic error `E_joint`.
+    pub e_joint: ErrorStats,
+    /// Statistics of the relative structural error `RE_struct`.
+    pub re_struct: ErrorStats,
+    /// Statistics of the relative timing error `RE_timing`.
+    pub re_timing: ErrorStats,
+    /// Statistics of the relative joint error `RE_joint`.
+    pub re_joint: ErrorStats,
+}
+
+impl CombinedErrorStats {
+    /// Creates an empty aggregate.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one output triple.
+    pub fn push(&mut self, triple: &OutputTriple) {
+        self.e_struct.push(triple.e_struct() as f64);
+        self.e_timing.push(triple.e_timing() as f64);
+        self.e_joint.push(triple.e_joint() as f64);
+        self.re_struct.push(triple.re_struct());
+        self.re_timing.push(triple.re_timing());
+        self.re_joint.push(triple.re_joint());
+    }
+
+    /// Merges another aggregate into this one.
+    pub fn merge(&mut self, other: &CombinedErrorStats) {
+        self.e_struct.merge(&other.e_struct);
+        self.e_timing.merge(&other.e_timing);
+        self.e_joint.merge(&other.e_joint);
+        self.re_struct.merge(&other.re_struct);
+        self.re_timing.merge(&other.re_timing);
+        self.re_joint.merge(&other.re_joint);
+    }
+
+    /// Number of recorded cycles.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.e_joint.len()
+    }
+
+    /// True if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The paper's Fig. 9 y-values for this run, in percent:
+    /// `(RMS RE_struct, RMS RE_timing, RMS RE_joint)`.
+    #[must_use]
+    pub fn rms_re_percent(&self) -> (f64, f64, f64) {
+        (
+            self.re_struct.rms() * 100.0,
+            self.re_timing.rms() * 100.0,
+            self.re_joint.rms() * 100.0,
+        )
+    }
+}
+
+/// Runs the Fig. 6 inner loop for one design at one clock period.
+///
+/// `gold` is the behavioural model of the implemented design, `silver`
+/// produces the overclocked outputs, and `inputs` is the cycle-ordered
+/// operand stream. An [`ExactAdder`] of the same width provides `ydiamond`.
+pub fn combine_errors<S: SilverSource>(
+    gold: &dyn Adder,
+    silver: &mut S,
+    inputs: impl IntoIterator<Item = (u64, u64)>,
+) -> CombinedErrorStats {
+    let exact = ExactAdder::new(gold.width());
+    let mut stats = CombinedErrorStats::new();
+    for (a, b) in inputs {
+        let triple = OutputTriple::new(
+            exact.add(a, b),
+            gold.add(a, b),
+            silver.next_silver(a, b),
+        );
+        stats.push(&triple);
+    }
+    stats
+}
+
+/// Runs the structural-error-only part of Fig. 6 (no overclocking): the
+/// silver output equals the gold output.
+pub fn structural_errors(
+    gold: &dyn Adder,
+    inputs: impl IntoIterator<Item = (u64, u64)>,
+) -> CombinedErrorStats {
+    let mut identity = |a, b| gold.add(a, b);
+    combine_errors(gold, &mut identity, inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IsaConfig;
+    use crate::isa::SpeculativeAdder;
+
+    fn inputs() -> Vec<(u64, u64)> {
+        let mut v = Vec::new();
+        let mut seed = 0xfeed_beef_u64;
+        for _ in 0..2000 {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            v.push((seed >> 32, seed & 0xFFFF_FFFF));
+        }
+        v
+    }
+
+    #[test]
+    fn structural_only_has_zero_timing_error() {
+        let isa = SpeculativeAdder::new(IsaConfig::new(32, 8, 0, 0, 4).unwrap());
+        let stats = structural_errors(&isa, inputs());
+        assert_eq!(stats.len(), 2000);
+        assert_eq!(stats.e_timing.rms(), 0.0);
+        assert_eq!(stats.re_timing.rms(), 0.0);
+        assert!(stats.re_struct.rms() > 0.0, "(8,0,0,4) must show faults");
+        assert!((stats.re_joint.rms() - stats.re_struct.rms()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exact_gold_has_zero_structural_error() {
+        let exact = ExactAdder::new(32);
+        let stats = structural_errors(&exact, inputs());
+        assert_eq!(stats.e_struct.rms(), 0.0);
+        assert_eq!(stats.re_joint.rms(), 0.0);
+    }
+
+    #[test]
+    fn injected_timing_errors_appear_only_in_timing_component() {
+        let exact = ExactAdder::new(32);
+        // A silver source that flips bit 20 every fourth cycle.
+        let mut cycle = 0u64;
+        let mut silver = move |a: u64, b: u64| {
+            cycle += 1;
+            let y = a + b;
+            if cycle.is_multiple_of(4) {
+                y ^ (1 << 20)
+            } else {
+                y
+            }
+        };
+        let stats = combine_errors(&exact, &mut silver, inputs());
+        assert_eq!(stats.e_struct.rms(), 0.0);
+        assert!(stats.e_timing.rms() > 0.0);
+        assert!((stats.e_timing.error_rate() - 0.25).abs() < 1e-9);
+        // Joint == timing when structural is zero.
+        assert!((stats.re_joint.rms() - stats.re_timing.rms()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn opposite_direction_errors_reduce_joint_rms() {
+        // Gold is always 2 short of diamond; silver adds 1 back: the joint
+        // error is smaller than the structural error (Fig. 5's effect).
+        #[derive(Debug)]
+        struct ShortByTwo;
+        impl Adder for ShortByTwo {
+            fn width(&self) -> u32 {
+                32
+            }
+            fn add(&self, a: u64, b: u64) -> u64 {
+                ((a & 0xFFFF_FFFF) + (b & 0xFFFF_FFFF)).saturating_sub(2)
+            }
+            fn label(&self) -> String {
+                "short-by-two".into()
+            }
+        }
+        let gold = ShortByTwo;
+        let mut silver = |a: u64, b: u64| gold.add(a, b) + 1;
+        let stats = combine_errors(&gold, &mut silver, inputs());
+        assert!(stats.re_joint.rms() < stats.re_struct.rms());
+        assert!(stats.re_timing.rms() > 0.0);
+    }
+
+    #[test]
+    fn merge_combines_cycle_counts() {
+        let exact = ExactAdder::new(32);
+        let s1 = structural_errors(&exact, inputs());
+        let mut s2 = structural_errors(&exact, inputs());
+        s2.merge(&s1);
+        assert_eq!(s2.len(), 4000);
+    }
+
+    #[test]
+    fn rms_re_percent_scales_by_100() {
+        let mut stats = CombinedErrorStats::new();
+        stats.push(&OutputTriple::new(8, 6, 4));
+        let (s, t, j) = stats.rms_re_percent();
+        assert!((s - 25.0).abs() < 1e-9);
+        assert!((t - 25.0).abs() < 1e-9);
+        assert!((j - 50.0).abs() < 1e-9);
+    }
+}

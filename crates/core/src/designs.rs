@@ -1,0 +1,164 @@
+//! The twelve adder designs evaluated in the paper (Section V.A).
+//!
+//! "Twelve different ISA designs have been selected from \[17\], they are the
+//! best implementations fitting the 0.3 ns timing constraints. All ISA have
+//! regular structures with uniformly sized blocks [...] and are denoted by
+//! quadruples of bit-widths: (block size, SPEC size, correction, reduction).
+//! They have been confronted to an exact adder, also constrained at 0.3 ns."
+
+use std::fmt;
+
+use crate::adder::{Adder, ExactAdder};
+use crate::config::IsaConfig;
+use crate::isa::SpeculativeAdder;
+
+/// Operand width of every design evaluated in the paper.
+pub const PAPER_WIDTH: u32 = 32;
+
+/// One of the paper's evaluated adder designs: an ISA quadruple or the exact
+/// baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Design {
+    /// An Inexact Speculative Adder configuration.
+    Isa(IsaConfig),
+    /// The conventional exact adder of the given width.
+    Exact {
+        /// Operand width in bits.
+        width: u32,
+    },
+}
+
+impl Design {
+    /// Operand width of the design.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        match self {
+            Design::Isa(cfg) => cfg.width(),
+            Design::Exact { width } => *width,
+        }
+    }
+
+    /// Instantiates the behavioural (golden) model of the design.
+    #[must_use]
+    pub fn behavioural(&self) -> Box<dyn Adder> {
+        match self {
+            Design::Isa(cfg) => Box::new(SpeculativeAdder::new(*cfg)),
+            Design::Exact { width } => Box::new(ExactAdder::new(*width)),
+        }
+    }
+
+    /// The ISA configuration, if this design is speculative.
+    #[must_use]
+    pub fn isa_config(&self) -> Option<&IsaConfig> {
+        match self {
+            Design::Isa(cfg) => Some(cfg),
+            Design::Exact { .. } => None,
+        }
+    }
+
+    /// True for the exact baseline.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Design::Exact { .. })
+    }
+}
+
+impl fmt::Display for Design {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Design::Isa(cfg) => write!(f, "{cfg}"),
+            Design::Exact { .. } => write!(f, "exact"),
+        }
+    }
+}
+
+/// The eleven ISA quadruples of Figs. 7–9, in the paper's left-to-right
+/// (increasing-accuracy) order.
+pub const PAPER_QUADRUPLES: [(u32, u32, u32, u32); 11] = [
+    (8, 0, 0, 0),
+    (8, 0, 0, 2),
+    (8, 0, 0, 4),
+    (8, 0, 1, 4),
+    (8, 0, 1, 6),
+    (16, 0, 0, 0),
+    (16, 1, 0, 0),
+    (16, 1, 0, 2),
+    (16, 2, 0, 4),
+    (16, 2, 1, 6),
+    (16, 7, 0, 8),
+];
+
+/// The eleven ISA configurations of the paper, 32 bits wide.
+#[must_use]
+pub fn paper_isa_configs() -> Vec<IsaConfig> {
+    PAPER_QUADRUPLES
+        .iter()
+        .map(|&(b, s, c, r)| {
+            IsaConfig::new(PAPER_WIDTH, b, s, c, r)
+                .expect("paper quadruples are valid by construction")
+        })
+        .collect()
+}
+
+/// All twelve designs of the paper's evaluation: eleven ISAs followed by the
+/// exact adder, in figure order.
+#[must_use]
+pub fn paper_designs() -> Vec<Design> {
+    let mut designs: Vec<Design> = paper_isa_configs().into_iter().map(Design::Isa).collect();
+    designs.push(Design::Exact { width: PAPER_WIDTH });
+    designs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_designs_with_exact_last() {
+        let designs = paper_designs();
+        assert_eq!(designs.len(), 12);
+        assert!(designs[11].is_exact());
+        assert!(designs[..11].iter().all(|d| !d.is_exact()));
+    }
+
+    #[test]
+    fn quadruples_match_the_paper_order() {
+        let designs = paper_designs();
+        assert_eq!(designs[0].to_string(), "(8,0,0,0)");
+        assert_eq!(designs[2].to_string(), "(8,0,0,4)");
+        assert_eq!(designs[10].to_string(), "(16,7,0,8)");
+        assert_eq!(designs[11].to_string(), "exact");
+    }
+
+    #[test]
+    fn all_paper_designs_are_32_bits() {
+        for d in paper_designs() {
+            assert_eq!(d.width(), 32);
+        }
+    }
+
+    #[test]
+    fn behavioural_models_instantiate_and_add() {
+        for d in paper_designs() {
+            let adder = d.behavioural();
+            // Sanity: adding zero to zero is always exact.
+            assert_eq!(adder.add(0, 0), 0, "design {d}");
+            assert_eq!(adder.width(), 32);
+        }
+    }
+
+    #[test]
+    fn isa_config_accessor() {
+        let designs = paper_designs();
+        assert!(designs[0].isa_config().is_some());
+        assert!(designs[11].isa_config().is_none());
+    }
+
+    #[test]
+    fn block_structures_are_2x16_or_4x8() {
+        for cfg in paper_isa_configs() {
+            let paths = cfg.num_paths();
+            assert!(paths == 2 || paths == 4, "paper uses 2x16 or 4x8 blocks");
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The paper's signed error-combination model (Section IV.A).
+//!
+//! Three output values are distinguished for an overclocked inexact circuit:
+//!
+//! * `ydiamond` — the ideal output of an exact, properly-clocked adder;
+//! * `ygold` — the expected output of the implemented (inexact) circuit,
+//!   containing only *structural* errors;
+//! * `ysilver` — the output of the overclocked implemented circuit,
+//!   containing both structural and *timing* errors.
+//!
+//! Arithmetic errors (Eq. 2) are `E_struct = ygold - ydiamond` and
+//! `E_timing = ysilver - ygold`; relative errors (Eq. 3) divide both by
+//! `ydiamond`. Errors are kept **signed** so that same-direction
+//! contributions add up (Fig. 4) while opposite-direction contributions
+//! compensate (Fig. 5).
+
+/// Signed arithmetic error of an output against a reference value (Eq. 2).
+///
+/// # Examples
+///
+/// ```
+/// use isa_core::error::arithmetic_error;
+///
+/// assert_eq!(arithmetic_error(6, 8), -2);
+/// assert_eq!(arithmetic_error(8, 6), 2);
+/// ```
+#[must_use]
+pub fn arithmetic_error(y: u64, reference: u64) -> i64 {
+    debug_assert!(y <= i64::MAX as u64 && reference <= i64::MAX as u64);
+    y as i64 - reference as i64
+}
+
+/// Signed relative error of an output with respect to the exact result
+/// (Eq. 3).
+///
+/// The paper divides by `ydiamond`; for the measure-zero case
+/// `ydiamond == 0` (both operands zero) this implementation uses a
+/// denominator of 1 so that a zero error stays zero and any erroneous output
+/// is charged its full arithmetic value.
+///
+/// # Examples
+///
+/// ```
+/// use isa_core::error::relative_error;
+///
+/// assert_eq!(relative_error(6, 8), -0.25); // Fig. 4's RE_struct = -2/8
+/// ```
+#[must_use]
+pub fn relative_error(y: u64, diamond: u64) -> f64 {
+    let denom = if diamond == 0 { 1.0 } else { diamond as f64 };
+    arithmetic_error(y, diamond) as f64 / denom
+}
+
+/// The three output values of one overclocked inexact addition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OutputTriple {
+    /// Ideal output of an exact, properly-clocked addition.
+    pub diamond: u64,
+    /// Expected output of the implemented inexact circuit (structural errors
+    /// only).
+    pub gold: u64,
+    /// Output of the overclocked implemented circuit (structural + timing
+    /// errors).
+    pub silver: u64,
+}
+
+impl OutputTriple {
+    /// Builds a triple from the three output values.
+    #[must_use]
+    pub fn new(diamond: u64, gold: u64, silver: u64) -> Self {
+        Self {
+            diamond,
+            gold,
+            silver,
+        }
+    }
+
+    /// `E_struct = ygold - ydiamond` (Eq. 2).
+    #[must_use]
+    pub fn e_struct(&self) -> i64 {
+        arithmetic_error(self.gold, self.diamond)
+    }
+
+    /// `E_timing = ysilver - ygold` (Eq. 2).
+    #[must_use]
+    pub fn e_timing(&self) -> i64 {
+        arithmetic_error(self.silver, self.gold)
+    }
+
+    /// Joint arithmetic error `E_joint = E_struct + E_timing`
+    /// (= `ysilver - ydiamond`, Fig. 6 line 11).
+    #[must_use]
+    pub fn e_joint(&self) -> i64 {
+        self.e_struct() + self.e_timing()
+    }
+
+    /// `RE_struct = (ygold - ydiamond) / ydiamond` (Eq. 3).
+    #[must_use]
+    pub fn re_struct(&self) -> f64 {
+        relative_error(self.gold, self.diamond)
+    }
+
+    /// `RE_timing = (ysilver - ygold) / ydiamond` (Eq. 3).
+    ///
+    /// Note the denominator is the *exact* result, not `ygold`, so that the
+    /// two relative contributions are commensurable and sum to the joint
+    /// relative error.
+    #[must_use]
+    pub fn re_timing(&self) -> f64 {
+        let denom = if self.diamond == 0 {
+            1.0
+        } else {
+            self.diamond as f64
+        };
+        self.e_timing() as f64 / denom
+    }
+
+    /// Joint relative error `RE_joint = RE_struct + RE_timing`.
+    #[must_use]
+    pub fn re_joint(&self) -> f64 {
+        self.re_struct() + self.re_timing()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 4 of the paper: both contributions in the same direction add up.
+    #[test]
+    fn fig4_additive_errors() {
+        let t = OutputTriple::new(8, 6, 4);
+        assert_eq!(t.e_struct(), -2);
+        assert_eq!(t.e_timing(), -2);
+        assert_eq!(t.e_joint(), -4);
+        assert!((t.re_struct() - (-2.0 / 8.0)).abs() < 1e-12);
+        assert!((t.re_timing() - (-2.0 / 8.0)).abs() < 1e-12);
+        assert!((t.re_joint() - (-4.0 / 8.0)).abs() < 1e-12);
+    }
+
+    /// Fig. 5 of the paper: opposite contributions compensate each other.
+    #[test]
+    fn fig5_compensating_errors() {
+        let t = OutputTriple::new(8, 6, 7);
+        assert_eq!(t.e_struct(), -2);
+        assert_eq!(t.e_timing(), 1);
+        assert_eq!(t.e_joint(), -1);
+        assert!((t.re_struct() - (-2.0 / 8.0)).abs() < 1e-12);
+        assert!((t.re_timing() - (1.0 / 8.0)).abs() < 1e-12);
+        assert!((t.re_joint() - (-1.0 / 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joint_error_is_silver_minus_diamond() {
+        for (d, g, s) in [(100u64, 90u64, 95u64), (5, 5, 5), (1, 7, 3)] {
+            let t = OutputTriple::new(d, g, s);
+            assert_eq!(t.e_joint(), s as i64 - d as i64);
+            let direct = (s as i64 - d as i64) as f64 / d as f64;
+            assert!((t.re_joint() - direct).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_diamond_uses_unit_denominator() {
+        let t = OutputTriple::new(0, 3, 5);
+        assert_eq!(t.re_struct(), 3.0);
+        assert_eq!(t.re_timing(), 2.0);
+        assert_eq!(t.re_joint(), 5.0);
+        let exact = OutputTriple::new(0, 0, 0);
+        assert_eq!(exact.re_joint(), 0.0);
+    }
+
+    #[test]
+    fn error_free_triple_is_all_zero() {
+        let t = OutputTriple::new(1234, 1234, 1234);
+        assert_eq!(t.e_struct(), 0);
+        assert_eq!(t.e_timing(), 0);
+        assert_eq!(t.e_joint(), 0);
+        assert_eq!(t.re_joint(), 0.0);
+    }
+}

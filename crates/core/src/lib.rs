@@ -1,0 +1,62 @@
+//! # isa-core
+//!
+//! Behavioural models and the error-combination methodology from
+//! *"Combining Structural and Timing Errors in Overclocked Inexact
+//! Speculative Adders"* (Jiao, Camus, Cacciotti, Jiang, Enz, Gupta —
+//! DATE 2017).
+//!
+//! The crate provides:
+//!
+//! * [`IsaConfig`] / [`SpeculativeAdder`] — the bit-accurate behavioural
+//!   model of the Inexact Speculative Adder (carry speculation, error
+//!   correction and error reduction/balancing), i.e. the paper's `ygold`;
+//! * [`ExactAdder`] — the conventional reference (`ydiamond`);
+//! * [`error`] — the signed structural/timing/joint error model (Eq. 2–3);
+//! * [`combine`] — the Fig. 6 flow combining both error types over an input
+//!   stream, generically over any overclocked (`ysilver`) source;
+//! * [`ErrorStats`] / [`BitErrorDistribution`] — the statistics behind the
+//!   paper's figures (RMS relative error, per-bit error distributions);
+//! * [`designs`] — the twelve evaluated designs of Section V.
+//!
+//! # Example
+//!
+//! ```
+//! use isa_core::{combine, IsaConfig, SpeculativeAdder};
+//!
+//! # fn main() -> Result<(), isa_core::ConfigError> {
+//! // The paper's best-balanced design, ISA (8,0,0,4):
+//! let isa = SpeculativeAdder::new(IsaConfig::new(32, 8, 0, 0, 4)?);
+//!
+//! // Structural errors alone (properly clocked circuit):
+//! let inputs = (0..1000u64).map(|i| (i * 2654435761 % (1 << 32), i * 40503 % (1 << 32)));
+//! let stats = combine::structural_errors(&isa, inputs);
+//! assert!(stats.re_struct.rms() > 0.0);
+//! assert_eq!(stats.re_timing.rms(), 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adder;
+pub mod analysis;
+pub mod bitdist;
+pub mod combine;
+pub mod config;
+pub mod designs;
+pub mod error;
+pub mod isa;
+pub mod multiplier;
+pub mod stats;
+
+pub use adder::{Adder, ExactAdder};
+pub use analysis::{BoundaryStats, DesignAnalysis};
+pub use bitdist::BitErrorDistribution;
+pub use combine::{combine_errors, CombinedErrorStats, SilverSource};
+pub use config::{ConfigError, IsaConfig, ParseQuadrupleError, SpecGuess};
+pub use designs::{paper_designs, paper_isa_configs, Design, PAPER_QUADRUPLES, PAPER_WIDTH};
+pub use error::OutputTriple;
+pub use isa::{Compensation, IsaAddition, PathOutcome, SpeculativeAdder};
+pub use multiplier::{ExactMultiplier, Multiplier, SpeculativeMultiplier};
+pub use stats::ErrorStats;

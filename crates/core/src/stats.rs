@@ -1,0 +1,258 @@
+//! Streaming error statistics.
+//!
+//! The paper's main metric is the Root Mean Square of the relative error
+//! ("independent of the adder bit-width and proportional to the SNR");
+//! [`ErrorStats`] accumulates that together with mean/max absolute error and
+//! the error rate, in a single pass and in O(1) memory, so ten-million-sample
+//! characterizations (Section V.A) stream without allocation.
+
+/// Single-pass accumulator for a stream of signed error observations.
+///
+/// Uses Welford's algorithm for a numerically stable mean/variance and plain
+/// compensated-free sums for RMS (adequate for f64 over ≤ 10^8 samples of
+/// bounded errors).
+///
+/// # Examples
+///
+/// ```
+/// use isa_core::ErrorStats;
+///
+/// let mut stats = ErrorStats::new();
+/// for e in [-0.25f64, 0.0, 0.25] {
+///     stats.push(e);
+/// }
+/// assert_eq!(stats.len(), 3);
+/// assert_eq!(stats.mean(), 0.0);
+/// assert!((stats.rms() - (0.125f64 / 3.0).sqrt()).abs() < 1e-12);
+/// assert_eq!(stats.error_rate(), 2.0 / 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorStats {
+    n: u64,
+    nonzero: u64,
+    mean: f64,
+    m2: f64,
+    sum_abs: f64,
+    sum_sq: f64,
+    max_abs: f64,
+}
+
+impl ErrorStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, value: f64) {
+        self.n += 1;
+        if value != 0.0 {
+            self.nonzero += 1;
+        }
+        let delta = value - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (value - self.mean);
+        self.sum_abs += value.abs();
+        self.sum_sq += value * value;
+        if value.abs() > self.max_abs {
+            self.max_abs = value.abs();
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &ErrorStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.nonzero += other.nonzero;
+        self.sum_abs += other.sum_abs;
+        self.sum_sq += other.sum_sq;
+        self.max_abs = self.max_abs.max(other.max_abs);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// True if no observation was pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Arithmetic mean of the signed observations (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Mean of the absolute observations (0 when empty).
+    #[must_use]
+    pub fn mean_abs(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum_abs / self.n as f64
+        }
+    }
+
+    /// Root mean square of the observations (0 when empty) — the paper's
+    /// headline metric when fed relative errors.
+    #[must_use]
+    pub fn rms(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.sum_sq / self.n as f64).sqrt()
+        }
+    }
+
+    /// Population variance (0 when empty).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Largest absolute observation (0 when empty).
+    #[must_use]
+    pub fn max_abs(&self) -> f64 {
+        self.max_abs
+    }
+
+    /// Fraction of non-zero observations — the error rate when fed
+    /// per-sample errors.
+    #[must_use]
+    pub fn error_rate(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.nonzero as f64 / self.n as f64
+        }
+    }
+}
+
+impl Extend<f64> for ErrorStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for ErrorStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut stats = Self::new();
+        stats.extend(iter);
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_all_zero() {
+        let s = ErrorStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.mean_abs(), 0.0);
+        assert_eq!(s.rms(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.max_abs(), 0.0);
+        assert_eq!(s.error_rate(), 0.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let s: ErrorStats = [3.0].into_iter().collect();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.rms(), 3.0);
+        assert_eq!(s.mean_abs(), 3.0);
+        assert_eq!(s.max_abs(), 3.0);
+        assert_eq!(s.error_rate(), 1.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn signed_values_cancel_in_mean_not_rms() {
+        let s: ErrorStats = [-2.0, 2.0].into_iter().collect();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.rms(), 2.0);
+        assert_eq!(s.mean_abs(), 2.0);
+    }
+
+    #[test]
+    fn variance_matches_definition() {
+        let vals = [1.0, 2.0, 3.0, 4.0];
+        let s: ErrorStats = vals.into_iter().collect();
+        let mean = 2.5;
+        let var: f64 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 4.0;
+        assert!((s.variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let all = [0.5, -1.5, 2.0, 0.0, 3.25, -0.125, 7.5, 0.0];
+        let mut seq = ErrorStats::new();
+        for v in all {
+            seq.push(v);
+        }
+        let mut left = ErrorStats::new();
+        let mut right = ErrorStats::new();
+        for v in &all[..3] {
+            left.push(*v);
+        }
+        for v in &all[3..] {
+            right.push(*v);
+        }
+        left.merge(&right);
+        assert_eq!(left.len(), seq.len());
+        assert!((left.mean() - seq.mean()).abs() < 1e-12);
+        assert!((left.rms() - seq.rms()).abs() < 1e-12);
+        assert!((left.variance() - seq.variance()).abs() < 1e-12);
+        assert_eq!(left.max_abs(), seq.max_abs());
+        assert_eq!(left.error_rate(), seq.error_rate());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s: ErrorStats = [1.0, 2.0].into_iter().collect();
+        let before = s;
+        s.merge(&ErrorStats::new());
+        assert_eq!(s, before);
+
+        let mut empty = ErrorStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn error_rate_counts_nonzero() {
+        let s: ErrorStats = [0.0, 0.0, 1.0, 0.0].into_iter().collect();
+        assert_eq!(s.error_rate(), 0.25);
+    }
+}

@@ -1,0 +1,69 @@
+//! Runs the complete reproduction: design table, Figs. 7-10, writing CSVs
+//! under `results/`.
+//!
+//! Usage: `all_figures [--cycles N] [--train N] [--test N] [--samples N] [--outdir DIR]`
+
+use isa_core::IsaConfig;
+use isa_experiments::{
+    arg_value, design_table, energy, fig10, fig9, guardband, prediction,
+    workload_sensitivity, DesignContext, ExperimentConfig,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cycles = arg_value(&args, "cycles").unwrap_or(50_000);
+    let train = arg_value(&args, "train").unwrap_or(8_000);
+    let test = arg_value(&args, "test").unwrap_or(4_000);
+    let samples = arg_value(&args, "samples").unwrap_or(1_000_000);
+    let outdir: String = arg_value(&args, "outdir").unwrap_or_else(|| "results".into());
+    std::fs::create_dir_all(&outdir).expect("create output directory");
+
+    let config = ExperimentConfig::default();
+    eprintln!("synthesizing the twelve designs...");
+    let contexts = DesignContext::build_all(&config);
+
+    eprintln!("design table ({samples} behavioural samples)...");
+    let table = design_table::run_with_contexts(&config, &contexts, samples);
+    print!("{}", table.render());
+    std::fs::write(format!("{outdir}/design_table.csv"), table.to_csv()).expect("write");
+
+    eprintln!("fig 9 ({cycles} gate-level cycles per design/CPR)...");
+    let f9 = fig9::run_with_contexts(&config, &contexts, cycles);
+    print!("{}", f9.render());
+    std::fs::write(format!("{outdir}/fig9.csv"), f9.to_csv()).expect("write");
+
+    eprintln!("figs 7+8 (train {train} / test {test})...");
+    let pred = prediction::run_with_contexts(&config, &contexts, train, test);
+    print!("{}", pred.render_fig7());
+    print!("{}", pred.render_fig8());
+    std::fs::write(format!("{outdir}/fig7_fig8.csv"), pred.to_csv()).expect("write");
+
+    eprintln!("fig 10 ({} cycles)...", cycles * 2);
+    let ctx_8004 = contexts
+        .iter()
+        .find(|c| c.label() == "(8,0,0,4)")
+        .expect("paper design present");
+    let f10 = fig10::run_with_context(&config, ctx_8004, 0.15, cycles * 2);
+    print!("{}", f10.render());
+    std::fs::write(format!("{outdir}/fig10.csv"), f10.to_csv()).expect("write");
+
+    let extension_cycles = (cycles / 5).max(1_000);
+    eprintln!("energy table ({extension_cycles} cycles, extension)...");
+    let en = energy::run_with_contexts(&config, &contexts, extension_cycles);
+    print!("{}", en.render());
+    std::fs::write(format!("{outdir}/energy.csv"), en.to_csv()).expect("write");
+
+    eprintln!("guardband strategy comparison ({extension_cycles} cycles, extension)...");
+    let isa = IsaConfig::new(32, 8, 0, 0, 4).expect("valid design");
+    let gb = guardband::run(&config, isa, extension_cycles);
+    print!("{}", gb.render());
+    std::fs::write(format!("{outdir}/guardband.csv"), gb.to_csv()).expect("write");
+
+    eprintln!("workload sensitivity ({extension_cycles} cycles, extension)...");
+    let ws =
+        workload_sensitivity::run_with_contexts(&config, &contexts, 0.10, extension_cycles);
+    print!("{}", ws.render());
+    std::fs::write(format!("{outdir}/workload_sensitivity.csv"), ws.to_csv()).expect("write");
+
+    eprintln!("done; CSVs in {outdir}/");
+}

@@ -1,0 +1,18 @@
+//! Regenerates the energy-efficiency characterization (extension: the
+//! paper's reference \[17\] comparison style, from simulated activity).
+//!
+//! Usage: `energy_table [--cycles N] [--csv PATH]`
+
+use isa_experiments::{arg_value, energy, ExperimentConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cycles = arg_value(&args, "cycles").unwrap_or(5_000);
+    let config = ExperimentConfig::default();
+    let table = energy::run(&config, cycles);
+    print!("{}", table.render());
+    if let Some(path) = arg_value::<String>(&args, "csv") {
+        std::fs::write(&path, table.to_csv()).expect("write csv");
+        eprintln!("wrote {path}");
+    }
+}

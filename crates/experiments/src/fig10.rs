@@ -1,0 +1,192 @@
+//! Fig. 10 reproduction: bit-level-equivalent internal error distribution
+//! of one overclocked ISA — by default (8,0,0,4) at 15 % CPR, the paper's
+//! best-balanced configuration.
+//!
+//! Structural errors are translated into equivalent bit positions (the set
+//! bits of |E_struct|), timing errors are physical bit flips (sampled vs
+//! settled). The paper's observations to reproduce: the LSB path is
+//! error-free, structural peaks sit slightly *left* of the block
+//! boundaries (reduction rewrites the preceding sum's MSBs), and timing
+//! errors are irregular and concentrated on the compensation logic rather
+//! than the global MSBs.
+
+use isa_core::{BitErrorDistribution, Design, IsaConfig};
+use isa_workloads::{take_pairs, UniformWorkload};
+
+use crate::context::{DesignContext, ExperimentConfig};
+use crate::report::Table;
+
+/// The Fig. 10 dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig10Report {
+    /// Design label.
+    pub design: String,
+    /// Clock-period reduction used.
+    pub cpr: f64,
+    /// Structural errors by bit-position equivalent.
+    pub structural: BitErrorDistribution,
+    /// Timing errors by flipped bit position.
+    pub timing: BitErrorDistribution,
+}
+
+/// Runs the distribution experiment for the paper's configuration:
+/// ISA (8,0,0,4) at 15 % CPR.
+///
+/// # Panics
+///
+/// Panics if the hard-coded paper design fails validation (it cannot).
+#[must_use]
+pub fn run(config: &ExperimentConfig, cycles: usize) -> Fig10Report {
+    let cfg = IsaConfig::new(32, 8, 0, 0, 4).expect("paper design is valid");
+    run_for(config, Design::Isa(cfg), 0.15, cycles)
+}
+
+/// Runs the distribution experiment for any design and CPR.
+#[must_use]
+pub fn run_for(
+    config: &ExperimentConfig,
+    design: Design,
+    cpr: f64,
+    cycles: usize,
+) -> Fig10Report {
+    let ctx = DesignContext::build(design, config);
+    run_with_context(config, &ctx, cpr, cycles)
+}
+
+/// Runs with a pre-built context.
+#[must_use]
+pub fn run_with_context(
+    config: &ExperimentConfig,
+    ctx: &DesignContext,
+    cpr: f64,
+    cycles: usize,
+) -> Fig10Report {
+    let positions = ctx.design.width() + 1;
+    let inputs = take_pairs(UniformWorkload::new(32, config.workload_seed), cycles);
+    let trace = ctx.trace(config.clock_ps(cpr), &inputs);
+    let mut structural = BitErrorDistribution::new(positions);
+    let mut timing = BitErrorDistribution::new(positions);
+    for rec in &trace {
+        let diamond = (rec.a + rec.b) as i64;
+        structural.record_arithmetic(rec.settled as i64 - diamond);
+        timing.record_flips(rec.sampled, rec.settled);
+    }
+    Fig10Report {
+        design: ctx.label(),
+        cpr,
+        structural,
+        timing,
+    }
+}
+
+impl Fig10Report {
+    /// Renders the per-position rates as a table plus an ASCII bar chart.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Fig. 10: bit-level-equivalent error distribution, ISA {} at {:.0}% CPR ({} cycles)\n",
+            self.design,
+            self.cpr * 100.0,
+            self.structural.cycles()
+        );
+        let s_rates = self.structural.rates();
+        let t_rates = self.timing.rates();
+        let peak = s_rates
+            .iter()
+            .chain(&t_rates)
+            .fold(0.0f64, |m, &r| m.max(r))
+            .max(1e-9);
+        let mut table = Table::new(vec![
+            "bit".into(),
+            "structural".into(),
+            "timing".into(),
+            "chart (s=structural, t=timing)".into(),
+        ]);
+        for (i, (s, t)) in s_rates.iter().zip(&t_rates).enumerate() {
+            let bar = |r: f64| ((r / peak) * 30.0).round() as usize;
+            let mut chart = String::new();
+            chart.push_str(&"s".repeat(bar(*s)));
+            chart.push('|');
+            chart.push_str(&"t".repeat(bar(*t)));
+            table.push_row(vec![
+                format!("{i}"),
+                format!("{s:.5}"),
+                format!("{t:.5}"),
+                chart,
+            ]);
+        }
+        out.push_str(&table.render());
+        out
+    }
+
+    /// CSV with one row per bit position.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut table = Table::new(vec![
+            "bit".into(),
+            "structural_rate".into(),
+            "timing_rate".into(),
+        ]);
+        let s = self.structural.rates();
+        let t = self.timing.rates();
+        for (i, (sv, tv)) in s.iter().zip(&t).enumerate() {
+            table.push_row(vec![format!("{i}"), format!("{sv}"), format!("{tv}")]);
+        }
+        table.to_csv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structural_distribution_matches_paper_shape() {
+        let config = ExperimentConfig::default();
+        let report = run(&config, 4000);
+        let s = report.structural.rates();
+
+        // The first speculative path (bits 0..8 minus the reduction overlap
+        // of the next path) uses the true carry-in: bits 0..4 error-free.
+        for (i, rate) in s.iter().enumerate().take(4) {
+            assert_eq!(*rate, 0.0, "bit {i} of the LSB path must be clean");
+        }
+        // Structural peaks sit below the block boundaries (reduction
+        // rewrites bits 4..8, 12..16, 20..24), not on the boundaries'
+        // upper side.
+        let left_of_16: f64 = s[12..16].iter().sum();
+        let right_of_16: f64 = s[16..20].iter().sum();
+        assert!(
+            left_of_16 > right_of_16,
+            "peaks must be left-shifted: {left_of_16} vs {right_of_16}"
+        );
+        // Errors exist at all three boundaries.
+        assert!(s[4..8].iter().sum::<f64>() > 0.0);
+        assert!(s[12..16].iter().sum::<f64>() > 0.0);
+        assert!(s[20..24].iter().sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    fn timing_errors_do_not_concentrate_on_global_msbs() {
+        let config = ExperimentConfig::default();
+        let report = run(&config, 4000);
+        let t = report.timing.rates();
+        let msb_mass: f64 = t[28..33].iter().sum();
+        let total: f64 = t.iter().sum();
+        if total > 0.0 {
+            assert!(
+                msb_mass / total < 0.5,
+                "ISA timing errors must be distributed, not MSB-bound: {msb_mass}/{total}"
+            );
+        }
+    }
+
+    #[test]
+    fn render_and_csv_cover_all_positions() {
+        let config = ExperimentConfig::default();
+        let report = run(&config, 500);
+        let text = report.render();
+        assert!(text.contains("Fig. 10"));
+        assert_eq!(report.to_csv().lines().count(), 1 + 33);
+    }
+}

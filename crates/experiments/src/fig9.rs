@@ -1,0 +1,232 @@
+//! Fig. 9 reproduction: structural, timing and joint relative-error RMS of
+//! every design at 5/10/15 % clock-period reduction.
+//!
+//! Implements the Fig. 6 flow end to end: `ydiamond` from exact addition,
+//! `ygold` from the behavioural ISA model (cross-checked against the
+//! settled netlist), `ysilver` from the overclocked event-driven trace.
+
+use isa_core::{CombinedErrorStats, OutputTriple};
+use isa_workloads::{take_pairs, UniformWorkload};
+
+use crate::context::{DesignContext, ExperimentConfig};
+use crate::report::{sci, Table};
+
+/// One (design, CPR) measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig9Point {
+    /// Clock-period reduction (e.g. 0.10).
+    pub cpr: f64,
+    /// RMS of the structural relative error, percent.
+    pub rms_re_struct_pct: f64,
+    /// RMS of the timing relative error, percent.
+    pub rms_re_timing_pct: f64,
+    /// RMS of the joint relative error, percent.
+    pub rms_re_joint_pct: f64,
+    /// Fraction of cycles with at least one timing-erroneous output bit.
+    pub timing_error_rate: f64,
+}
+
+/// One design's row across all CPRs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9Row {
+    /// Design label (quadruple or `exact`).
+    pub design: String,
+    /// Measurements per CPR, in configuration order.
+    pub points: Vec<Fig9Point>,
+}
+
+/// The full Fig. 9 dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9Report {
+    /// CPRs evaluated.
+    pub cprs: Vec<f64>,
+    /// Per-design rows in figure order (exact last).
+    pub rows: Vec<Fig9Row>,
+    /// Cycles simulated per (design, CPR).
+    pub cycles: usize,
+}
+
+/// Runs the error-combination experiment over all twelve designs.
+///
+/// `cycles` is the gate-level sample count per (design, CPR) pair; the
+/// paper uses ten million behavioural samples — see EXPERIMENTS.md for the
+/// counts used in the reproduction and their convergence check.
+#[must_use]
+pub fn run(config: &ExperimentConfig, cycles: usize) -> Fig9Report {
+    let contexts = DesignContext::build_all(config);
+    run_with_contexts(config, &contexts, cycles)
+}
+
+/// Runs the experiment with pre-built design contexts (shared across
+/// figures).
+#[must_use]
+pub fn run_with_contexts(
+    config: &ExperimentConfig,
+    contexts: &[DesignContext],
+    cycles: usize,
+) -> Fig9Report {
+    let inputs = take_pairs(UniformWorkload::new(32, config.workload_seed), cycles);
+    let rows = contexts
+        .iter()
+        .map(|ctx| {
+            let points = config
+                .cprs
+                .iter()
+                .map(|&cpr| {
+                    let trace = ctx.trace(config.clock_ps(cpr), &inputs);
+                    let mut stats = CombinedErrorStats::new();
+                    let mut erroneous = 0usize;
+                    for rec in &trace {
+                        if rec.has_timing_error() {
+                            erroneous += 1;
+                        }
+                        let triple =
+                            OutputTriple::new(rec.a + rec.b, rec.settled, rec.sampled);
+                        stats.push(&triple);
+                    }
+                    let (s, t, j) = stats.rms_re_percent();
+                    Fig9Point {
+                        cpr,
+                        rms_re_struct_pct: s,
+                        rms_re_timing_pct: t,
+                        rms_re_joint_pct: j,
+                        timing_error_rate: erroneous as f64 / trace.len().max(1) as f64,
+                    }
+                })
+                .collect();
+            Fig9Row {
+                design: ctx.label(),
+                points,
+            }
+        })
+        .collect();
+    Fig9Report {
+        cprs: config.cprs.clone(),
+        rows,
+        cycles,
+    }
+}
+
+impl Fig9Report {
+    /// Renders one plain-text table per CPR (matching Fig. 9a/b/c).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, &cpr) in self.cprs.iter().enumerate() {
+            out.push_str(&format!(
+                "Fig. 9{}: relative error RMS (%) at {:.0}% CPR ({} cycles)\n",
+                char::from(b'a' + i as u8),
+                cpr * 100.0,
+                self.cycles
+            ));
+            let mut table = Table::new(vec![
+                "design".into(),
+                "structural".into(),
+                "timing".into(),
+                "joint".into(),
+                "err-rate".into(),
+            ]);
+            for row in &self.rows {
+                let p = row.points[i];
+                table.push_row(vec![
+                    row.design.clone(),
+                    sci(p.rms_re_struct_pct),
+                    sci(p.rms_re_timing_pct),
+                    sci(p.rms_re_joint_pct),
+                    format!("{:.4}", p.timing_error_rate),
+                ]);
+            }
+            out.push_str(&table.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the full dataset as CSV (one line per design x CPR).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut table = Table::new(vec![
+            "design".into(),
+            "cpr".into(),
+            "rms_re_struct_pct".into(),
+            "rms_re_timing_pct".into(),
+            "rms_re_joint_pct".into(),
+            "timing_error_rate".into(),
+        ]);
+        for row in &self.rows {
+            for p in &row.points {
+                table.push_row(vec![
+                    row.design.clone(),
+                    format!("{}", p.cpr),
+                    format!("{}", p.rms_re_struct_pct),
+                    format!("{}", p.rms_re_timing_pct),
+                    format!("{}", p.rms_re_joint_pct),
+                    format!("{}", p.timing_error_rate),
+                ]);
+            }
+        }
+        table.to_csv()
+    }
+
+    /// The row for a given design label, if present.
+    #[must_use]
+    pub fn row(&self, design: &str) -> Option<&Fig9Row> {
+        self.rows.iter().find(|r| r.design == design)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isa_core::{Design, IsaConfig};
+
+    /// A miniature two-design run exercising the full pipeline.
+    #[test]
+    fn small_run_produces_consistent_rows() {
+        let config = ExperimentConfig::default();
+        let contexts = vec![
+            DesignContext::build(
+                Design::Isa(IsaConfig::new(32, 8, 0, 0, 4).unwrap()),
+                &config,
+            ),
+            DesignContext::build(Design::Exact { width: 32 }, &config),
+        ];
+        let report = run_with_contexts(&config, &contexts, 400);
+        assert_eq!(report.rows.len(), 2);
+        for row in &report.rows {
+            assert_eq!(row.points.len(), 3);
+        }
+        let isa = report.row("(8,0,0,4)").unwrap();
+        let exact = report.row("exact").unwrap();
+        // Structural component: nonzero for the ISA, zero for exact,
+        // identical across CPRs (it does not depend on the clock).
+        for p in &isa.points {
+            assert!(p.rms_re_struct_pct > 0.0);
+        }
+        let s0 = isa.points[0].rms_re_struct_pct;
+        assert!(isa.points.iter().all(|p| (p.rms_re_struct_pct - s0).abs() < 1e-12));
+        for p in &exact.points {
+            assert_eq!(p.rms_re_struct_pct, 0.0);
+            // Exact adder's joint error is purely timing.
+            assert!((p.rms_re_joint_pct - p.rms_re_timing_pct).abs() < 1e-9);
+        }
+        // The exact adder must be failing at 5% CPR already (the paper's
+        // headline observation).
+        assert!(exact.points[0].rms_re_joint_pct > isa.points[0].rms_re_joint_pct);
+    }
+
+    #[test]
+    fn render_and_csv_contain_all_designs() {
+        let config = ExperimentConfig::default();
+        let contexts = vec![DesignContext::build(
+            Design::Isa(IsaConfig::new(32, 16, 2, 1, 6).unwrap()),
+            &config,
+        )];
+        let report = run_with_contexts(&config, &contexts, 100);
+        let text = report.render();
+        assert!(text.contains("Fig. 9a"));
+        assert!(text.contains("(16,2,1,6)"));
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), 1 + 3); // header + 3 CPRs
+    }
+}

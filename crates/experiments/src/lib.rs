@@ -1,0 +1,66 @@
+//! # isa-experiments
+//!
+//! End-to-end reproduction pipelines for every table and figure of the
+//! DATE 2017 paper:
+//!
+//! * [`design_table`] — the Section V.A design characterization (synthesis
+//!   + structural accuracy of the twelve designs);
+//! * [`prediction`] — Figs. 7 (ABPER) and 8 (AVPE): per-bit Random Forest
+//!   timing-error prediction, trained and evaluated per (design, CPR);
+//! * [`fig9`] — Figs. 9a/b/c: structural/timing/joint relative-error RMS
+//!   under 5/10/15 % overclocking;
+//! * [`fig10`] — Fig. 10: bit-level-equivalent error distributions inside
+//!   ISA (8,0,0,4) at 15 % CPR.
+//!
+//! Beyond the paper, [`energy`] reproduces the energy-efficiency
+//! comparison style of the paper's reference \[17\] from simulated switching
+//! activity, and [`guardband`] quantifies the paper's positioning against
+//! Razor-style detect-and-recover schemes (reference \[10\]).
+//!
+//! Each module exposes a `run(...)` entry point plus `render()`/`to_csv()`
+//! on its report type; the `fig7`, `fig8`, `fig9`, `fig10`, `design_table`,
+//! `energy_table` and `all_figures` binaries drive them from the command
+//! line.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod design_table;
+pub mod energy;
+pub mod fig10;
+pub mod guardband;
+pub mod fig9;
+pub mod prediction;
+pub mod report;
+pub mod workload_sensitivity;
+
+pub use context::{DesignContext, ExperimentConfig};
+
+/// Parses `--name value` style options from a raw argument list, returning
+/// the value for `name` if present and parseable.
+#[must_use]
+pub fn arg_value<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    let flag = format!("--{name}");
+    args.iter()
+        .position(|a| a == &flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_value_parses_flags() {
+        let args: Vec<String> = ["--cycles", "500", "--out", "x.csv"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        assert_eq!(arg_value::<usize>(&args, "cycles"), Some(500));
+        assert_eq!(arg_value::<String>(&args, "out"), Some("x.csv".into()));
+        assert_eq!(arg_value::<usize>(&args, "missing"), None);
+        assert_eq!(arg_value::<usize>(&args, "out"), None, "non-numeric");
+    }
+}

@@ -1,0 +1,278 @@
+//! Figs. 7 and 8 reproduction: the bit-level timing-error prediction model
+//! trained per (design, CPR), evaluated by ABPER (Eq. 1) and AVPE (Eq. 4).
+//!
+//! Data collection follows Section III.A: delay-annotated gate-level
+//! simulation over random operands produces per-cycle timing-class vectors;
+//! a Random Forest per output bit learns `{x[t], x[t-1], yRTL_n[t-1],
+//! yRTL_n[t]} -> timing class`; evaluation runs on held-out cycles from an
+//! independently seeded stream.
+
+use isa_learn::{CyclePair, PredictorConfig, TimingErrorPredictor};
+use isa_metrics::{AbperAccumulator, AvpeAccumulator};
+use isa_timing_sim::CycleRecord;
+use isa_workloads::{take_pairs, UniformWorkload};
+
+use crate::context::{DesignContext, ExperimentConfig};
+use crate::report::{sci, Table};
+
+/// Converts a gate-level trace into the predictor's cycle stream.
+#[must_use]
+pub fn trace_to_cycles(trace: &[CycleRecord]) -> Vec<CyclePair> {
+    let raw: Vec<(u64, u64, u64, u64)> = trace
+        .iter()
+        .map(|r| (r.a, r.b, r.settled, r.flipped_bits()))
+        .collect();
+    CyclePair::from_stream(&raw)
+}
+
+/// One (design, CPR) prediction evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictionPoint {
+    /// Clock-period reduction.
+    pub cpr: f64,
+    /// Average bit-level prediction error rate (Eq. 1), un-floored.
+    pub abper: f64,
+    /// Average value-level predictive error (Eq. 4), un-floored.
+    pub avpe: f64,
+    /// Bits that needed a trained forest (non-constant labels).
+    pub trained_bits: usize,
+    /// Timing-error rate of the *test* trace (ground truth activity).
+    pub test_error_rate: f64,
+}
+
+/// One design's prediction row across CPRs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictionRow {
+    /// Design label.
+    pub design: String,
+    /// Per-CPR results.
+    pub points: Vec<PredictionPoint>,
+}
+
+/// The Figs. 7 + 8 dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictionReport {
+    /// CPRs evaluated.
+    pub cprs: Vec<f64>,
+    /// Per-design rows.
+    pub rows: Vec<PredictionRow>,
+    /// Training cycles per (design, CPR).
+    pub train_cycles: usize,
+    /// Held-out test cycles per (design, CPR).
+    pub test_cycles: usize,
+}
+
+/// Runs model training + evaluation for all twelve designs.
+#[must_use]
+pub fn run(config: &ExperimentConfig, train_cycles: usize, test_cycles: usize) -> PredictionReport {
+    let contexts = DesignContext::build_all(config);
+    run_with_contexts(config, &contexts, train_cycles, test_cycles)
+}
+
+/// Runs with pre-built contexts.
+#[must_use]
+pub fn run_with_contexts(
+    config: &ExperimentConfig,
+    contexts: &[DesignContext],
+    train_cycles: usize,
+    test_cycles: usize,
+) -> PredictionReport {
+    let train_inputs = take_pairs(
+        UniformWorkload::new(32, config.workload_seed ^ 0x7EA1),
+        train_cycles,
+    );
+    let test_inputs = take_pairs(
+        UniformWorkload::new(32, config.workload_seed ^ 0x7E57),
+        test_cycles,
+    );
+    let rows = contexts
+        .iter()
+        .map(|ctx| {
+            let points = config
+                .cprs
+                .iter()
+                .map(|&cpr| {
+                    evaluate_design_at(ctx, config.clock_ps(cpr), cpr, &train_inputs, &test_inputs)
+                })
+                .collect();
+            PredictionRow {
+                design: ctx.label(),
+                points,
+            }
+        })
+        .collect();
+    PredictionReport {
+        cprs: config.cprs.clone(),
+        rows,
+        train_cycles,
+        test_cycles,
+    }
+}
+
+fn evaluate_design_at(
+    ctx: &DesignContext,
+    clock_ps: f64,
+    cpr: f64,
+    train_inputs: &[(u64, u64)],
+    test_inputs: &[(u64, u64)],
+) -> PredictionPoint {
+    let train_trace = ctx.trace(clock_ps, train_inputs);
+    let train = trace_to_cycles(&train_trace);
+    let predictor = TimingErrorPredictor::train(&train, 32, &PredictorConfig::default());
+
+    let test_trace = ctx.trace(clock_ps, test_inputs);
+    let test = trace_to_cycles(&test_trace);
+    let mut abper = AbperAccumulator::new(33);
+    let mut avpe = AvpeAccumulator::new();
+    let mut erroneous = 0usize;
+    for cycle in &test {
+        let predicted_flips = predictor.predict_flips(cycle);
+        abper.record(predicted_flips, cycle.flips);
+        let predicted_silver = cycle.gold ^ predicted_flips;
+        let real_silver = cycle.gold ^ cycle.flips;
+        avpe.record(predicted_silver, real_silver);
+        if cycle.flips != 0 {
+            erroneous += 1;
+        }
+    }
+    PredictionPoint {
+        cpr,
+        abper: abper.abper(),
+        avpe: avpe.avpe(),
+        trained_bits: predictor.trained_bits(),
+        test_error_rate: erroneous as f64 / test.len().max(1) as f64,
+    }
+}
+
+impl PredictionReport {
+    /// Renders the Fig. 7 view (ABPER per design per CPR, with the paper's
+    /// 10⁻⁶ floor).
+    #[must_use]
+    pub fn render_fig7(&self) -> String {
+        self.render_metric("Fig. 7: ABPER", |p| isa_metrics::floor(p.abper))
+    }
+
+    /// Renders the Fig. 8 view (AVPE per design per CPR, floored).
+    #[must_use]
+    pub fn render_fig8(&self) -> String {
+        self.render_metric("Fig. 8: AVPE", |p| isa_metrics::floor(p.avpe))
+    }
+
+    fn render_metric(
+        &self,
+        title: &str,
+        metric: impl Fn(&PredictionPoint) -> f64,
+    ) -> String {
+        let mut headers = vec!["design".into()];
+        for &cpr in &self.cprs {
+            headers.push(format!("{:.3}ns", 0.3 * (1.0 - cpr)));
+        }
+        let mut table = Table::new(headers);
+        for row in &self.rows {
+            let mut cells = vec![row.design.clone()];
+            for p in &row.points {
+                cells.push(sci(metric(p)));
+            }
+            table.push_row(cells);
+        }
+        format!(
+            "{title} (train {} / test {} cycles)\n{}",
+            self.train_cycles,
+            self.test_cycles,
+            table.render()
+        )
+    }
+
+    /// CSV with both metrics.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut table = Table::new(vec![
+            "design".into(),
+            "cpr".into(),
+            "abper".into(),
+            "avpe".into(),
+            "trained_bits".into(),
+            "test_error_rate".into(),
+        ]);
+        for row in &self.rows {
+            for p in &row.points {
+                table.push_row(vec![
+                    row.design.clone(),
+                    format!("{}", p.cpr),
+                    format!("{}", p.abper),
+                    format!("{}", p.avpe),
+                    format!("{}", p.trained_bits),
+                    format!("{}", p.test_error_rate),
+                ]);
+            }
+        }
+        table.to_csv()
+    }
+
+    /// The row for a design label, if present.
+    #[must_use]
+    pub fn row(&self, design: &str) -> Option<&PredictionRow> {
+        self.rows.iter().find(|r| r.design == design)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isa_core::{Design, IsaConfig};
+
+    #[test]
+    fn error_free_design_yields_floor_metrics() {
+        // (16,0,0,0) has no timing errors at 5% CPR under the default die:
+        // ABPER and AVPE must be exactly 0 (displayed as the 1e-6 floor).
+        let config = ExperimentConfig::default();
+        let ctx = DesignContext::build(
+            Design::Isa(IsaConfig::new(32, 16, 0, 0, 0).unwrap()),
+            &config,
+        );
+        let report = run_with_contexts(
+            &ExperimentConfig {
+                cprs: vec![0.05],
+                ..config
+            },
+            std::slice::from_ref(&ctx),
+            300,
+            150,
+        );
+        let p = report.rows[0].points[0];
+        assert_eq!(p.test_error_rate, 0.0);
+        assert_eq!(p.abper, 0.0);
+        assert_eq!(p.avpe, 0.0);
+        assert!(report.render_fig7().contains("1.000e-6"));
+    }
+
+    #[test]
+    fn erroneous_design_trains_bits_and_reports_metrics() {
+        // The exact adder at 15% CPR has plenty of timing errors; the
+        // predictor should train forests and keep ABPER well below the
+        // error rate (predicting constant-correct would score ABPER equal
+        // to the per-bit error rate).
+        let config = ExperimentConfig {
+            cprs: vec![0.15],
+            ..ExperimentConfig::default()
+        };
+        let ctx = DesignContext::build(Design::Exact { width: 32 }, &config);
+        let report = run_with_contexts(&config, std::slice::from_ref(&ctx), 1500, 600);
+        let p = report.rows[0].points[0];
+        assert!(p.test_error_rate > 0.05, "rate {}", p.test_error_rate);
+        assert!(p.trained_bits > 0);
+        assert!(p.abper > 0.0, "mispredictions are expected");
+        assert!(p.abper < 0.2, "ABPER should stay small: {}", p.abper);
+    }
+
+    #[test]
+    fn csv_has_one_line_per_design_cpr() {
+        let config = ExperimentConfig::default();
+        let ctx = DesignContext::build(
+            Design::Isa(IsaConfig::new(32, 8, 0, 0, 0).unwrap()),
+            &config,
+        );
+        let report = run_with_contexts(&config, std::slice::from_ref(&ctx), 100, 50);
+        assert_eq!(report.to_csv().lines().count(), 1 + 3);
+    }
+}

@@ -1,0 +1,539 @@
+//! The paper's bit-level timing-error prediction model (Section III.A).
+//!
+//! For each output bit position `n`, a binary classifier learns the mapping
+//! from `{x[t], x[t-1], yRTL_n[t-1], yRTL_n[t]}` to the bit's timing class.
+//! Bits whose training labels are constant (e.g. never erroneous at a mild
+//! overclock) skip forest training and predict that constant — the paper's
+//! ABPER = 0 cases.
+//!
+//! The model "does not directly generate arithmetic values, it only
+//! generates timing-class vectors" ([`TimingErrorPredictor::predict_flips`])
+//! "and deduces the corresponding ysilver compared to the expected output
+//! ygold" ([`TimingErrorPredictor::predict_silver`]).
+
+use crate::dataset::Dataset;
+use crate::forest::{ForestConfig, RandomForest};
+
+/// One training/inference cycle of an overclocked adder stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CyclePair {
+    /// Current first operand `x[t]` (low half).
+    pub a: u64,
+    /// Current second operand `x[t]` (high half).
+    pub b: u64,
+    /// Previous first operand `x[t-1]`.
+    pub a_prev: u64,
+    /// Previous second operand `x[t-1]`.
+    pub b_prev: u64,
+    /// Current golden (structural-only) output `yRTL[t]`.
+    pub gold: u64,
+    /// Previous golden output `yRTL[t-1]`.
+    pub gold_prev: u64,
+    /// Real timing-class vector: bit `n` set iff position `n` was
+    /// timing-erroneous this cycle (training label; ignored at inference).
+    pub flips: u64,
+}
+
+impl CyclePair {
+    /// Builds the cycle sequence from stream-ordered per-cycle data
+    /// `(a, b, gold, flips)`, deriving the `t-1` fields. The first cycle's
+    /// predecessor is the all-zero reset state.
+    #[must_use]
+    pub fn from_stream(cycles: &[(u64, u64, u64, u64)]) -> Vec<CyclePair> {
+        let mut prev = (0u64, 0u64, 0u64);
+        cycles
+            .iter()
+            .map(|&(a, b, gold, flips)| {
+                let pair = CyclePair {
+                    a,
+                    b,
+                    a_prev: prev.0,
+                    b_prev: prev.1,
+                    gold,
+                    gold_prev: prev.2,
+                    flips,
+                };
+                prev = (a, b, gold);
+                pair
+            })
+            .collect()
+    }
+}
+
+/// Per-bit model: a trained forest, or a constant for bits with constant
+/// training labels.
+#[derive(Debug, Clone, PartialEq)]
+enum BitModel {
+    Constant(bool),
+    Forest(RandomForest),
+}
+
+/// Configuration of the full per-bit predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub struct PredictorConfig {
+    /// Forest settings shared by every bit position.
+    pub forest: ForestConfig,
+}
+
+
+/// The trained bit-level timing-error prediction model for one (design,
+/// clock period) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingErrorPredictor {
+    width: u32,
+    out_bits: u32,
+    models: Vec<BitModel>,
+}
+
+/// Number of features: `x[t]` (2w) + `x[t-1]` (2w) + `yRTL_n[t-1]` +
+/// `yRTL_n[t]`.
+fn feature_count(width: u32) -> usize {
+    4 * width as usize + 2
+}
+
+/// Packs the shared features; the two per-bit gold features are appended by
+/// [`bit_features`].
+fn base_features(width: u32, a: u64, b: u64, a_prev: u64, b_prev: u64) -> Vec<bool> {
+    let w = width as usize;
+    let mut f = Vec::with_capacity(feature_count(width));
+    for i in 0..w {
+        f.push((a >> i) & 1 == 1);
+    }
+    for i in 0..w {
+        f.push((b >> i) & 1 == 1);
+    }
+    for i in 0..w {
+        f.push((a_prev >> i) & 1 == 1);
+    }
+    for i in 0..w {
+        f.push((b_prev >> i) & 1 == 1);
+    }
+    f
+}
+
+fn bit_features(base: &[bool], gold_prev_bit: bool, gold_bit: bool) -> Vec<bool> {
+    let mut f = Vec::with_capacity(base.len() + 2);
+    f.extend_from_slice(base);
+    f.push(gold_prev_bit);
+    f.push(gold_bit);
+    f
+}
+
+fn pack(features: &[bool]) -> Vec<u64> {
+    let mut words = vec![0u64; features.len().div_ceil(64)];
+    for (i, &f) in features.iter().enumerate() {
+        if f {
+            words[i / 64] |= 1 << (i % 64);
+        }
+    }
+    words
+}
+
+impl TimingErrorPredictor {
+    /// Trains one classifier per output bit from stream-ordered cycles.
+    ///
+    /// `width` is the adder operand width; outputs cover `width + 1` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is empty or `width` is not in `1..=63`.
+    #[must_use]
+    pub fn train(cycles: &[CyclePair], width: u32, config: &PredictorConfig) -> Self {
+        assert!(!cycles.is_empty(), "cannot train on an empty stream");
+        assert!(width > 0 && width <= 63, "width must be in 1..=63");
+        let out_bits = width + 1;
+        let bases: Vec<Vec<bool>> = cycles
+            .iter()
+            .map(|c| base_features(width, c.a, c.b, c.a_prev, c.b_prev))
+            .collect();
+
+        let models = (0..out_bits)
+            .map(|n| {
+                let labels: Vec<bool> =
+                    cycles.iter().map(|c| (c.flips >> n) & 1 == 1).collect();
+                let first = labels[0];
+                if labels.iter().all(|&l| l == first) {
+                    return BitModel::Constant(first);
+                }
+                let mut dataset = Dataset::new(feature_count(width));
+                for (cycle, base) in cycles.iter().zip(&bases) {
+                    let features = bit_features(
+                        base,
+                        (cycle.gold_prev >> n) & 1 == 1,
+                        (cycle.gold >> n) & 1 == 1,
+                    );
+                    dataset.push(&features, (cycle.flips >> n) & 1 == 1);
+                }
+                let indices: Vec<usize> = (0..dataset.len()).collect();
+                let forest_config = ForestConfig {
+                    seed: config.forest.seed ^ (u64::from(n) << 32),
+                    ..config.forest
+                };
+                BitModel::Forest(RandomForest::fit(&dataset, &indices, &forest_config))
+            })
+            .collect();
+        Self {
+            width,
+            out_bits,
+            models,
+        }
+    }
+
+    /// Adder operand width.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of predicted output bit positions (`width + 1`).
+    #[must_use]
+    pub fn out_bits(&self) -> u32 {
+        self.out_bits
+    }
+
+    /// Number of bit positions that required a trained forest (vs constant
+    /// prediction).
+    #[must_use]
+    pub fn trained_bits(&self) -> usize {
+        self.models
+            .iter()
+            .filter(|m| matches!(m, BitModel::Forest(_)))
+            .count()
+    }
+
+    /// Predicts the timing-class vector (bit `n` set = predicted
+    /// timing-erroneous) for one cycle.
+    #[must_use]
+    pub fn predict_flips(&self, cycle: &CyclePair) -> u64 {
+        let base = base_features(self.width, cycle.a, cycle.b, cycle.a_prev, cycle.b_prev);
+        let mut flips = 0u64;
+        for n in 0..self.out_bits {
+            let erroneous = match &self.models[n as usize] {
+                BitModel::Constant(c) => *c,
+                BitModel::Forest(forest) => {
+                    let features = bit_features(
+                        &base,
+                        (cycle.gold_prev >> n) & 1 == 1,
+                        (cycle.gold >> n) & 1 == 1,
+                    );
+                    forest.predict(&pack(&features))
+                }
+            };
+            if erroneous {
+                flips |= 1 << n;
+            }
+        }
+        flips
+    }
+
+    /// Deduces the predicted overclocked output: the golden output with the
+    /// predicted flips applied.
+    #[must_use]
+    pub fn predict_silver(&self, cycle: &CyclePair) -> u64 {
+        cycle.gold ^ self.predict_flips(cycle)
+    }
+
+    /// Serializes the whole per-bit model as plain text: a header plus one
+    /// `bit <n> constant <0|1>` line or `bit <n> forest` + forest block per
+    /// output position.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use isa_learn::{CyclePair, PredictorConfig, TimingErrorPredictor};
+    ///
+    /// # fn main() -> Result<(), isa_learn::serialize::ParseModelError> {
+    /// let raw: Vec<(u64, u64, u64, u64)> = (0..50).map(|i| (i, i, 2 * i, 0)).collect();
+    /// let cycles = CyclePair::from_stream(&raw);
+    /// let model = TimingErrorPredictor::train(&cycles, 8, &PredictorConfig::default());
+    /// let text = model.to_text();
+    /// let reloaded = TimingErrorPredictor::from_text(&text)?;
+    /// assert_eq!(reloaded.predict_flips(&cycles[3]), model.predict_flips(&cycles[3]));
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "timing-error-predictor width={} out_bits={}\n",
+            self.width, self.out_bits
+        );
+        for (n, model) in self.models.iter().enumerate() {
+            match model {
+                BitModel::Constant(c) => {
+                    let _ = writeln!(out, "bit {n} constant {}", u8::from(*c));
+                }
+                BitModel::Forest(forest) => {
+                    let _ = writeln!(out, "bit {n} forest");
+                    out.push_str(&forest.to_text());
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a model serialized by [`Self::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::serialize::ParseModelError`] on malformed input.
+    pub fn from_text(text: &str) -> Result<Self, crate::serialize::ParseModelError> {
+        use crate::serialize::ParseModelError;
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty())
+            .peekable();
+        let (line_no, header) = lines
+            .next()
+            .ok_or_else(|| ParseModelError::new(0, "empty model"))?;
+        let herr = |msg: &str| ParseModelError::new(line_no + 1, msg.to_owned());
+        let rest = header
+            .strip_prefix("timing-error-predictor width=")
+            .ok_or_else(|| herr("bad model header"))?;
+        let (width_s, out_s) = rest
+            .split_once(" out_bits=")
+            .ok_or_else(|| herr("missing out_bits"))?;
+        let width: u32 = width_s.parse().map_err(|_| herr("bad width"))?;
+        let out_bits: u32 = out_s.trim().parse().map_err(|_| herr("bad out_bits"))?;
+        if width == 0 || width > 63 || out_bits != width + 1 {
+            return Err(herr("inconsistent width/out_bits"));
+        }
+        let mut models = Vec::with_capacity(out_bits as usize);
+        for n in 0..out_bits {
+            let (bn, line) = lines
+                .next()
+                .ok_or_else(|| ParseModelError::new(0, format!("missing bit {n}")))?;
+            let berr = |msg: &str| ParseModelError::new(bn + 1, msg.to_owned());
+            let mut parts = line.split_whitespace();
+            if parts.next() != Some("bit") {
+                return Err(berr("expected 'bit'"));
+            }
+            let index: u32 = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| berr("bad bit index"))?;
+            if index != n {
+                return Err(berr("bit indices out of order"));
+            }
+            match parts.next() {
+                Some("constant") => {
+                    let v: u8 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| berr("bad constant value"))?;
+                    models.push(BitModel::Constant(v != 0));
+                }
+                Some("forest") => {
+                    models.push(BitModel::Forest(RandomForest::from_lines(&mut lines)?));
+                }
+                _ => return Err(berr("expected 'constant' or 'forest'")),
+            }
+        }
+        Ok(Self {
+            width,
+            out_bits,
+            models,
+        })
+    }
+
+    /// Aggregated feature importance across all trained bit models,
+    /// grouped by the paper's feature families.
+    #[must_use]
+    pub fn importance_summary(&self) -> ImportanceSummary {
+        let w = self.width as usize;
+        let mut summary = ImportanceSummary::default();
+        let mut trained = 0usize;
+        for model in &self.models {
+            let BitModel::Forest(forest) = model else {
+                continue;
+            };
+            trained += 1;
+            let imp = forest.feature_importances();
+            summary.current_inputs += imp[..2 * w].iter().sum::<f64>();
+            summary.previous_inputs += imp[2 * w..4 * w].iter().sum::<f64>();
+            summary.previous_gold_bit += imp[4 * w];
+            summary.current_gold_bit += imp[4 * w + 1];
+        }
+        if trained > 0 {
+            let n = trained as f64;
+            summary.current_inputs /= n;
+            summary.previous_inputs /= n;
+            summary.previous_gold_bit /= n;
+            summary.current_gold_bit /= n;
+        }
+        summary
+    }
+}
+
+/// Feature importance grouped by the paper's feature families
+/// (`{x[t], x[t-1], yRTL_n[t-1], yRTL_n[t]}`), averaged over the trained
+/// bit models. Sums to ~1 when any bit trained a forest.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ImportanceSummary {
+    /// Share attributed to the current input vector `x[t]`.
+    pub current_inputs: f64,
+    /// Share attributed to the previous input vector `x[t-1]`.
+    pub previous_inputs: f64,
+    /// Share attributed to the bit's previous golden value `yRTL_n[t-1]`.
+    pub previous_gold_bit: f64,
+    /// Share attributed to the bit's current golden value `yRTL_n[t]`.
+    pub current_gold_bit: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic overclocked adder: bit 8 flips whenever a short carry
+    /// pattern is present AND the previous cycle had different operands
+    /// (path freshly sensitized). Occurs on ~6% of cycles so that a
+    /// constant-false predictor cannot reach the accuracy bar.
+    fn synthetic_stream(n: usize, width: u32) -> Vec<CyclePair> {
+        let mask = (1u64 << width) - 1;
+        let mut seed = 0xACE5u64;
+        let mut raw = Vec::with_capacity(n);
+        let mut prev_inputs = (0u64, 0u64);
+        for _ in 0..n {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            let a = seed & mask;
+            let b = (seed >> 17) & mask;
+            let gold = (a + b) & ((1 << (width + 1)) - 1);
+            let chain_crosses = (a & 0x7) == 0x7 && (b & 1) == 1;
+            let fresh = prev_inputs != (a, b);
+            let flips = if chain_crosses && fresh { 1 << 8 } else { 0 };
+            raw.push((a, b, gold, flips));
+            prev_inputs = (a, b);
+        }
+        CyclePair::from_stream(&raw)
+    }
+
+    #[test]
+    fn from_stream_threads_previous_cycle() {
+        let cycles = CyclePair::from_stream(&[(1, 2, 3, 0), (4, 5, 9, 1)]);
+        assert_eq!(cycles[0].a_prev, 0);
+        assert_eq!(cycles[1].a_prev, 1);
+        assert_eq!(cycles[1].b_prev, 2);
+        assert_eq!(cycles[1].gold_prev, 3);
+    }
+
+    #[test]
+    fn error_free_stream_trains_constant_models() {
+        let raw: Vec<(u64, u64, u64, u64)> =
+            (0..200).map(|i| (i, i + 1, 2 * i + 1, 0)).collect();
+        let cycles = CyclePair::from_stream(&raw);
+        let predictor = TimingErrorPredictor::train(&cycles, 16, &PredictorConfig::default());
+        assert_eq!(predictor.trained_bits(), 0);
+        for c in &cycles {
+            assert_eq!(predictor.predict_flips(c), 0);
+            assert_eq!(predictor.predict_silver(c), c.gold);
+        }
+    }
+
+    #[test]
+    fn learns_pattern_dependent_bit_errors() {
+        use crate::forest::{FeatureSubsample, ForestConfig};
+        let cycles = synthetic_stream(4000, 16);
+        let (train, test) = cycles.split_at(3000);
+        // Examine all features per split: the unit-scale signal is a sparse
+        // conjunction the sqrt-subsample needs far more trees to find.
+        let config = PredictorConfig {
+            forest: ForestConfig {
+                features: FeatureSubsample::All,
+                ..ForestConfig::default()
+            },
+        };
+        let predictor = TimingErrorPredictor::train(train, 16, &config);
+        assert_eq!(predictor.trained_bits(), 1, "only bit 8 misbehaves");
+        let mut correct = 0usize;
+        let mut errors_seen = 0usize;
+        for c in test {
+            let predicted = predictor.predict_flips(c);
+            if predicted == c.flips {
+                correct += 1;
+            }
+            if c.flips != 0 {
+                errors_seen += 1;
+            }
+        }
+        assert!(errors_seen > 0, "test set must contain errors");
+        let acc = correct as f64 / test.len() as f64;
+        assert!(acc > 0.97, "cycle-level accuracy {acc}");
+    }
+
+    #[test]
+    fn predicted_silver_applies_flips_to_gold() {
+        let cycles = synthetic_stream(2000, 16);
+        let predictor = TimingErrorPredictor::train(&cycles, 16, &PredictorConfig::default());
+        for c in cycles.iter().take(50) {
+            assert_eq!(
+                predictor.predict_silver(c),
+                c.gold ^ predictor.predict_flips(c)
+            );
+        }
+    }
+
+    #[test]
+    fn out_bits_is_width_plus_one() {
+        let cycles = synthetic_stream(100, 16);
+        let predictor = TimingErrorPredictor::train(&cycles, 16, &PredictorConfig::default());
+        assert_eq!(predictor.out_bits(), 17);
+        assert_eq!(predictor.width(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty stream")]
+    fn empty_training_panics() {
+        let _ = TimingErrorPredictor::train(&[], 16, &PredictorConfig::default());
+    }
+}
+
+#[cfg(test)]
+mod importance_tests {
+    use super::*;
+
+    #[test]
+    fn importance_concentrates_on_informative_features() {
+        // Errors depend only on current input bits (a0..a2, b0): the
+        // current-inputs family must dominate the summary.
+        let mask = 0xFFFFu64;
+        let mut seed = 0xFACEu64;
+        let mut raw = Vec::new();
+        for _ in 0..3000 {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            let a = seed & mask;
+            let b = (seed >> 17) & mask;
+            let gold = (a + b) & 0x1FFFF;
+            let flips = if (a & 0x7) == 0x7 && (b & 1) == 1 { 1 << 8 } else { 0 };
+            raw.push((a, b, gold, flips));
+        }
+        let cycles = CyclePair::from_stream(&raw);
+        let model = TimingErrorPredictor::train(&cycles, 16, &PredictorConfig::default());
+        let summary = model.importance_summary();
+        let total = summary.current_inputs
+            + summary.previous_inputs
+            + summary.previous_gold_bit
+            + summary.current_gold_bit;
+        assert!((total - 1.0).abs() < 1e-6, "normalized total {total}");
+        assert!(
+            summary.current_inputs > 0.5,
+            "current inputs must dominate: {summary:?}"
+        );
+    }
+
+    #[test]
+    fn error_free_model_has_empty_summary() {
+        let raw: Vec<(u64, u64, u64, u64)> = (0..100).map(|i| (i, i, 2 * i, 0)).collect();
+        let cycles = CyclePair::from_stream(&raw);
+        let model = TimingErrorPredictor::train(&cycles, 8, &PredictorConfig::default());
+        let s = model.importance_summary();
+        assert_eq!(s.current_inputs, 0.0);
+        assert_eq!(s.previous_inputs, 0.0);
+    }
+}

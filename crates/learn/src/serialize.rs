@@ -1,0 +1,45 @@
+//! Plain-text model persistence.
+//!
+//! A trained [`crate::TimingErrorPredictor`] is a per-(design, clock)
+//! artifact the paper's flow would train offline and deploy online; this
+//! module defines the shared error type for the line-oriented text format
+//! implemented by [`crate::DecisionTree::to_text`],
+//! [`crate::RandomForest::to_text`] and
+//! [`crate::TimingErrorPredictor::to_text`]. The format is
+//! human-inspectable and dependency-free (see DESIGN.md §7 on avoiding a
+//! serde dependency).
+
+use std::error::Error;
+use std::fmt;
+
+/// Error parsing a serialized model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseModelError {
+    line: usize,
+    message: String,
+}
+
+impl ParseModelError {
+    /// Creates an error at a 1-based line number.
+    #[must_use]
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number of the offending input.
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "model parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseModelError {}

@@ -1,0 +1,100 @@
+//! Property-based tests of the paper's metrics.
+
+use isa_metrics::{abper, avpe, floor, AbperAccumulator, AvpeAccumulator, PAPER_FLOOR};
+use proptest::prelude::*;
+
+proptest! {
+    /// ABPER is a rate: always within [0, 1].
+    #[test]
+    fn abper_is_a_rate(
+        predicted in prop::collection::vec(any::<u64>(), 1..100),
+        real_seed in any::<u64>(),
+    ) {
+        let real: Vec<u64> = predicted
+            .iter()
+            .map(|p| p ^ real_seed)
+            .collect();
+        let masked_pred: Vec<u64> = predicted.iter().map(|p| p & 0x1_FFFF_FFFF).collect();
+        let masked_real: Vec<u64> = real.iter().map(|r| r & 0x1_FFFF_FFFF).collect();
+        let v = abper(&masked_pred, &masked_real, 33);
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    /// Perfect prediction gives exactly zero, for any stream.
+    #[test]
+    fn abper_zero_iff_equal(values in prop::collection::vec(any::<u64>(), 1..100)) {
+        prop_assert_eq!(abper(&values, &values, 64), 0.0);
+    }
+
+    /// ABPER is symmetric in its arguments (|pred - real| in Eq. 1).
+    #[test]
+    fn abper_symmetry(
+        a in prop::collection::vec(any::<u64>(), 1..60),
+        b_seed in any::<u64>(),
+    ) {
+        let b: Vec<u64> = a.iter().map(|x| x.rotate_left((b_seed % 64) as u32)).collect();
+        prop_assert_eq!(abper(&a, &b, 64), abper(&b, &a, 64));
+    }
+
+    /// ABPER over a single cycle equals popcount(diff)/bits.
+    #[test]
+    fn abper_single_cycle_closed_form(p in any::<u64>(), r in any::<u64>()) {
+        let v = abper(&[p], &[r], 64);
+        let expected = (p ^ r).count_ones() as f64 / 64.0;
+        prop_assert!((v - expected).abs() < 1e-12);
+    }
+
+    /// AVPE is non-negative and zero iff all values are predicted exactly.
+    #[test]
+    fn avpe_nonnegative(
+        real in prop::collection::vec(1u64..u32::MAX as u64, 1..100),
+        flip in any::<u32>(),
+    ) {
+        let predicted: Vec<u64> = real.iter().map(|r| r ^ u64::from(flip)).collect();
+        let v = avpe(&predicted, &real);
+        prop_assert!(v >= 0.0);
+        if flip == 0 {
+            prop_assert_eq!(v, 0.0);
+        }
+    }
+
+    /// AVPE of a single cycle matches the relative-deviation formula.
+    #[test]
+    fn avpe_single_cycle_closed_form(pred in any::<u32>(), real in 1u32..u32::MAX) {
+        let v = avpe(&[pred as u64], &[real as u64]);
+        let expected = (f64::from(pred) - f64::from(real)).abs() / f64::from(real);
+        prop_assert!((v - expected).abs() < 1e-9);
+    }
+
+    /// The display floor never decreases a value and never goes below the
+    /// paper's 1e-6.
+    #[test]
+    fn floor_contract(v in 0.0f64..10.0) {
+        let f = floor(v);
+        prop_assert!(f >= v);
+        prop_assert!(f >= PAPER_FLOOR);
+        if v >= PAPER_FLOOR {
+            prop_assert_eq!(f, v);
+        }
+    }
+
+    /// Accumulator composition: recording streams piecewise equals the
+    /// one-shot functions.
+    #[test]
+    fn accumulators_match_oneshot(
+        pred in prop::collection::vec(any::<u64>(), 1..50),
+        xor in any::<u64>(),
+    ) {
+        let real: Vec<u64> = pred.iter().map(|p| p ^ (xor & 0xFF)).collect();
+        let mut acc = AbperAccumulator::new(33);
+        let mut vacc = AvpeAccumulator::new();
+        for (p, r) in pred.iter().zip(&real) {
+            acc.record(p & 0x1_FFFF_FFFF, r & 0x1_FFFF_FFFF);
+            vacc.record(*p, *r);
+        }
+        let masked_p: Vec<u64> = pred.iter().map(|p| p & 0x1_FFFF_FFFF).collect();
+        let masked_r: Vec<u64> = real.iter().map(|r| r & 0x1_FFFF_FFFF).collect();
+        prop_assert!((acc.abper() - abper(&masked_p, &masked_r, 33)).abs() < 1e-12);
+        prop_assert!((vacc.avpe() - avpe(&pred, &real)).abs() < 1e-12);
+    }
+}

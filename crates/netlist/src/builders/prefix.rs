@@ -1,0 +1,279 @@
+//! Parallel-prefix adders: Kogge-Stone, Brent-Kung and Sklansky.
+//!
+//! All three compute group generate/propagate pairs over a prefix network
+//! and differ only in the network shape: Kogge-Stone is the fastest and
+//! largest (minimal depth, fanout 2), Brent-Kung the smallest and slowest
+//! of the family (≈2·log2 n levels), Sklansky in between (log2 n levels but
+//! high fanout, which the load-dependent delay model penalizes —
+//! realistically).
+
+use crate::graph::{NetId, NetlistBuilder};
+
+use super::{pg_init, sum_from_carries, AdderNetlist};
+
+/// Prefix network shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrefixScheme {
+    /// Minimal-depth, fanout-2, O(n log n) nodes.
+    KoggeStone,
+    /// Minimal-node, ≈2 log2(n) depth.
+    BrentKung,
+    /// Log-depth divide-and-conquer with growing fanout.
+    Sklansky,
+}
+
+impl PrefixScheme {
+    /// Human-readable name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PrefixScheme::KoggeStone => "kogge_stone",
+            PrefixScheme::BrentKung => "brent_kung",
+            PrefixScheme::Sklansky => "sklansky",
+        }
+    }
+}
+
+/// `(G, P) = (Gh | Ph·Gl, Ph·Pl)` — the prefix combine operator.
+fn combine(
+    b: &mut NetlistBuilder,
+    gh: NetId,
+    ph: NetId,
+    gl: NetId,
+    pl: NetId,
+) -> (NetId, NetId) {
+    (b.ao21(ph, gl, gh), b.and2(ph, pl))
+}
+
+/// Builds the prefix carry network over per-bit (g, p) pairs and returns
+/// `G[i:0]`/`P[i:0]` for every bit position `i`.
+fn prefix_network(
+    b: &mut NetlistBuilder,
+    scheme: PrefixScheme,
+    g0: &[NetId],
+    p0: &[NetId],
+) -> (Vec<NetId>, Vec<NetId>) {
+    let n = g0.len();
+    let mut g = g0.to_vec();
+    let mut p = p0.to_vec();
+    match scheme {
+        PrefixScheme::KoggeStone => {
+            let mut d = 1;
+            while d < n {
+                let (prev_g, prev_p) = (g.clone(), p.clone());
+                for i in d..n {
+                    let (ng, np) = combine(b, prev_g[i], prev_p[i], prev_g[i - d], prev_p[i - d]);
+                    g[i] = ng;
+                    p[i] = np;
+                }
+                d *= 2;
+            }
+        }
+        PrefixScheme::BrentKung => {
+            assert!(n.is_power_of_two(), "Brent-Kung requires power-of-two width");
+            // Up-sweep.
+            let mut d = 1;
+            while 2 * d <= n {
+                let mut i = 2 * d - 1;
+                while i < n {
+                    let (ng, np) = combine(b, g[i], p[i], g[i - d], p[i - d]);
+                    g[i] = ng;
+                    p[i] = np;
+                    i += 2 * d;
+                }
+                d *= 2;
+            }
+            // Down-sweep.
+            d = n / 4;
+            while d >= 1 {
+                let mut i = 3 * d - 1;
+                while i < n {
+                    let (ng, np) = combine(b, g[i], p[i], g[i - d], p[i - d]);
+                    g[i] = ng;
+                    p[i] = np;
+                    i += 2 * d;
+                }
+                d /= 2;
+            }
+        }
+        PrefixScheme::Sklansky => {
+            let mut level = 0usize;
+            while (1usize << level) < n {
+                let step = 1usize << level;
+                for i in 0..n {
+                    if i & step != 0 {
+                        let j = (i & !(2 * step - 1)) + step - 1;
+                        let (ng, np) = combine(b, g[i], p[i], g[j], p[j]);
+                        g[i] = ng;
+                        p[i] = np;
+                    }
+                }
+                level += 1;
+            }
+        }
+    }
+    (g, p)
+}
+
+/// Builds a prefix sum/carry structure over operand bit slices.
+///
+/// Returns the sum bits and the carry-out. A `cin` of `None` is a constant
+/// 0 and costs nothing; a real carry-in adds one AO21 per carry.
+///
+/// # Panics
+///
+/// Panics on empty/mismatched operands, or a non-power-of-two width with
+/// [`PrefixScheme::BrentKung`].
+pub(crate) fn prefix_chain(
+    b: &mut NetlistBuilder,
+    scheme: PrefixScheme,
+    a_bits: &[NetId],
+    b_bits: &[NetId],
+    cin: Option<NetId>,
+) -> (Vec<NetId>, NetId) {
+    assert!(!a_bits.is_empty(), "prefix adder needs at least one bit");
+    assert_eq!(a_bits.len(), b_bits.len(), "operand width mismatch");
+    let n = a_bits.len();
+    let (g0, p0) = pg_init(b, a_bits, b_bits);
+    let (gg, gp) = prefix_network(b, scheme, &g0, &p0);
+
+    // Carry into bit i (i >= 1) is G[i-1:0], plus the cin term when present:
+    // c_i = G[i-1:0] | P[i-1:0] & cin.
+    let mut carries: Vec<Option<NetId>> = Vec::with_capacity(n);
+    carries.push(cin);
+    for i in 1..n {
+        let c = match cin {
+            None => gg[i - 1],
+            Some(c0) => b.ao21(gp[i - 1], c0, gg[i - 1]),
+        };
+        carries.push(Some(c));
+    }
+    let cout = match cin {
+        None => gg[n - 1],
+        Some(c0) => b.ao21(gp[n - 1], c0, gg[n - 1]),
+    };
+    let sums = sum_from_carries(b, &p0, &carries);
+    (sums, cout)
+}
+
+/// Builds a standalone `width`-bit parallel-prefix adder.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or above 63, or if the scheme requires a
+/// power-of-two width and `width` is not one.
+#[must_use]
+pub fn build(width: u32, scheme: PrefixScheme) -> AdderNetlist {
+    assert!(width > 0 && width <= 63, "width must be in 1..=63");
+    let mut b = NetlistBuilder::new(format!("{}{width}", scheme.name()));
+    let a_bits = b.input_bus("a", width);
+    let b_bits = b.input_bus("b", width);
+    let (sums, cout) = prefix_chain(&mut b, scheme, &a_bits, &b_bits, None);
+    b.mark_output_bus(&sums, "sum");
+    b.mark_output(cout, format!("sum[{width}]"));
+    AdderNetlist::from_netlist(b.finish().expect("prefix adder is well-formed"), width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::test_support::check_adder;
+    use crate::builders::ripple;
+    use crate::cell::CellLibrary;
+    use crate::sta::StaReport;
+    use crate::timing::DelayAnnotation;
+
+    fn critical(adder: &AdderNetlist) -> f64 {
+        let lib = CellLibrary::industrial_65nm();
+        StaReport::analyze(
+            adder.netlist(),
+            &DelayAnnotation::nominal(adder.netlist(), &lib),
+        )
+        .critical_ps()
+    }
+
+    #[test]
+    fn kogge_stone_exhaustive_small() {
+        check_adder(&build(4, PrefixScheme::KoggeStone));
+        check_adder(&build(5, PrefixScheme::KoggeStone)); // non-power-of-two
+    }
+
+    #[test]
+    fn brent_kung_exhaustive_small() {
+        check_adder(&build(4, PrefixScheme::BrentKung));
+    }
+
+    #[test]
+    fn sklansky_exhaustive_small() {
+        check_adder(&build(4, PrefixScheme::Sklansky));
+        check_adder(&build(6, PrefixScheme::Sklansky));
+    }
+
+    #[test]
+    fn all_schemes_32_bit_randomized() {
+        for scheme in [
+            PrefixScheme::KoggeStone,
+            PrefixScheme::BrentKung,
+            PrefixScheme::Sklansky,
+        ] {
+            check_adder(&build(32, scheme));
+        }
+    }
+
+    #[test]
+    fn schemes_16_and_8_bit() {
+        for scheme in [
+            PrefixScheme::KoggeStone,
+            PrefixScheme::BrentKung,
+            PrefixScheme::Sklansky,
+        ] {
+            check_adder(&build(8, scheme));
+            check_adder(&build(16, scheme));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn brent_kung_rejects_odd_width() {
+        let _ = build(12, PrefixScheme::BrentKung);
+    }
+
+    #[test]
+    fn prefix_beats_ripple_delay_at_32() {
+        let r = critical(&ripple::build(32));
+        for scheme in [
+            PrefixScheme::KoggeStone,
+            PrefixScheme::BrentKung,
+            PrefixScheme::Sklansky,
+        ] {
+            let p = critical(&build(32, scheme));
+            assert!(p < r / 2.0, "{} not much faster than ripple", scheme.name());
+        }
+    }
+
+    #[test]
+    fn kogge_stone_is_fastest_and_biggest() {
+        let ks = build(32, PrefixScheme::KoggeStone);
+        let bk = build(32, PrefixScheme::BrentKung);
+        assert!(critical(&ks) < critical(&bk));
+        assert!(ks.netlist().cell_count() > bk.netlist().cell_count());
+    }
+
+    #[test]
+    fn carry_in_variant_is_correct() {
+        // Wrap prefix_chain with an explicit carry-in and check a+b+1.
+        let mut b = NetlistBuilder::new("ks_cin");
+        let a_bits = b.input_bus("a", 8);
+        let b_bits = b.input_bus("b", 8);
+        let one = b.const1();
+        let (sums, cout) =
+            prefix_chain(&mut b, PrefixScheme::KoggeStone, &a_bits, &b_bits, Some(one));
+        b.mark_output_bus(&sums, "sum");
+        b.mark_output(cout, "sum[8]");
+        let nl = b.finish().unwrap();
+        let adder = AdderNetlist::from_netlist(nl, 8);
+        for (x, y) in [(0u64, 0u64), (255, 255), (127, 1), (200, 55)] {
+            assert_eq!(adder.add(x, y), x + y + 1);
+        }
+    }
+}

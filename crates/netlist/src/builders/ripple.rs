@@ -1,0 +1,114 @@
+//! Ripple-carry adder: minimal area, linear delay.
+
+use crate::graph::{NetId, NetlistBuilder};
+
+use super::AdderNetlist;
+
+/// Builds the ripple-carry sum/carry chain over the given operand bits.
+///
+/// `cin` of `None` means a constant-0 carry-in, letting the first stage
+/// degrade to a half adder. Returns the sum bits and the carry-out.
+///
+/// # Panics
+///
+/// Panics if the operand slices are empty or of different lengths.
+pub(crate) fn ripple_chain(
+    b: &mut NetlistBuilder,
+    a_bits: &[NetId],
+    b_bits: &[NetId],
+    cin: Option<NetId>,
+) -> (Vec<NetId>, NetId) {
+    assert!(!a_bits.is_empty(), "ripple chain needs at least one bit");
+    assert_eq!(a_bits.len(), b_bits.len(), "operand width mismatch");
+    let mut sums = Vec::with_capacity(a_bits.len());
+    let mut carry = cin;
+    for (&x, &y) in a_bits.iter().zip(b_bits) {
+        match carry {
+            None => {
+                // Half adder.
+                sums.push(b.xor2(x, y));
+                carry = Some(b.and2(x, y));
+            }
+            Some(c) => {
+                // Full adder.
+                sums.push(b.xor3(x, y, c));
+                carry = Some(b.maj3(x, y, c));
+            }
+        }
+    }
+    (sums, carry.expect("at least one bit processed"))
+}
+
+/// Builds a standalone `width`-bit ripple-carry adder.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or above 63.
+#[must_use]
+pub fn build(width: u32) -> AdderNetlist {
+    assert!(width > 0 && width <= 63, "width must be in 1..=63");
+    let mut b = NetlistBuilder::new(format!("ripple{width}"));
+    let a_bits = b.input_bus("a", width);
+    let b_bits = b.input_bus("b", width);
+    let (sums, cout) = ripple_chain(&mut b, &a_bits, &b_bits, None);
+    b.mark_output_bus(&sums, "sum");
+    b.mark_output(cout, format!("sum[{width}]"));
+    AdderNetlist::from_netlist(b.finish().expect("ripple adder is well-formed"), width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::test_support::check_adder;
+    use crate::cell::CellLibrary;
+    use crate::sta::StaReport;
+    use crate::timing::DelayAnnotation;
+
+    #[test]
+    fn ripple_4_exhaustive() {
+        check_adder(&build(4));
+    }
+
+    #[test]
+    fn ripple_8_and_16() {
+        check_adder(&build(8));
+        check_adder(&build(16));
+    }
+
+    #[test]
+    fn ripple_32_randomized() {
+        check_adder(&build(32));
+    }
+
+    #[test]
+    fn ripple_1_bit() {
+        check_adder(&build(1));
+    }
+
+    #[test]
+    fn delay_grows_linearly() {
+        let lib = CellLibrary::industrial_65nm();
+        let d8 = {
+            let a = build(8);
+            StaReport::analyze(a.netlist(), &DelayAnnotation::nominal(a.netlist(), &lib))
+                .critical_ps()
+        };
+        let d32 = {
+            let a = build(32);
+            StaReport::analyze(a.netlist(), &DelayAnnotation::nominal(a.netlist(), &lib))
+                .critical_ps()
+        };
+        let ratio = d32 / d8;
+        assert!(
+            (3.0..5.0).contains(&ratio),
+            "32-bit ripple should be ~4x slower than 8-bit, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn cell_count_is_linear_and_small() {
+        let a = build(32);
+        // 2 cells for the half adder + 2 per remaining bit.
+        assert_eq!(a.netlist().cell_count(), 2 + 31 * 2);
+    }
+}

@@ -1,0 +1,721 @@
+//! Gate-level netlist representation.
+//!
+//! A [`Netlist`] is a DAG of standard cells over single-bit nets. The
+//! [`NetlistBuilder`] can only reference nets that already exist, so built
+//! netlists are combinational-loop-free *by construction* and the cell
+//! creation order is a valid topological order; [`Netlist::validate`]
+//! re-checks these invariants for netlists obtained by other means.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::cell::{CellKind, CellLibrary};
+
+/// Identifier of a single-bit net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(u32);
+
+impl NetId {
+    /// Index into per-net storage.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a storage index (for iteration over a
+    /// [`Netlist`]'s nets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        Self(u32::try_from(index).expect("net index overflow"))
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a cell instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(u32);
+
+impl CellId {
+    /// Index into per-cell storage.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a storage index (for iteration over a
+    /// [`Netlist`]'s cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        Self(u32::try_from(index).expect("cell index overflow"))
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// One cell instance: a kind, its input nets and its output net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// The cell's logic function.
+    pub kind: CellKind,
+    /// Input nets, in the pin order documented on [`CellKind`].
+    pub inputs: Vec<NetId>,
+    /// The net driven by this cell.
+    pub output: NetId,
+}
+
+/// What drives a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetDriver {
+    /// The net is a primary input.
+    Input,
+    /// The net is driven by a cell.
+    Cell(CellId),
+}
+
+/// Structural validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A cell references a net created after it (would break topological
+    /// evaluation) — impossible via the builder, checked for foreign
+    /// netlists.
+    ForwardReference {
+        /// The offending cell.
+        cell: CellId,
+    },
+    /// The netlist declares no primary outputs.
+    NoOutputs,
+    /// A cell has the wrong number of input pins.
+    BadArity {
+        /// The offending cell.
+        cell: CellId,
+        /// Expected pin count.
+        expected: usize,
+        /// Actual pin count.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::ForwardReference { cell } => {
+                write!(f, "cell {cell} reads a net defined after it")
+            }
+            NetlistError::NoOutputs => write!(f, "netlist declares no primary outputs"),
+            NetlistError::BadArity {
+                cell,
+                expected,
+                actual,
+            } => write!(f, "cell {cell} has {actual} inputs, expected {expected}"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+/// An immutable, validated gate-level netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Netlist {
+    name: String,
+    drivers: Vec<NetDriver>,
+    net_names: Vec<Option<String>>,
+    cells: Vec<Cell>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    output_names: Vec<String>,
+    fanouts: Vec<Vec<CellId>>,
+}
+
+impl Netlist {
+    /// Design name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nets.
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.drivers.len()
+    }
+
+    /// Number of cell instances (excluding nothing; constants count).
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The cell instances in topological (creation) order.
+    #[must_use]
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// A specific cell.
+    #[must_use]
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// Primary input nets, in declaration order.
+    #[must_use]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary output nets, in declaration order.
+    #[must_use]
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Name of the `i`-th primary output.
+    #[must_use]
+    pub fn output_name(&self, i: usize) -> &str {
+        &self.output_names[i]
+    }
+
+    /// Driver of a net.
+    #[must_use]
+    pub fn driver(&self, net: NetId) -> NetDriver {
+        self.drivers[net.index()]
+    }
+
+    /// Cells reading a net.
+    #[must_use]
+    pub fn fanout(&self, net: NetId) -> &[CellId] {
+        &self.fanouts[net.index()]
+    }
+
+    /// Fanout count of a net, counting a primary-output connection as one
+    /// extra load.
+    #[must_use]
+    pub fn load_count(&self, net: NetId) -> usize {
+        let po = usize::from(self.outputs.contains(&net));
+        self.fanouts[net.index()].len() + po
+    }
+
+    /// Net name, if one was assigned.
+    #[must_use]
+    pub fn net_name(&self, net: NetId) -> Option<&str> {
+        self.net_names[net.index()].as_deref()
+    }
+
+    /// Total area in NAND2-equivalent units under a library.
+    #[must_use]
+    pub fn area(&self, lib: &CellLibrary) -> f64 {
+        self.cells.iter().map(|c| lib.area(c.kind)).sum()
+    }
+
+    /// Histogram of cell kinds.
+    #[must_use]
+    pub fn kind_histogram(&self) -> HashMap<CellKind, usize> {
+        let mut h = HashMap::new();
+        for c in &self.cells {
+            *h.entry(c.kind).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Re-checks the structural invariants (topological creation order,
+    /// pin arities, outputs present).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        if self.outputs.is_empty() {
+            return Err(NetlistError::NoOutputs);
+        }
+        for (i, cell) in self.cells.iter().enumerate() {
+            let id = CellId(i as u32);
+            if cell.inputs.len() != cell.kind.arity() {
+                return Err(NetlistError::BadArity {
+                    cell: id,
+                    expected: cell.kind.arity(),
+                    actual: cell.inputs.len(),
+                });
+            }
+            for &input in &cell.inputs {
+                if input.index() >= cell.output.index() {
+                    return Err(NetlistError::ForwardReference { cell: id });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Zero-delay functional evaluation: returns the value of every net for
+    /// the given primary input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_values.len()` differs from the number of primary
+    /// inputs.
+    #[must_use]
+    pub fn evaluate(&self, input_values: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            input_values.len(),
+            self.inputs.len(),
+            "expected {} input values, got {}",
+            self.inputs.len(),
+            input_values.len()
+        );
+        let mut values = vec![false; self.net_count()];
+        for (net, &v) in self.inputs.iter().zip(input_values) {
+            values[net.index()] = v;
+        }
+        let mut pins = Vec::with_capacity(3);
+        for cell in &self.cells {
+            pins.clear();
+            pins.extend(cell.inputs.iter().map(|n| values[n.index()]));
+            values[cell.output.index()] = cell.kind.eval(&pins);
+        }
+        values
+    }
+
+    /// Evaluates and packs the primary outputs, LSB-first, into a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Self::evaluate`]; additionally if there are more than
+    /// 64 outputs.
+    #[must_use]
+    pub fn evaluate_outputs_u64(&self, input_values: &[bool]) -> u64 {
+        assert!(self.outputs.len() <= 64, "too many outputs for u64 packing");
+        let values = self.evaluate(input_values);
+        let mut out = 0u64;
+        for (i, net) in self.outputs.iter().enumerate() {
+            if values[net.index()] {
+                out |= 1 << i;
+            }
+        }
+        out
+    }
+}
+
+/// Incremental netlist constructor.
+///
+/// # Examples
+///
+/// ```
+/// use isa_netlist::graph::NetlistBuilder;
+///
+/// # fn main() -> Result<(), isa_netlist::graph::NetlistError> {
+/// let mut b = NetlistBuilder::new("half_adder");
+/// let a = b.input("a");
+/// let x = b.input("b");
+/// let sum = b.xor2(a, x);
+/// let carry = b.and2(a, x);
+/// b.mark_output(sum, "sum");
+/// b.mark_output(carry, "carry");
+/// let netlist = b.finish()?;
+/// assert_eq!(netlist.evaluate_outputs_u64(&[true, true]), 0b10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetlistBuilder {
+    name: String,
+    drivers: Vec<NetDriver>,
+    net_names: Vec<Option<String>>,
+    cells: Vec<Cell>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    output_names: Vec<String>,
+    const0: Option<NetId>,
+    const1: Option<NetId>,
+}
+
+impl NetlistBuilder {
+    /// Starts a new design.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            drivers: Vec::new(),
+            net_names: Vec::new(),
+            cells: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            output_names: Vec::new(),
+            const0: None,
+            const1: None,
+        }
+    }
+
+    fn new_net(&mut self, driver: NetDriver, name: Option<String>) -> NetId {
+        let id = NetId(self.drivers.len() as u32);
+        self.drivers.push(driver);
+        self.net_names.push(name);
+        id
+    }
+
+    /// Declares a named primary input.
+    pub fn input(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.new_net(NetDriver::Input, Some(name.into()));
+        self.inputs.push(id);
+        id
+    }
+
+    /// Declares a bus of primary inputs `name[0]..name[width-1]`, LSB first.
+    pub fn input_bus(&mut self, name: &str, width: u32) -> Vec<NetId> {
+        (0..width).map(|i| self.input(format!("{name}[{i}]"))).collect()
+    }
+
+    /// Instantiates a cell and returns its output net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of inputs does not match the cell arity or an
+    /// input net does not exist.
+    pub fn cell(&mut self, kind: CellKind, inputs: &[NetId]) -> NetId {
+        assert_eq!(
+            inputs.len(),
+            kind.arity(),
+            "{kind} expects {} inputs, got {}",
+            kind.arity(),
+            inputs.len()
+        );
+        for net in inputs {
+            assert!(
+                net.index() < self.drivers.len(),
+                "input net {net} does not exist"
+            );
+        }
+        let output = self.new_net(NetDriver::Cell(CellId(self.cells.len() as u32)), None);
+        self.cells.push(Cell {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+        });
+        output
+    }
+
+    /// The constant-0 net (shared tie cell).
+    pub fn const0(&mut self) -> NetId {
+        if let Some(n) = self.const0 {
+            return n;
+        }
+        let n = self.cell(CellKind::Const0, &[]);
+        self.const0 = Some(n);
+        n
+    }
+
+    /// The constant-1 net (shared tie cell).
+    pub fn const1(&mut self) -> NetId {
+        if let Some(n) = self.const1 {
+            return n;
+        }
+        let n = self.cell(CellKind::Const1, &[]);
+        self.const1 = Some(n);
+        n
+    }
+
+    /// `!a`
+    pub fn inv(&mut self, a: NetId) -> NetId {
+        self.cell(CellKind::Inv, &[a])
+    }
+
+    /// `a` (buffer)
+    pub fn buf(&mut self, a: NetId) -> NetId {
+        self.cell(CellKind::Buf, &[a])
+    }
+
+    /// `a & b`
+    pub fn and2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.cell(CellKind::And2, &[a, b])
+    }
+
+    /// `a | b`
+    pub fn or2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.cell(CellKind::Or2, &[a, b])
+    }
+
+    /// `!(a & b)`
+    pub fn nand2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.cell(CellKind::Nand2, &[a, b])
+    }
+
+    /// `!(a | b)`
+    pub fn nor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.cell(CellKind::Nor2, &[a, b])
+    }
+
+    /// `a ^ b`
+    pub fn xor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.cell(CellKind::Xor2, &[a, b])
+    }
+
+    /// `!(a ^ b)`
+    pub fn xnor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.cell(CellKind::Xnor2, &[a, b])
+    }
+
+    /// `sel ? d1 : d0`
+    pub fn mux2(&mut self, d0: NetId, d1: NetId, sel: NetId) -> NetId {
+        self.cell(CellKind::Mux2, &[d0, d1, sel])
+    }
+
+    /// `(a & b) | c`
+    pub fn ao21(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        self.cell(CellKind::Ao21, &[a, b, c])
+    }
+
+    /// `(a | b) & c`
+    pub fn oa21(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        self.cell(CellKind::Oa21, &[a, b, c])
+    }
+
+    /// `!((a & b) | c)`
+    pub fn aoi21(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        self.cell(CellKind::Aoi21, &[a, b, c])
+    }
+
+    /// `!((a | b) & c)`
+    pub fn oai21(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        self.cell(CellKind::Oai21, &[a, b, c])
+    }
+
+    /// `majority(a, b, c)` — a full adder's carry.
+    pub fn maj3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        self.cell(CellKind::Maj3, &[a, b, c])
+    }
+
+    /// `a & b & c`
+    pub fn and3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        self.cell(CellKind::And3, &[a, b, c])
+    }
+
+    /// `a | b | c`
+    pub fn or3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        self.cell(CellKind::Or3, &[a, b, c])
+    }
+
+    /// `a ^ b ^ c` — a full adder's sum.
+    pub fn xor3(&mut self, a: NetId, b: NetId, c: NetId) -> NetId {
+        self.cell(CellKind::Xor3, &[a, b, c])
+    }
+
+    /// Reduces a slice of nets with a binary op, as a balanced tree (keeps
+    /// logical depth logarithmic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nets` is empty.
+    pub fn reduce_tree(
+        &mut self,
+        nets: &[NetId],
+        mut op: impl FnMut(&mut Self, NetId, NetId) -> NetId,
+    ) -> NetId {
+        assert!(!nets.is_empty(), "cannot reduce an empty net list");
+        let mut level: Vec<NetId> = nets.to_vec();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(op(self, pair[0], pair[1]));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            level = next;
+        }
+        level[0]
+    }
+
+    /// Declares a named primary output.
+    pub fn mark_output(&mut self, net: NetId, name: impl Into<String>) {
+        assert!(
+            net.index() < self.drivers.len(),
+            "output net {net} does not exist"
+        );
+        self.outputs.push(net);
+        self.output_names.push(name.into());
+    }
+
+    /// Declares a bus of primary outputs `name[0]..`, LSB first.
+    pub fn mark_output_bus(&mut self, nets: &[NetId], name: &str) {
+        for (i, &n) in nets.iter().enumerate() {
+            self.mark_output(n, format!("{name}[{i}]"));
+        }
+    }
+
+    /// Number of cells instantiated so far.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Validates and freezes the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::NoOutputs`] if no output was marked. Other
+    /// structural errors are impossible via this builder but are re-checked.
+    pub fn finish(self) -> Result<Netlist, NetlistError> {
+        let mut fanouts = vec![Vec::new(); self.drivers.len()];
+        for (i, cell) in self.cells.iter().enumerate() {
+            for input in &cell.inputs {
+                fanouts[input.index()].push(CellId(i as u32));
+            }
+        }
+        let netlist = Netlist {
+            name: self.name,
+            drivers: self.drivers,
+            net_names: self.net_names,
+            cells: self.cells,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            output_names: self.output_names,
+            fanouts,
+        };
+        netlist.validate()?;
+        Ok(netlist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_adder_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("fa");
+        let a = b.input("a");
+        let x = b.input("b");
+        let c = b.input("cin");
+        let sum = b.xor3(a, x, c);
+        let cout = b.maj3(a, x, c);
+        b.mark_output(sum, "sum");
+        b.mark_output(cout, "cout");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let nl = full_adder_netlist();
+        for i in 0..8u32 {
+            let a = i & 1 != 0;
+            let x = i & 2 != 0;
+            let c = i & 4 != 0;
+            let expected = (a as u64 + x as u64 + c as u64) & 0b11;
+            assert_eq!(nl.evaluate_outputs_u64(&[a, x, c]), expected);
+        }
+    }
+
+    #[test]
+    fn empty_outputs_rejected() {
+        let mut b = NetlistBuilder::new("empty");
+        let _ = b.input("a");
+        assert_eq!(b.finish().unwrap_err(), NetlistError::NoOutputs);
+    }
+
+    #[test]
+    fn constants_are_shared() {
+        let mut b = NetlistBuilder::new("c");
+        let z1 = b.const0();
+        let z2 = b.const0();
+        let o1 = b.const1();
+        assert_eq!(z1, z2);
+        assert_ne!(z1, o1);
+        b.mark_output(z1, "z");
+        b.mark_output(o1, "o");
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.evaluate_outputs_u64(&[]), 0b10);
+    }
+
+    #[test]
+    fn fanout_and_load_counting() {
+        let mut b = NetlistBuilder::new("f");
+        let a = b.input("a");
+        let x = b.inv(a);
+        let y = b.inv(a);
+        let z = b.and2(x, y);
+        b.mark_output(z, "z");
+        b.mark_output(a, "a_passthrough");
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.fanout(a).len(), 2);
+        assert_eq!(nl.load_count(a), 3); // two INVs + primary output
+        assert_eq!(nl.load_count(z), 1);
+    }
+
+    #[test]
+    fn creation_order_is_topological() {
+        let nl = full_adder_netlist();
+        nl.validate().unwrap();
+        for cell in nl.cells() {
+            for input in &cell.inputs {
+                assert!(input.index() < cell.output.index());
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_tree_matches_flat_reduction() {
+        let mut b = NetlistBuilder::new("tree");
+        let bits = b.input_bus("x", 7);
+        let all = b.reduce_tree(&bits.clone(), |b, l, r| b.and2(l, r));
+        b.mark_output(all, "and_all");
+        let nl = b.finish().unwrap();
+        for pattern in 0..(1u32 << 7) {
+            let inputs: Vec<bool> = (0..7).map(|i| pattern & (1 << i) != 0).collect();
+            let expected = u64::from(pattern == 0x7F);
+            assert_eq!(nl.evaluate_outputs_u64(&inputs), expected, "pattern {pattern:#b}");
+        }
+    }
+
+    #[test]
+    fn area_and_histogram() {
+        let nl = full_adder_netlist();
+        let lib = CellLibrary::industrial_65nm();
+        assert!(nl.area(&lib) > 0.0);
+        let hist = nl.kind_histogram();
+        assert_eq!(hist[&CellKind::Xor3], 1);
+        assert_eq!(hist[&CellKind::Maj3], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 inputs")]
+    fn wrong_arity_panics_at_build_time() {
+        let mut b = NetlistBuilder::new("bad");
+        let a = b.input("a");
+        let _ = b.cell(CellKind::And2, &[a]);
+    }
+
+    #[test]
+    fn input_bus_names_bits() {
+        let mut b = NetlistBuilder::new("bus");
+        let bits = b.input_bus("a", 3);
+        let y = b.or3(bits[0], bits[1], bits[2]);
+        b.mark_output(y, "y");
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.net_name(bits[1]), Some("a[1]"));
+        assert_eq!(nl.output_name(0), "y");
+    }
+
+    #[test]
+    fn evaluate_rejects_wrong_input_count() {
+        let nl = full_adder_netlist();
+        let result = std::panic::catch_unwind(|| nl.evaluate(&[true]));
+        assert!(result.is_err());
+    }
+}

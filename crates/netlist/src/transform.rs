@@ -1,0 +1,203 @@
+//! Netlist transformations: min-delay analysis and hold-fix buffer padding.
+//!
+//! Razor-style shadow latching requires every output's *shortest* path to
+//! exceed the shadow margin, otherwise the next computation contaminates
+//! the shadow sample (the classic short-path constraint). Commercial flows
+//! enforce it by inserting buffers on fast paths ("hold fixing");
+//! [`pad_min_delay`] performs that transformation while preserving the
+//! original instances' annotated delays.
+
+use crate::cell::{CellKind, CellLibrary};
+use crate::graph::{CellId, NetDriver, NetId, Netlist, NetlistBuilder};
+use crate::timing::DelayAnnotation;
+
+/// Earliest possible arrival time of each net: the *minimum* delay from any
+/// primary input (primary inputs arrive at 0; constants never change and
+/// report infinity).
+#[must_use]
+pub fn min_arrivals_ps(netlist: &Netlist, annotation: &DelayAnnotation) -> Vec<f64> {
+    let mut arrival = vec![f64::INFINITY; netlist.net_count()];
+    for &input in netlist.inputs() {
+        arrival[input.index()] = 0.0;
+    }
+    for index in 0..netlist.cell_count() {
+        let id = CellId::from_index(index);
+        let cell = netlist.cell(id);
+        let earliest = cell
+            .inputs
+            .iter()
+            .map(|n| arrival[n.index()])
+            .fold(f64::INFINITY, f64::min);
+        // Constant cells have no inputs: they never transition.
+        let value = if cell.inputs.is_empty() {
+            f64::INFINITY
+        } else {
+            earliest + annotation.delay_ps(id)
+        };
+        arrival[cell.output.index()] = value;
+    }
+    arrival
+}
+
+/// Inserts buffer chains in front of primary outputs whose minimum path
+/// delay is below `margin_ps`, so that no input change can reach an output
+/// within the margin. Original cells keep their annotated delays; inserted
+/// buffers get the library's nominal buffer delay.
+///
+/// Returns the padded netlist and its extended annotation.
+///
+/// # Panics
+///
+/// Panics if the annotation does not cover the netlist or the margin is
+/// not finite and non-negative.
+#[must_use]
+pub fn pad_min_delay(
+    netlist: &Netlist,
+    annotation: &DelayAnnotation,
+    lib: &CellLibrary,
+    margin_ps: f64,
+) -> (Netlist, DelayAnnotation) {
+    assert_eq!(
+        annotation.len(),
+        netlist.cell_count(),
+        "annotation covers {} cells, netlist has {}",
+        annotation.len(),
+        netlist.cell_count()
+    );
+    assert!(
+        margin_ps.is_finite() && margin_ps >= 0.0,
+        "margin must be finite and non-negative"
+    );
+    let min_arrival = min_arrivals_ps(netlist, annotation);
+    let buf_delay = lib.delay_ps(CellKind::Buf, 1);
+
+    let mut b = NetlistBuilder::new(format!("{}_holdfix", netlist.name()));
+    let mut delays: Vec<f64> = Vec::with_capacity(netlist.cell_count());
+    let mut net_map: Vec<Option<NetId>> = vec![None; netlist.net_count()];
+    for &input in netlist.inputs() {
+        let name = netlist.net_name(input).unwrap_or("in").to_owned();
+        net_map[input.index()] = Some(b.input(name));
+    }
+    for index in 0..netlist.cell_count() {
+        let id = CellId::from_index(index);
+        let cell = netlist.cell(id);
+        let inputs: Vec<NetId> = cell
+            .inputs
+            .iter()
+            .map(|n| net_map[n.index()].expect("topological order"))
+            .collect();
+        let out = b.cell(cell.kind, &inputs);
+        delays.push(annotation.delay_ps(id));
+        net_map[cell.output.index()] = Some(out);
+    }
+    for (i, &out) in netlist.outputs().iter().enumerate() {
+        let mut net = net_map[out.index()].expect("all nets mapped");
+        let deficit = margin_ps - min_arrival[out.index()];
+        if deficit > 0.0 {
+            let chain = (deficit / buf_delay).ceil() as usize;
+            for _ in 0..chain {
+                net = b.buf(net);
+                delays.push(buf_delay);
+            }
+        }
+        // Keep the exact driver for constants-driven outputs too.
+        let _ = NetDriver::Input;
+        b.mark_output(net, netlist.output_name(i).to_owned());
+    }
+    let padded = b.finish().expect("padded netlist is well-formed");
+    (padded, DelayAnnotation::from_delays(delays))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{build_exact, AdderNetlist, AdderTopology};
+    use crate::sta::StaReport;
+
+    fn ripple16() -> (AdderNetlist, DelayAnnotation, CellLibrary) {
+        let lib = CellLibrary::industrial_65nm();
+        let adder = build_exact(16, AdderTopology::Ripple);
+        let ann = DelayAnnotation::nominal(adder.netlist(), &lib);
+        (adder, ann, lib)
+    }
+
+    #[test]
+    fn min_arrival_of_lsb_is_one_gate() {
+        let (adder, ann, lib) = ripple16();
+        let arrivals = min_arrivals_ps(adder.netlist(), &ann);
+        let sum0 = adder.netlist().outputs()[0];
+        let expected = lib.delay_ps(crate::cell::CellKind::Xor2, 1);
+        assert!((arrivals[sum0.index()] - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn padding_raises_min_paths_above_margin() {
+        let (adder, ann, lib) = ripple16();
+        let margin = 60.0;
+        let (padded, padded_ann) = pad_min_delay(adder.netlist(), &ann, &lib, margin);
+        let arrivals = min_arrivals_ps(&padded, &padded_ann);
+        for &out in padded.outputs() {
+            assert!(
+                arrivals[out.index()] >= margin - 1e-9,
+                "output min path {} below margin",
+                arrivals[out.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn padding_preserves_function() {
+        let (adder, ann, lib) = ripple16();
+        let (padded, _) = pad_min_delay(adder.netlist(), &ann, &lib, 60.0);
+        let padded = AdderNetlist::from_netlist(padded, 16);
+        let mut seed = 1u64;
+        for _ in 0..300 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(5);
+            let (a, b) = (seed & 0xFFFF, (seed >> 21) & 0xFFFF);
+            assert_eq!(padded.add(a, b), a + b);
+        }
+    }
+
+    #[test]
+    fn padding_cost_is_bounded() {
+        // Max-delay growth per output is at most margin + one buffer.
+        let (adder, ann, lib) = ripple16();
+        let margin = 60.0;
+        let before = StaReport::analyze(adder.netlist(), &ann).critical_ps();
+        let (padded, padded_ann) = pad_min_delay(adder.netlist(), &ann, &lib, margin);
+        let after = StaReport::analyze(&padded, &padded_ann).critical_ps();
+        let buf = lib.delay_ps(crate::cell::CellKind::Buf, 1);
+        assert!(after <= before + margin + buf + 1e-9);
+    }
+
+    #[test]
+    fn zero_margin_is_identity_function() {
+        let (adder, ann, lib) = ripple16();
+        let (padded, padded_ann) = pad_min_delay(adder.netlist(), &ann, &lib, 0.0);
+        assert_eq!(padded.cell_count(), adder.netlist().cell_count());
+        assert_eq!(padded_ann.len(), ann.len());
+    }
+
+    #[test]
+    fn already_slow_outputs_are_untouched() {
+        let (adder, ann, lib) = ripple16();
+        // Margin below the fastest output path: nothing inserted.
+        let (padded, _) = pad_min_delay(adder.netlist(), &ann, &lib, 10.0);
+        assert_eq!(padded.cell_count(), adder.netlist().cell_count());
+    }
+
+    #[test]
+    fn constants_report_infinite_min_arrival() {
+        let mut b = NetlistBuilder::new("consts");
+        let a = b.input("a");
+        let zero = b.const0();
+        let y = b.or2(a, zero);
+        b.mark_output(y, "y");
+        let nl = b.finish().unwrap();
+        let lib = CellLibrary::industrial_65nm();
+        let ann = DelayAnnotation::nominal(&nl, &lib);
+        let arrivals = min_arrivals_ps(&nl, &ann);
+        assert!(arrivals[zero.index()].is_infinite());
+        assert!(arrivals[y.index()].is_finite(), "input path dominates");
+    }
+}

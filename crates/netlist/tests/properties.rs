@@ -1,0 +1,135 @@
+//! Property-based tests of the netlist substrate: every generated adder is
+//! a correct adder, every ISA netlist matches the behavioural model, and
+//! the timing machinery obeys its contracts.
+
+use isa_core::{Adder, IsaConfig, SpeculativeAdder};
+use isa_netlist::builders::{build_exact, isa, AdderTopology};
+use isa_netlist::cell::CellLibrary;
+use isa_netlist::sdf;
+use isa_netlist::sta::StaReport;
+use isa_netlist::synth::area_recovery;
+use isa_netlist::timing::{DelayAnnotation, VariationModel};
+use proptest::prelude::*;
+
+fn topology_strategy() -> impl Strategy<Value = AdderTopology> {
+    prop_oneof![
+        Just(AdderTopology::Ripple),
+        Just(AdderTopology::Cla4),
+        Just(AdderTopology::CarrySkip(4)),
+        Just(AdderTopology::CarrySelect(4)),
+        Just(AdderTopology::BrentKung),
+        Just(AdderTopology::Sklansky),
+        Just(AdderTopology::KoggeStone),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every topology at every supported width computes a + b exactly.
+    #[test]
+    fn all_topologies_add(
+        topology in topology_strategy(),
+        width in prop_oneof![Just(8u32), Just(16), Just(32)],
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        prop_assume!(topology.supports_width(width));
+        let mask = (1u64 << width) - 1;
+        let adder = build_exact(width, topology);
+        prop_assert_eq!(adder.add(a & mask, b & mask), (a & mask) + (b & mask));
+    }
+
+    /// Gate-level ISA == behavioural ISA for arbitrary valid configs.
+    #[test]
+    fn isa_netlist_matches_behavioural(
+        b_sz in prop_oneof![Just(8u32), Just(16)],
+        s in 0u32..=4,
+        c in 0u32..=2,
+        r in 0u32..=6,
+        a in any::<u64>(),
+        x in any::<u64>(),
+    ) {
+        let cfg = IsaConfig::new(32, b_sz, s.min(b_sz), c.min(b_sz), r.min(b_sz)).unwrap();
+        let behavioural = SpeculativeAdder::new(cfg);
+        let gate = isa::build(&cfg, AdderTopology::Ripple).unwrap();
+        let m = u32::MAX as u64;
+        prop_assert_eq!(gate.add(a & m, x & m), behavioural.add(a & m, x & m));
+    }
+
+    /// STA critical delay is positive and grows monotonically when every
+    /// delay is scaled up.
+    #[test]
+    fn sta_scales_with_delays(factor in 1.0f64..3.0) {
+        let adder = build_exact(16, AdderTopology::BrentKung);
+        let lib = CellLibrary::industrial_65nm();
+        let ann = DelayAnnotation::nominal(adder.netlist(), &lib);
+        let base = StaReport::analyze(adder.netlist(), &ann).critical_ps();
+        let scaled = StaReport::analyze(adder.netlist(), &ann.scaled(factor)).critical_ps();
+        prop_assert!(base > 0.0);
+        prop_assert!((scaled - base * factor).abs() < 1e-6);
+    }
+
+    /// Area recovery never exceeds the target and never speeds a cell up.
+    #[test]
+    fn area_recovery_contract(
+        target in 250.0f64..600.0,
+        max_factor in 1.0f64..2.5,
+    ) {
+        let adder = build_exact(16, AdderTopology::Sklansky);
+        let lib = CellLibrary::industrial_65nm();
+        let ann = DelayAnnotation::nominal(adder.netlist(), &lib);
+        let base_crit = StaReport::analyze(adder.netlist(), &ann).critical_ps();
+        prop_assume!(target >= base_crit);
+        let recovered = area_recovery(adder.netlist(), &ann, target, max_factor);
+        let crit = StaReport::analyze(adder.netlist(), &recovered).critical_ps();
+        prop_assert!(crit <= target + 1e-6, "crit {crit} vs target {target}");
+        for (r, n) in recovered.as_slice().iter().zip(ann.as_slice()) {
+            prop_assert!(*r >= *n - 1e-9);
+            prop_assert!(*r <= n * max_factor + 1e-9);
+        }
+        // Function unchanged.
+        prop_assert_eq!(adder.add(0xABCD, 0x1234), 0xABCD + 0x1234);
+    }
+
+    /// SDF write/read round-trips any variation seed at milli-ps accuracy.
+    #[test]
+    fn sdf_roundtrip(seed in any::<u64>(), sigma in 0.0f64..0.1) {
+        let adder = build_exact(8, AdderTopology::Ripple);
+        let lib = CellLibrary::industrial_65nm();
+        let ann = DelayAnnotation::with_variation(
+            adder.netlist(),
+            &lib,
+            &VariationModel::new(sigma, seed),
+        );
+        let text = sdf::write(adder.netlist(), &ann);
+        let back = sdf::read(adder.netlist(), &text).unwrap();
+        for (a, b) in ann.as_slice().iter().zip(back.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    /// Variation is always within +-3 sigma multiplicatively.
+    #[test]
+    fn variation_bounds(seed in any::<u64>(), sigma in 0.0f64..0.2) {
+        let adder = build_exact(8, AdderTopology::Cla4);
+        let lib = CellLibrary::industrial_65nm();
+        let nominal = DelayAnnotation::nominal(adder.netlist(), &lib);
+        let varied = nominal.perturbed(&VariationModel::new(sigma, seed));
+        for (v, n) in varied.as_slice().iter().zip(nominal.as_slice()) {
+            prop_assert!(*v >= n * (1.0 - 3.0 * sigma) - 1e-9);
+            prop_assert!(*v <= n * (1.0 + 3.0 * sigma) + 1e-9);
+        }
+    }
+
+    /// The zero-delay evaluator agrees with u64 packing on every adder.
+    #[test]
+    fn evaluate_outputs_packing(a in any::<u32>(), b in any::<u32>()) {
+        let adder = build_exact(32, AdderTopology::KoggeStone);
+        let values = adder.netlist().evaluate(&adder.input_values(a.into(), b.into()));
+        let packed = adder.netlist().evaluate_outputs_u64(&adder.input_values(a.into(), b.into()));
+        for (i, net) in adder.netlist().outputs().iter().enumerate() {
+            prop_assert_eq!(values[net.index()], (packed >> i) & 1 == 1);
+        }
+    }
+}

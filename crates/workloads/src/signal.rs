@@ -1,0 +1,191 @@
+//! DSP-flavoured workloads: sampled sine waves and running accumulations.
+//!
+//! The paper motivates RMS relative error by its proportionality to SNR "in
+//! many applications, particularly in multimedia processing"; these streams
+//! let the examples measure exactly that on adder-dominated DSP kernels.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Workload;
+
+/// Two sampled sine waves (with additive noise) as operand streams —
+/// a stand-in for mixing two audio channels.
+#[derive(Debug, Clone)]
+pub struct SineWorkload {
+    rng: StdRng,
+    width: u32,
+    amplitude: f64,
+    offset: f64,
+    phase_a: f64,
+    phase_b: f64,
+    step_a: f64,
+    step_b: f64,
+    noise: f64,
+}
+
+impl SineWorkload {
+    /// Creates a sine workload: two tones at `freq_a`/`freq_b` cycles per
+    /// sample with relative noise `noise` (fraction of full scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not in `2..=63` or the noise fraction is not in
+    /// `[0, 1)`.
+    #[must_use]
+    pub fn new(width: u32, freq_a: f64, freq_b: f64, noise: f64, seed: u64) -> Self {
+        assert!((2..=63).contains(&width), "width must be in 2..=63");
+        assert!((0.0..1.0).contains(&noise), "noise must be in [0, 1)");
+        let full = (1u64 << width) as f64;
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            width,
+            amplitude: full * 0.24,
+            offset: full * 0.25,
+            phase_a: 0.0,
+            phase_b: 0.0,
+            step_a: std::f64::consts::TAU * freq_a,
+            step_b: std::f64::consts::TAU * freq_b,
+            noise: noise * full * 0.25,
+        }
+    }
+
+    fn sample(&mut self, phase: f64) -> u64 {
+        let noise = if self.noise > 0.0 {
+            self.rng.gen_range(-self.noise..self.noise)
+        } else {
+            0.0
+        };
+        let v = self.offset + self.amplitude * phase.sin() + noise;
+        let mask = (1u64 << self.width) - 1;
+        (v.max(0.0) as u64) & mask
+    }
+}
+
+impl Iterator for SineWorkload {
+    type Item = (u64, u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.phase_a += self.step_a;
+        self.phase_b += self.step_b;
+        let (pa, pb) = (self.phase_a, self.phase_b);
+        let a = self.sample(pa);
+        let b = self.sample(pb);
+        Some((a, b))
+    }
+}
+
+impl Workload for SineWorkload {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn name(&self) -> &'static str {
+        "sine_mix"
+    }
+}
+
+/// A running accumulation: operand `a` is the previous sum (as produced by
+/// an exact accumulator), operand `b` a fresh random increment — the
+/// archetypal adder-in-a-loop kernel.
+#[derive(Debug, Clone)]
+pub struct AccumulationWorkload {
+    rng: StdRng,
+    mask: u64,
+    width: u32,
+    accumulator: u64,
+    increment_bits: u32,
+}
+
+impl AccumulationWorkload {
+    /// Creates an accumulation stream whose increments span
+    /// `increment_bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not in `1..=63` or `increment_bits` exceeds the
+    /// width.
+    #[must_use]
+    pub fn new(width: u32, increment_bits: u32, seed: u64) -> Self {
+        assert!(width > 0 && width <= 63, "width must be in 1..=63");
+        assert!(increment_bits <= width, "increments wider than the adder");
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            mask: (1u64 << width) - 1,
+            width,
+            accumulator: 0,
+            increment_bits,
+        }
+    }
+}
+
+impl Iterator for AccumulationWorkload {
+    type Item = (u64, u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let inc_mask = if self.increment_bits == 0 {
+            0
+        } else {
+            (1u64 << self.increment_bits) - 1
+        };
+        let b = self.rng.gen::<u64>() & inc_mask;
+        let a = self.accumulator;
+        self.accumulator = (a + b) & self.mask;
+        Some((a, b))
+    }
+}
+
+impl Workload for AccumulationWorkload {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn name(&self) -> &'static str {
+        "accumulate"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sine_stays_in_range_and_oscillates() {
+        let w = SineWorkload::new(16, 0.01, 0.013, 0.05, 4);
+        let samples: Vec<_> = w.take(500).collect();
+        assert!(samples.iter().all(|&(a, b)| a < (1 << 16) && b < (1 << 16)));
+        let max = samples.iter().map(|&(a, _)| a).max().unwrap();
+        let min = samples.iter().map(|&(a, _)| a).min().unwrap();
+        assert!(max > min + 1000, "sine should swing: {min}..{max}");
+    }
+
+    #[test]
+    fn noiseless_sine_is_deterministic() {
+        let a: Vec<_> = SineWorkload::new(16, 0.02, 0.05, 0.0, 1).take(50).collect();
+        let b: Vec<_> = SineWorkload::new(16, 0.02, 0.05, 0.0, 99).take(50).collect();
+        assert_eq!(a, b, "noise-free streams ignore the seed");
+    }
+
+    #[test]
+    fn accumulation_chains_sums() {
+        let mut w = AccumulationWorkload::new(32, 16, 8);
+        let (a0, b0) = w.next().unwrap();
+        let (a1, _) = w.next().unwrap();
+        assert_eq!(a0, 0);
+        assert_eq!(a1, b0);
+    }
+
+    #[test]
+    fn accumulation_wraps_at_width() {
+        let w = AccumulationWorkload::new(8, 8, 3);
+        for (a, b) in w.take(2000) {
+            assert!(a < 256 && b < 256);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "increments wider")]
+    fn accumulation_rejects_wide_increments() {
+        let _ = AccumulationWorkload::new(8, 9, 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Uniform random operands — the paper's characterization workload.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Workload;
+
+/// Independent uniform random operand pairs over the full `width`-bit
+/// range.
+///
+/// # Examples
+///
+/// ```
+/// use isa_workloads::{UniformWorkload, Workload};
+///
+/// let mut w = UniformWorkload::new(8, 1);
+/// let (a, b) = w.next().unwrap();
+/// assert!(a < 256 && b < 256);
+/// assert_eq!(w.width(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UniformWorkload {
+    rng: StdRng,
+    mask: u64,
+    width: u32,
+}
+
+impl UniformWorkload {
+    /// Creates a seeded uniform workload for a `width`-bit adder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 63.
+    #[must_use]
+    pub fn new(width: u32, seed: u64) -> Self {
+        assert!(width > 0 && width <= 63, "width must be in 1..=63");
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            mask: (1u64 << width) - 1,
+            width,
+        }
+    }
+}
+
+impl Iterator for UniformWorkload {
+    type Item = (u64, u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        Some((self.rng.gen::<u64>() & self.mask, self.rng.gen::<u64>() & self.mask))
+    }
+}
+
+impl Workload for UniformWorkload {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_in_range() {
+        let w = UniformWorkload::new(16, 3);
+        for (a, b) in w.take(1000) {
+            assert!(a < (1 << 16));
+            assert!(b < (1 << 16));
+        }
+    }
+
+    #[test]
+    fn mean_is_near_half_range() {
+        let w = UniformWorkload::new(32, 11);
+        let n = 20_000;
+        let sum: f64 = w.take(n).map(|(a, _)| a as f64).sum();
+        let mean = sum / n as f64;
+        let expected = (u32::MAX as f64) / 2.0;
+        assert!(
+            (mean - expected).abs() < expected * 0.02,
+            "mean {mean} too far from {expected}"
+        );
+    }
+
+    #[test]
+    fn bits_are_balanced() {
+        let w = UniformWorkload::new(8, 5);
+        let n = 8000;
+        let mut ones = [0u32; 8];
+        for (a, _) in w.take(n) {
+            for (i, slot) in ones.iter_mut().enumerate() {
+                *slot += ((a >> i) & 1) as u32;
+            }
+        }
+        for (i, &c) in ones.iter().enumerate() {
+            let rate = c as f64 / n as f64;
+            assert!((rate - 0.5).abs() < 0.05, "bit {i} rate {rate}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in 1..=63")]
+    fn rejects_width_zero() {
+        let _ = UniformWorkload::new(0, 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests of the workload generators.
+
+use isa_workloads::{
+    take_pairs, AccumulationWorkload, RandomWalkWorkload, SineWorkload, UniformWorkload,
+    Workload,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every generator stays within its declared operand width.
+    #[test]
+    fn all_workloads_stay_in_range(
+        width in 2u32..33,
+        seed in any::<u64>(),
+        n in 1usize..300,
+    ) {
+        let limit = 1u64 << width;
+        for (a, b) in take_pairs(UniformWorkload::new(width, seed), n) {
+            prop_assert!(a < limit && b < limit);
+        }
+        for (a, b) in RandomWalkWorkload::new(width, 17, seed).take(n) {
+            prop_assert!(a < limit && b < limit);
+        }
+        for (a, b) in take_pairs(SineWorkload::new(width, 0.01, 0.02, 0.1, seed), n) {
+            prop_assert!(a < limit && b < limit);
+        }
+        for (a, b) in AccumulationWorkload::new(width, width.min(8), seed).take(n) {
+            prop_assert!(a < limit && b < limit);
+        }
+    }
+
+    /// Generators are pure functions of their seed.
+    #[test]
+    fn workloads_are_deterministic(width in 2u32..33, seed in any::<u64>()) {
+        let a = take_pairs(UniformWorkload::new(width, seed), 64);
+        let b = take_pairs(UniformWorkload::new(width, seed), 64);
+        prop_assert_eq!(a, b);
+        let a: Vec<_> = RandomWalkWorkload::new(width, 5, seed).take(64).collect();
+        let b: Vec<_> = RandomWalkWorkload::new(width, 5, seed).take(64).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Random walks never step farther than the configured bound (modulo
+    /// wraparound).
+    #[test]
+    fn walk_steps_bounded(step in 1u64..1000, seed in any::<u64>()) {
+        let width = 24u32;
+        let modulus = 1u64 << width;
+        let samples: Vec<_> = RandomWalkWorkload::new(width, step, seed).take(100).collect();
+        for w in samples.windows(2) {
+            let d = w[0].0.abs_diff(w[1].0);
+            let wrapped = d.min(modulus - d);
+            prop_assert!(wrapped <= step, "step {wrapped} > bound {step}");
+        }
+    }
+
+    /// The accumulation workload really chains: each `a` is the masked sum
+    /// of the previous pair.
+    #[test]
+    fn accumulation_chains_exactly(seed in any::<u64>()) {
+        let width = 16u32;
+        let mask = (1u64 << width) - 1;
+        let samples: Vec<_> = AccumulationWorkload::new(width, 8, seed).take(50).collect();
+        for w in samples.windows(2) {
+            prop_assert_eq!(w[1].0, (w[0].0 + w[0].1) & mask);
+        }
+    }
+
+    /// Width accessor matches construction.
+    #[test]
+    fn width_accessors(width in 2u32..33) {
+        prop_assert_eq!(UniformWorkload::new(width, 0).width(), width);
+        prop_assert_eq!(RandomWalkWorkload::new(width, 3, 0).width(), width);
+        prop_assert_eq!(AccumulationWorkload::new(width, 2, 0).width(), width);
+    }
+}

@@ -1,0 +1,66 @@
+//! Analytical vs. simulated structural-error statistics.
+//!
+//! The reproduction includes an exact transfer-matrix analysis of every
+//! speculate-at-0 design (`isa_core::analysis`): per-boundary fault
+//! probabilities, exact error rate and exact mean error, computed without
+//! simulation. This example prints the analytical numbers side by side
+//! with a Monte-Carlo run of the behavioural model — they must agree to
+//! sampling noise, which is the strongest possible cross-validation of the
+//! ISA semantics.
+//!
+//! Run with: `cargo run --release --example analytical_model [samples]`
+
+use overclocked_isa::core::analysis::DesignAnalysis;
+use overclocked_isa::core::{paper_isa_configs, Adder, ExactAdder, SpeculativeAdder};
+use overclocked_isa::workloads::{take_pairs, UniformWorkload};
+
+fn main() {
+    let samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300_000);
+    let inputs = take_pairs(UniformWorkload::new(32, 0xA11A), samples);
+    let exact = ExactAdder::new(32);
+
+    println!("analytical (exact DP) vs Monte-Carlo ({samples} samples)");
+    println!(
+        "{:<12} {:>11} {:>11} | {:>12} {:>12} | {:>12} {:>12}",
+        "design", "rate(DP)", "rate(MC)", "meanE(DP)", "meanE(MC)", "rmsE(DP~)", "rmsE(MC)"
+    );
+    for cfg in paper_isa_configs() {
+        let analysis = DesignAnalysis::analyze(&cfg);
+        let isa = SpeculativeAdder::new(cfg);
+        let mut errors = 0usize;
+        let mut sum_e = 0.0;
+        let mut sum_e2 = 0.0;
+        for &(a, b) in &inputs {
+            let e = isa.add(a, b) as i64 - exact.add(a, b) as i64;
+            if e != 0 {
+                errors += 1;
+            }
+            sum_e += e as f64;
+            sum_e2 += (e as f64) * (e as f64);
+        }
+        println!(
+            "{:<12} {:>11.6} {:>11.6} | {:>12.2} {:>12.2} | {:>12.1} {:>12.1}",
+            cfg.to_string(),
+            analysis.error_rate(),
+            errors as f64 / samples as f64,
+            analysis.mean_error(),
+            sum_e / samples as f64,
+            analysis.rms_error_approx(),
+            (sum_e2 / samples as f64).sqrt(),
+        );
+    }
+
+    // Per-boundary view for the Fig. 10 design.
+    let cfg = overclocked_isa::core::IsaConfig::new(32, 8, 0, 0, 4).expect("valid");
+    let analysis = DesignAnalysis::analyze(&cfg);
+    println!("\nper-boundary fault probabilities for {cfg}:");
+    for b in analysis.boundaries() {
+        println!(
+            "  bit {:>2}: fault {:.4}  residual {:.4}  E[e] {:>10.2}",
+            b.position, b.fault_probability, b.residual_probability, b.mean_contribution
+        );
+    }
+}

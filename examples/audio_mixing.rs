@@ -1,0 +1,76 @@
+//! DSP scenario on full-range data: mixing two 32-bit (offset-binary)
+//! audio channels through each paper design, with and without
+//! overclocking.
+//!
+//! This is the regime the paper's 32-bit quadruples are built for: operands
+//! span the full adder width, so speculation faults at bits 8/16/24 are
+//! tiny *relative* errors. The example reports the mixed signal's SNR per
+//! design — exercising the paper's observation that RMS relative error is
+//! proportional to SNR — and then overclocks the same designs by 15% to
+//! show the joint (structural + timing) SNR degradation.
+//!
+//! Run with: `cargo run --release --example audio_mixing [samples]`
+
+use overclocked_isa::core::{paper_designs, OutputTriple};
+use overclocked_isa::experiments::{DesignContext, ExperimentConfig};
+use overclocked_isa::metrics::snr_db;
+use overclocked_isa::workloads::{take_pairs, SineWorkload};
+
+fn main() {
+    let samples: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8_000);
+
+    // Two full-scale tones with 2% noise, offset-binary around 2^30.
+    let inputs = take_pairs(SineWorkload::new(32, 0.011, 0.017, 0.02, 77), samples);
+    let config = ExperimentConfig::default();
+    let clk = config.clock_ps(0.15);
+
+    println!("mixing {samples} samples of two 32-bit channels (offset-binary)");
+    println!(
+        "{:<12} {:>16} {:>18} {:>12}",
+        "design", "SNR mix (dB)", "SNR @15% CPR (dB)", "err-rate"
+    );
+    for design in paper_designs() {
+        let ctx = DesignContext::build(design, &config);
+
+        // Properly clocked: structural errors only.
+        let mut noise_power = 0.0f64;
+        let mut signal_power = 0.0f64;
+        // Overclocked: structural + timing errors.
+        let mut joint_noise_power = 0.0f64;
+        let mut error_cycles = 0usize;
+
+        let trace = ctx.trace(clk, &inputs);
+        for rec in &trace {
+            let triple = OutputTriple::new(rec.a + rec.b, rec.settled, rec.sampled);
+            let signal = (rec.a + rec.b) as f64;
+            signal_power += signal * signal;
+            let structural = triple.e_struct() as f64;
+            noise_power += structural * structural;
+            let joint = triple.e_joint() as f64;
+            joint_noise_power += joint * joint;
+            if rec.has_timing_error() {
+                error_cycles += 1;
+            }
+        }
+        let snr = |noise: f64| -> String {
+            if noise == 0.0 {
+                "inf".to_owned()
+            } else {
+                format!("{:.1}", snr_db((noise / signal_power).sqrt()))
+            }
+        };
+        println!(
+            "{:<12} {:>16} {:>18} {:>12.4}",
+            ctx.label(),
+            snr(noise_power),
+            snr(joint_noise_power),
+            error_cycles as f64 / trace.len() as f64
+        );
+    }
+    println!("\nAt full-range data even the cheapest quadruples deliver ~45+ dB;");
+    println!("overclocking trades a few dB where timing errors appear, and the");
+    println!("exact adder (no structural error, slack-wall timing) collapses.");
+}

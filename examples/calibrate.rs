@@ -1,0 +1,95 @@
+//! Calibration probe: synthesizes the twelve paper designs against the
+//! 0.3 ns constraint and reports the chosen topology, area, critical delay,
+//! and the emergent timing-error behaviour at the paper's three
+//! clock-period reductions. Used to sanity-check the cell library and
+//! synthesis settings against the paper's qualitative shapes.
+//!
+//! Flow asymmetry (see DESIGN.md §6): the ISA designs are Pareto points
+//! from the NEWCAS'15 library that *fit* 0.3 ns with natural slack, while
+//! the exact adder is *constrained at* 0.3 ns and area-recovered to the
+//! slack wall.
+
+use isa_core::{paper_designs, Design, ErrorStats, OutputTriple};
+use isa_netlist::cell::CellLibrary;
+use isa_netlist::synth::{synthesize_exact, synthesize_isa, SynthesisOptions};
+use isa_netlist::timing::VariationModel;
+use isa_timing_sim::run_adder_trace;
+
+fn main() {
+    let lib = CellLibrary::industrial_65nm();
+    let period = 300.0;
+    let cprs = [0.05, 0.10, 0.15];
+    let n_cycles: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3000);
+
+    let mut seed = 0x5EED_CAFE_F00Du64;
+    let inputs: Vec<(u64, u64)> = (0..n_cycles)
+        .map(|_| {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed & 0xFFFF_FFFF, (seed >> 31) & 0xFFFF_FFFF)
+        })
+        .collect();
+
+    println!(
+        "{:<12} {:<14} {:>6} {:>9} {:>8} | {:>20} | {:>20} | {:>20}",
+        "design",
+        "topology",
+        "area",
+        "crit(ps)",
+        "REs%",
+        "5% r/REt/REj(%)",
+        "10% r/REt/REj(%)",
+        "15% r/REt/REj(%)"
+    );
+    for design in paper_designs() {
+        let synth = match &design {
+            Design::Isa(cfg) => synthesize_isa(cfg, period, &lib, &SynthesisOptions::default()),
+            Design::Exact { width } => {
+                synthesize_exact(*width, period, &lib, &SynthesisOptions::paper())
+            }
+        }
+        .expect("feasible");
+        let varied = synth
+            .annotation
+            .perturbed(&VariationModel::new(0.05, 0xD1E5_EED5));
+
+        let mut re_struct_pct = 0.0;
+        let mut row = String::new();
+        for cpr in cprs {
+            let clk = period * (1.0 - cpr);
+            let trace = run_adder_trace(&synth.adder, &varied, clk, &inputs);
+            let mut err_cycles = 0usize;
+            let mut re_s = ErrorStats::new();
+            let mut re_t = ErrorStats::new();
+            let mut re_j = ErrorStats::new();
+            for rec in &trace {
+                if rec.has_timing_error() {
+                    err_cycles += 1;
+                }
+                let t = OutputTriple::new(rec.a + rec.b, rec.settled, rec.sampled);
+                re_s.push(t.re_struct());
+                re_t.push(t.re_timing());
+                re_j.push(t.re_joint());
+            }
+            re_struct_pct = re_s.rms() * 100.0;
+            row += &format!(
+                " {:>6.3}/{:>6.3}/{:>6.3}",
+                err_cycles as f64 / trace.len() as f64,
+                re_t.rms() * 100.0,
+                re_j.rms() * 100.0,
+            );
+        }
+        println!(
+            "{:<12} {:<14} {:>6.0} {:>9.1} {:>8.4} |{row}",
+            design.to_string(),
+            synth.topology.name(),
+            synth.area,
+            synth.critical_ps,
+            re_struct_pct
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Overclocking explorer: sweeps the clock period of one design in fine
+//! steps and prints the emergent timing-error rate and joint RMS RE — the
+//! "error-onset curve" that motivates guardband reduction with prediction.
+//!
+//! Also demonstrates workload dependence: correlated (random-walk) inputs
+//! sensitize far fewer long paths than uniform ones at the same clock.
+//!
+//! Run with: `cargo run --release --example overclocking_explorer [design] [cycles]`
+//! where `design` is `exact` or a quadruple like `(8,0,1,4)`.
+
+use overclocked_isa::core::{CombinedErrorStats, Design, IsaConfig, OutputTriple};
+use overclocked_isa::experiments::{DesignContext, ExperimentConfig};
+use overclocked_isa::workloads::{take_pairs, RandomWalkWorkload, UniformWorkload};
+
+fn measure(ctx: &DesignContext, clk: f64, inputs: &[(u64, u64)]) -> (f64, f64) {
+    let trace = ctx.trace(clk, inputs);
+    let mut stats = CombinedErrorStats::new();
+    let mut errors = 0usize;
+    for rec in &trace {
+        if rec.has_timing_error() {
+            errors += 1;
+        }
+        stats.push(&OutputTriple::new(rec.a + rec.b, rec.settled, rec.sampled));
+    }
+    (
+        errors as f64 / trace.len() as f64,
+        stats.re_joint.rms() * 100.0,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let design = match args.first().map(String::as_str) {
+        None | Some("exact") => Design::Exact { width: 32 },
+        Some(quad) => Design::Isa(
+            quad.parse::<IsaConfig>()
+                .expect("design must be 'exact' or a quadruple like (8,0,1,4)"),
+        ),
+    };
+    let cycles: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8_000);
+
+    let config = ExperimentConfig::default();
+    let ctx = DesignContext::build(design, &config);
+    println!(
+        "design {} — {} cells, critical {:.1} ps (constraint {} ps)",
+        ctx.label(),
+        ctx.synthesized.adder.netlist().cell_count(),
+        ctx.synthesized.critical_ps,
+        config.period_ps
+    );
+
+    let uniform = take_pairs(UniformWorkload::new(32, 7), cycles);
+    let walk: Vec<(u64, u64)> = RandomWalkWorkload::new(32, 4096, 7).take(cycles).collect();
+
+    println!(
+        "{:>8} {:>6} | {:>12} {:>12} | {:>12} {:>12}",
+        "clk(ps)", "CPR%", "uni err-rate", "uni RMSre%", "walk err-rate", "walk RMSre%"
+    );
+    for step in 0..=10 {
+        let cpr = 0.025 * f64::from(step);
+        let clk = config.clock_ps(cpr);
+        let (u_rate, u_rms) = measure(&ctx, clk, &uniform);
+        let (w_rate, w_rms) = measure(&ctx, clk, &walk);
+        println!(
+            "{clk:>8.1} {:>6.1} | {u_rate:>12.4} {u_rms:>12.4} | {w_rate:>12.4} {w_rms:>12.4}",
+            cpr * 100.0
+        );
+    }
+    println!("\nCorrelated inputs sensitize shorter paths: the error onset moves");
+    println!("to deeper overclocking, which is why the paper's predictor keys on");
+    println!("both x[t] and x[t-1].");
+}

@@ -1,0 +1,51 @@
+//! Prints raw (nominal, un-derated) area and critical delay of every
+//! candidate topology at the widths the reproduction uses, plus the raw
+//! critical delay of every paper ISA design per sub-adder topology.
+//! A calibration aid for the cell library.
+
+use isa_core::paper_isa_configs;
+use isa_netlist::builders::{build_exact, isa, CANDIDATE_TOPOLOGIES};
+use isa_netlist::cell::CellLibrary;
+use isa_netlist::sta::StaReport;
+use isa_netlist::timing::DelayAnnotation;
+
+fn main() {
+    let lib = CellLibrary::industrial_65nm();
+    for width in [8u32, 16, 32] {
+        println!("== exact {width}-bit ==");
+        for t in CANDIDATE_TOPOLOGIES {
+            if !t.supports_width(width) {
+                continue;
+            }
+            let adder = build_exact(width, t);
+            let ann = DelayAnnotation::nominal(adder.netlist(), &lib);
+            let sta = StaReport::analyze(adder.netlist(), &ann);
+            println!(
+                "  {:<15} area {:>6.0}  crit {:>6.1} ps",
+                t.name(),
+                adder.netlist().area(&lib),
+                sta.critical_ps()
+            );
+        }
+    }
+    println!("== paper ISA designs (raw crit per feasible sub-adder topology) ==");
+    for cfg in paper_isa_configs() {
+        print!("  {cfg:<12}");
+        for t in CANDIDATE_TOPOLOGIES {
+            if !t.supports_width(cfg.block_size()) {
+                continue;
+            }
+            if let Ok(adder) = isa::build(&cfg, t) {
+                let ann = DelayAnnotation::nominal(adder.netlist(), &lib);
+                let sta = StaReport::analyze(adder.netlist(), &ann);
+                print!(
+                    " {}:{:.0}/{:.0}",
+                    t.name(),
+                    adder.netlist().area(&lib),
+                    sta.critical_ps()
+                );
+            }
+        }
+        println!();
+    }
+}

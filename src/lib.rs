@@ -1,0 +1,47 @@
+//! # overclocked-isa
+//!
+//! A full Rust reproduction of *"Combining Structural and Timing Errors in
+//! Overclocked Inexact Speculative Adders"* (Jiao, Camus, Cacciotti, Jiang,
+//! Enz, Gupta — DATE 2017), from the gate level up:
+//!
+//! * [`core`] — the ISA behavioural model, the signed
+//!   structural/timing/joint error methodology, the twelve paper designs;
+//! * [`netlist`] — standard cells, adder topologies, ISA
+//!   assembly, STA, SDF annotation, mini-synthesis (the Design Compiler
+//!   substitute);
+//! * [`timing_sim`] — event-driven delay-annotated
+//!   simulation (the ModelSim substitute);
+//! * [`learn`] — decision trees / random forests and the
+//!   per-bit timing-error predictor (the scikit-learn substitute);
+//! * [`metrics`] — ABPER, AVPE, display floor, SNR;
+//! * [`workloads`] — input-vector generators;
+//! * [`experiments`] — the per-figure reproduction
+//!   pipelines.
+//!
+//! See the `examples/` directory for runnable entry points and DESIGN.md /
+//! EXPERIMENTS.md for the system inventory and measured results.
+//!
+//! # Quick start
+//!
+//! ```
+//! use overclocked_isa::core::{combine, IsaConfig, SpeculativeAdder};
+//!
+//! # fn main() -> Result<(), overclocked_isa::core::ConfigError> {
+//! let isa = SpeculativeAdder::new(IsaConfig::new(32, 8, 0, 0, 4)?);
+//! let inputs = (0..100u64).map(|i| (i * 977, i * 3331));
+//! let stats = combine::structural_errors(&isa, inputs);
+//! assert!(stats.re_joint.rms() < 0.01, "speculation errors are small");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use isa_core as core;
+pub use isa_experiments as experiments;
+pub use isa_learn as learn;
+pub use isa_metrics as metrics;
+pub use isa_netlist as netlist;
+pub use isa_timing_sim as timing_sim;
+pub use isa_workloads as workloads;

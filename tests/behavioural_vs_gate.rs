@@ -1,0 +1,97 @@
+//! Cross-crate equivalence: the behavioural ISA model (`isa-core`), the
+//! gate-level netlists (`isa-netlist`) and the event-driven simulator
+//! (`isa-timing-sim`) must agree bit-for-bit whenever timing is safe.
+
+use overclocked_isa::core::{paper_designs, paper_isa_configs, Adder, SpeculativeAdder};
+use overclocked_isa::experiments::{DesignContext, ExperimentConfig};
+use overclocked_isa::netlist::builders::{isa, AdderTopology, CANDIDATE_TOPOLOGIES};
+use overclocked_isa::workloads::{take_pairs, UniformWorkload};
+
+fn operands(n: usize) -> Vec<(u64, u64)> {
+    let mut v = take_pairs(UniformWorkload::new(32, 0xE9), n);
+    // Directed corners: carry chains, boundary patterns.
+    let m = u32::MAX as u64;
+    v.extend_from_slice(&[
+        (0, 0),
+        (m, m),
+        (m, 1),
+        (0x0000_00FF, 1),
+        (0x0000_FFFF, 1),
+        (0x00FF_FFFF, 1),
+        (0x7FFF_FFFF, 1),
+        (0x5555_5555, 0xAAAA_AAAA),
+        (0x8000_0000, 0x8000_0000),
+    ]);
+    v
+}
+
+#[test]
+fn every_paper_design_matches_its_netlist_functionally() {
+    for cfg in paper_isa_configs() {
+        let behavioural = SpeculativeAdder::new(cfg);
+        for topology in CANDIDATE_TOPOLOGIES {
+            if !topology.supports_width(cfg.block_size()) {
+                continue;
+            }
+            let gate = isa::build(&cfg, topology).expect("buildable");
+            for &(a, b) in &operands(300) {
+                assert_eq!(
+                    gate.add(a, b),
+                    behavioural.add(a, b),
+                    "cfg {cfg} topology {} a={a:#x} b={b:#x}",
+                    topology.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn settled_gate_level_output_equals_behavioural_gold() {
+    // With process variation and area recovery applied, the *settled*
+    // simulator output must still equal the behavioural model: delays never
+    // change logic.
+    let config = ExperimentConfig::default();
+    for design in paper_designs() {
+        let ctx = DesignContext::build(design, &config);
+        // Generous clock: larger than any possible path (3x the constraint).
+        let trace = ctx.trace(3.0 * config.period_ps, &operands(100));
+        for rec in &trace {
+            assert_eq!(
+                rec.sampled,
+                rec.settled,
+                "{}: timing error at a trivially safe clock",
+                ctx.label()
+            );
+            assert_eq!(
+                rec.settled,
+                ctx.gold.add(rec.a, rec.b),
+                "{}: settled output diverges from behavioural gold",
+                ctx.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_topologies_all_add_correctly_at_32_bits() {
+    use overclocked_isa::netlist::builders::build_exact;
+    for topology in CANDIDATE_TOPOLOGIES {
+        if !topology.supports_width(32) {
+            continue;
+        }
+        let adder = build_exact(32, topology);
+        for &(a, b) in &operands(200) {
+            assert_eq!(adder.add(a, b), a + b, "{}", topology.name());
+        }
+    }
+}
+
+#[test]
+fn single_path_isa_netlist_is_exact() {
+    let cfg = overclocked_isa::core::IsaConfig::new(32, 32, 0, 0, 0).unwrap();
+    let gate = isa::build(&cfg, AdderTopology::BrentKung).expect("buildable");
+    for &(a, b) in &operands(100) {
+        assert_eq!(gate.add(a, b), a + b);
+    }
+}

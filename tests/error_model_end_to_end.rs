@@ -1,0 +1,92 @@
+//! The signed error-combination model (Section IV.A) validated on real
+//! gate-level traces: identities, sign conventions and the
+//! additive/compensating interplay of Figs. 4 and 5.
+
+use overclocked_isa::core::{Design, IsaConfig, OutputTriple};
+use overclocked_isa::experiments::{DesignContext, ExperimentConfig};
+use overclocked_isa::workloads::{take_pairs, UniformWorkload};
+
+#[test]
+fn joint_error_identity_holds_on_every_simulated_cycle() {
+    let config = ExperimentConfig::default();
+    let ctx = DesignContext::build(
+        Design::Isa(IsaConfig::new(32, 8, 0, 1, 4).unwrap()),
+        &config,
+    );
+    let inputs = take_pairs(UniformWorkload::new(32, 10), 2_000);
+    let trace = ctx.trace(config.clock_ps(0.15), &inputs);
+    for rec in &trace {
+        let t = OutputTriple::new(rec.a + rec.b, rec.settled, rec.sampled);
+        assert_eq!(t.e_joint(), t.e_struct() + t.e_timing());
+        assert_eq!(t.e_joint(), rec.sampled as i64 - (rec.a + rec.b) as i64);
+        let re_sum = t.re_struct() + t.re_timing();
+        assert!((t.re_joint() - re_sum).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn structural_errors_are_never_positive_for_speculate_at_zero() {
+    // Missed carries only: ygold <= ydiamond on every cycle (the signed
+    // convention that makes compensation possible).
+    let config = ExperimentConfig::default();
+    let inputs = take_pairs(UniformWorkload::new(32, 11), 3_000);
+    for quad in [(8u32, 0u32, 0u32, 0u32), (8, 0, 1, 6), (16, 2, 0, 4)] {
+        let cfg = IsaConfig::new(32, quad.0, quad.1, quad.2, quad.3).unwrap();
+        let ctx = DesignContext::build(Design::Isa(cfg), &config);
+        for &(a, b) in &inputs {
+            let gold = ctx.gold.add(a, b);
+            assert!(gold <= a + b, "{cfg}: gold {gold:#x} exceeds exact");
+        }
+    }
+}
+
+#[test]
+fn compensating_cycles_exist_in_real_overclocked_traces() {
+    // Fig. 5's phenomenon must actually occur: cycles where the timing
+    // error opposes the structural error and shrinks the joint error.
+    let config = ExperimentConfig::default();
+    let ctx = DesignContext::build(
+        Design::Isa(IsaConfig::new(32, 8, 0, 0, 4).unwrap()),
+        &config,
+    );
+    let inputs = take_pairs(UniformWorkload::new(32, 12), 30_000);
+    let trace = ctx.trace(config.clock_ps(0.15), &inputs);
+    let mut compensating = 0usize;
+    let mut additive = 0usize;
+    for rec in &trace {
+        let t = OutputTriple::new(rec.a + rec.b, rec.settled, rec.sampled);
+        if t.e_struct() != 0 && t.e_timing() != 0 {
+            if t.e_joint().abs() < t.e_struct().abs() {
+                compensating += 1;
+            } else if t.e_joint().abs() > t.e_struct().abs() {
+                additive += 1;
+            }
+        }
+    }
+    assert!(
+        compensating > 0,
+        "expected at least one Fig. 5 style compensating cycle"
+    );
+    // Both directions occur; neither dominates absolutely.
+    assert!(additive > 0, "expected Fig. 4 style additive cycles too");
+}
+
+#[test]
+fn timing_errors_vanish_and_structural_remain_at_safe_clock() {
+    let config = ExperimentConfig::default();
+    let ctx = DesignContext::build(
+        Design::Isa(IsaConfig::new(32, 8, 0, 0, 2).unwrap()),
+        &config,
+    );
+    let inputs = take_pairs(UniformWorkload::new(32, 13), 1_000);
+    let trace = ctx.trace(config.period_ps, &inputs);
+    let mut structural_seen = false;
+    for rec in &trace {
+        let t = OutputTriple::new(rec.a + rec.b, rec.settled, rec.sampled);
+        assert_eq!(t.e_timing(), 0, "timing error at the safe clock");
+        if t.e_struct() != 0 {
+            structural_seen = true;
+        }
+    }
+    assert!(structural_seen, "(8,0,0,2) must show structural errors");
+}
