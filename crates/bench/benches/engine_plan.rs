@@ -1,0 +1,36 @@
+//! Engine plan-execution bench: the same behavioural-substrate plan run
+//! sequentially and sharded, exposing the engine's memoization + sharding
+//! win directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use isa_core::{Design, IsaConfig};
+use isa_engine::{Engine, ExperimentConfig, ExperimentPlan, SubstrateChoice};
+
+fn bench_engine_plan(c: &mut Criterion) {
+    let config = ExperimentConfig::default();
+    let plan = ExperimentPlan::new(config)
+        .designs([
+            Design::Isa(IsaConfig::new(32, 8, 0, 0, 4).unwrap()),
+            Design::Exact { width: 32 },
+        ])
+        .cprs([0.10])
+        .cycles(100_000)
+        .substrate(SubstrateChoice::Behavioural);
+
+    let mut group = c.benchmark_group("engine_plan");
+    group.sample_size(10);
+    for threads in [1usize, 4, 8] {
+        let engine = Engine::with_threads(threads);
+        group.bench_with_input(
+            BenchmarkId::new("behavioural_200k_cycles", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| std::hint::black_box(engine.run(&plan).len()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_plan);
+criterion_main!(benches);

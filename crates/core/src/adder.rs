@@ -2,14 +2,24 @@
 
 use std::fmt::Debug;
 
+/// Largest supported operand width, in bits.
+///
+/// An adder produces a `width + 1`-bit result (sum plus carry-out) that must
+/// fit a `u64`, so operands are capped at 63 bits even though [`mask`]
+/// itself supports the full 64-bit *result* width.
+pub const MAX_WIDTH: u32 = 63;
+
 /// Masks `value` to the low `width` bits.
+///
+/// Supports widths up to 64 (one more than [`MAX_WIDTH`]) because result
+/// values span `width + 1` bits including the carry-out.
 ///
 /// # Panics
 ///
 /// Panics in debug builds if `width > 64`.
 #[must_use]
 pub(crate) fn mask(width: u32) -> u64 {
-    debug_assert!(width <= 64);
+    debug_assert!(width <= MAX_WIDTH + 1, "mask width must be in 0..=64");
     if width == 64 {
         u64::MAX
     } else {
@@ -27,7 +37,11 @@ pub(crate) fn mask(width: u32) -> u64 {
 /// always produce the same output. This is what the paper calls the
 /// *behavioural* (golden) level — structural errors are defined against it,
 /// timing errors are defined on top of it.
-pub trait Adder: Debug {
+///
+/// `Send + Sync` are required so golden models can be shared across the
+/// engine's shard workers (they are pure, so this costs implementations
+/// nothing).
+pub trait Adder: Debug + Send + Sync {
     /// Operand width in bits.
     fn width(&self) -> u32;
 
@@ -61,12 +75,13 @@ impl ExactAdder {
     ///
     /// # Panics
     ///
-    /// Panics if `width` is 0 or greater than 63 (results must fit a `u64`).
+    /// Panics if `width` is 0 or greater than [`MAX_WIDTH`] (63): the
+    /// `width + 1`-bit result including the carry-out must fit a `u64`.
     #[must_use]
     pub fn new(width: u32) -> Self {
         assert!(
-            width > 0 && width <= 63,
-            "exact adder width must be in 1..=63, got {width}"
+            width > 0 && width <= MAX_WIDTH,
+            "exact adder width must be in 1..={MAX_WIDTH}, got {width}"
         );
         Self { width }
     }
@@ -116,6 +131,26 @@ mod tests {
         let adder = ExactAdder::new(63);
         let m = (1u64 << 63) - 1;
         assert_eq!(adder.add(m, 1), 1u64 << 63);
+    }
+
+    #[test]
+    fn max_width_boundary_is_63_for_adders_64_for_results() {
+        // Regression for the documented bound: operands cap at MAX_WIDTH
+        // (63) because results span width + 1 bits; mask() therefore must
+        // support exactly one more bit than the widest adder.
+        assert_eq!(MAX_WIDTH, 63);
+        let adder = ExactAdder::new(MAX_WIDTH);
+        let m = mask(MAX_WIDTH);
+        // The carry-out of the widest adder lands in bit 63 — the result
+        // still fits a u64, exercised by mask(64).
+        assert_eq!(adder.add(m, m), m << 1);
+        assert_eq!(adder.add(m, m) & mask(MAX_WIDTH + 1), m << 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in 1..=63")]
+    fn exact_adder_rejects_width_above_max() {
+        let _ = ExactAdder::new(MAX_WIDTH + 1);
     }
 
     #[test]

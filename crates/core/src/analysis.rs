@@ -364,8 +364,7 @@ mod tests {
         for cfg in paper_isa_configs() {
             let analysis = DesignAnalysis::analyze(&cfg);
             let (_, mc_mean, mc_rms) = monte_carlo(&cfg, n);
-            let se = (mc_rms * mc_rms - mc_mean * mc_mean).max(0.0).sqrt()
-                / (n as f64).sqrt();
+            let se = (mc_rms * mc_rms - mc_mean * mc_mean).max(0.0).sqrt() / (n as f64).sqrt();
             assert!(
                 (analysis.mean_error() - mc_mean).abs() < 5.0 * se + 1e-9,
                 "{cfg}: analytical {} vs MC {mc_mean} (se {se})",
@@ -485,7 +484,12 @@ mod exactness_tests {
     fn whole_design_matches_exhaustive_enumeration() {
         use crate::adder::{Adder, ExactAdder};
         use crate::isa::SpeculativeAdder;
-        for quad in [(4u32, 0u32, 0u32, 0u32), (4, 1, 0, 2), (4, 2, 1, 2), (4, 0, 1, 2)] {
+        for quad in [
+            (4u32, 0u32, 0u32, 0u32),
+            (4, 1, 0, 2),
+            (4, 2, 1, 2),
+            (4, 0, 1, 2),
+        ] {
             let cfg = IsaConfig::new(8, quad.0, quad.1, quad.2, quad.3).unwrap();
             let analysis = DesignAnalysis::analyze(&cfg);
             let isa = SpeculativeAdder::new(cfg);

@@ -115,11 +115,7 @@ impl BitErrorDistribution {
     /// The position with the highest error rate, or `None` when error-free.
     #[must_use]
     pub fn peak(&self) -> Option<(u32, f64)> {
-        let (pos, &count) = self
-            .counts
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, &c)| c)?;
+        let (pos, &count) = self.counts.iter().enumerate().max_by_key(|&(_, &c)| c)?;
         if count == 0 || self.cycles == 0 {
             return None;
         }

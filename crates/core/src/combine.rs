@@ -112,11 +112,7 @@ pub fn combine_errors<S: SilverSource>(
     let exact = ExactAdder::new(gold.width());
     let mut stats = CombinedErrorStats::new();
     for (a, b) in inputs {
-        let triple = OutputTriple::new(
-            exact.add(a, b),
-            gold.add(a, b),
-            silver.next_silver(a, b),
-        );
+        let triple = OutputTriple::new(exact.add(a, b), gold.add(a, b), silver.next_silver(a, b));
         stats.push(&triple);
     }
     stats

@@ -305,9 +305,7 @@ impl IsaConfig {
         }
         let mut values = [0u32; 4];
         for (slot, field) in values.iter_mut().zip(&fields) {
-            *slot = field
-                .parse()
-                .map_err(|_| err(ParseQuadrupleReason::Int))?;
+            *slot = field.parse().map_err(|_| err(ParseQuadrupleReason::Int))?;
         }
         Self::new(width, values[0], values[1], values[2], values[3])
             .map_err(|e| err(ParseQuadrupleReason::Config(e)))
@@ -510,7 +508,13 @@ mod tests {
     fn config_error_messages_are_informative() {
         let e = IsaConfig::new(32, 12, 0, 0, 0).unwrap_err();
         let msg = e.to_string();
-        assert!(msg.contains("12"), "message should mention the block: {msg}");
-        assert!(msg.contains("32"), "message should mention the width: {msg}");
+        assert!(
+            msg.contains("12"),
+            "message should mention the block: {msg}"
+        );
+        assert!(
+            msg.contains("32"),
+            "message should mention the width: {msg}"
+        );
     }
 }

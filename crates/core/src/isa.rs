@@ -163,11 +163,7 @@ impl SpeculativeAdder {
             let lo = k as u32 * bsz;
             let a_blk = (a >> lo) & bm;
             let b_blk = (b >> lo) & bm;
-            let carry_in = if k == 0 {
-                0
-            } else {
-                self.speculate(a, b, lo)
-            };
+            let carry_in = if k == 0 { 0 } else { self.speculate(a, b, lo) };
             let raw = a_blk + b_blk + carry_in;
             outcomes.push(PathOutcome {
                 carry_in,
@@ -449,7 +445,12 @@ mod tests {
     fn single_path_design_is_exact() {
         let adder = isa(32, 32, 0, 0, 0);
         let exact = ExactAdder::new(32);
-        for (a, b) in [(0u64, 0u64), (1, 2), (0xFFFF_FFFF, 1), (0xDEAD_BEEF, 0xCAFE_F00D)] {
+        for (a, b) in [
+            (0u64, 0u64),
+            (1, 2),
+            (0xFFFF_FFFF, 1),
+            (0xDEAD_BEEF, 0xCAFE_F00D),
+        ] {
             assert_eq!(adder.add(a, b), exact.add(a, b));
         }
     }
@@ -518,7 +519,9 @@ mod tests {
         let adder = isa(32, 8, 2, 1, 4);
         let mut seed = 42u64;
         for _ in 0..500 {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = seed >> 32;
             let b = seed & 0xFFFF_FFFF;
             assert_eq!(adder.add(a, b), adder.add_traced(a, b).sum);

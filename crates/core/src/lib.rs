@@ -49,8 +49,9 @@ pub mod error;
 pub mod isa;
 pub mod multiplier;
 pub mod stats;
+pub mod substrate;
 
-pub use adder::{Adder, ExactAdder};
+pub use adder::{Adder, ExactAdder, MAX_WIDTH};
 pub use analysis::{BoundaryStats, DesignAnalysis};
 pub use bitdist::BitErrorDistribution;
 pub use combine::{combine_errors, CombinedErrorStats, SilverSource};
@@ -60,3 +61,4 @@ pub use error::OutputTriple;
 pub use isa::{Compensation, IsaAddition, PathOutcome, SpeculativeAdder};
 pub use multiplier::{ExactMultiplier, Multiplier, SpeculativeMultiplier};
 pub use stats::ErrorStats;
+pub use substrate::{BehaviouralSubstrate, CostClass, Substrate};

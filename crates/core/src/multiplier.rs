@@ -232,10 +232,9 @@ mod tests {
 
     #[test]
     fn better_accumulators_give_better_products() {
-        let weak = SpeculativeMultiplier::new(16, IsaConfig::new(32, 8, 0, 0, 0).unwrap())
-            .unwrap();
-        let strong = SpeculativeMultiplier::new(16, IsaConfig::new(32, 16, 7, 0, 8).unwrap())
-            .unwrap();
+        let weak = SpeculativeMultiplier::new(16, IsaConfig::new(32, 8, 0, 0, 0).unwrap()).unwrap();
+        let strong =
+            SpeculativeMultiplier::new(16, IsaConfig::new(32, 16, 7, 0, 8).unwrap()).unwrap();
         let mut weak_err = 0u64;
         let mut strong_err = 0u64;
         let mut seed = 11u64;

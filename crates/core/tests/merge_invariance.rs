@@ -1,0 +1,135 @@
+//! Property tests for parallel-merge correctness: sharded
+//! `CombinedErrorStats::merge` results must be independent of shard count
+//! and shard order, and agree with the sequential push order within f64
+//! merge tolerance — the contract the engine's shard executor relies on.
+
+use isa_core::{CombinedErrorStats, OutputTriple};
+
+/// Deterministic pseudo-random output triples with all three error kinds.
+fn triples(n: usize, seed: u64) -> Vec<OutputTriple> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = (state >> 32) & 0xFFFF_FFFF;
+            let b = state & 0xFFFF_FFFF;
+            let diamond = a + b;
+            // Structural error: short a few low bits sometimes; timing
+            // error: flip a mid bit sometimes.
+            let gold = diamond - (state >> 7 & 0x3) * (state & 1);
+            let silver = if state & 0x30 == 0 {
+                gold ^ (1 << 20)
+            } else {
+                gold
+            };
+            OutputTriple::new(diamond, gold, silver)
+        })
+        .collect()
+}
+
+fn sequential(triples: &[OutputTriple]) -> CombinedErrorStats {
+    let mut stats = CombinedErrorStats::new();
+    for t in triples {
+        stats.push(t);
+    }
+    stats
+}
+
+fn sharded(triples: &[OutputTriple], shards: usize) -> CombinedErrorStats {
+    let chunk = triples.len().div_ceil(shards);
+    let partials: Vec<CombinedErrorStats> = triples.chunks(chunk).map(sequential).collect();
+    let mut merged = partials[0];
+    for partial in &partials[1..] {
+        merged.merge(partial);
+    }
+    merged
+}
+
+/// Tolerance helper: f64 reassociation shifts sums by a few ULPs.
+fn close(a: f64, b: f64) {
+    let scale = a.abs().max(b.abs()).max(1e-300);
+    assert!(
+        (a - b).abs() / scale < 1e-12 || (a - b).abs() < 1e-300,
+        "{a} vs {b}"
+    );
+}
+
+fn assert_stats_close(a: &CombinedErrorStats, b: &CombinedErrorStats) {
+    assert_eq!(a.len(), b.len(), "cycle counts must match exactly");
+    for (x, y) in [
+        (&a.e_struct, &b.e_struct),
+        (&a.e_timing, &b.e_timing),
+        (&a.e_joint, &b.e_joint),
+        (&a.re_struct, &b.re_struct),
+        (&a.re_timing, &b.re_timing),
+        (&a.re_joint, &b.re_joint),
+    ] {
+        assert_eq!(x.len(), y.len());
+        assert_eq!(x.error_rate(), y.error_rate(), "counters are integers");
+        assert_eq!(x.max_abs(), y.max_abs(), "max is order-free");
+        close(x.mean(), y.mean());
+        close(x.rms(), y.rms());
+        close(x.variance(), y.variance());
+        close(x.mean_abs(), y.mean_abs());
+    }
+}
+
+#[test]
+fn merge_is_invariant_to_shard_count() {
+    for seed in [1u64, 0xDEAD_BEEF, 42] {
+        let data = triples(5_000, seed);
+        let reference = sequential(&data);
+        for shards in [1, 2, 3, 7, 16, 64] {
+            let merged = sharded(&data, shards);
+            assert_stats_close(&merged, &reference);
+        }
+    }
+}
+
+#[test]
+fn merge_is_invariant_to_shard_order() {
+    let data = triples(4_096, 7);
+    let chunk = 512;
+    let partials: Vec<CombinedErrorStats> = data.chunks(chunk).map(sequential).collect();
+
+    let mut forward = partials[0];
+    for partial in &partials[1..] {
+        forward.merge(partial);
+    }
+    let mut backward = *partials.last().unwrap();
+    for partial in partials[..partials.len() - 1].iter().rev() {
+        backward.merge(partial);
+    }
+    // A scrambled order as well (deterministic permutation).
+    let order = [3usize, 0, 6, 1, 7, 4, 2, 5];
+    let mut scrambled = partials[order[0]];
+    for &i in &order[1..] {
+        scrambled.merge(&partials[i]);
+    }
+
+    assert_stats_close(&forward, &backward);
+    assert_stats_close(&forward, &scrambled);
+    assert_stats_close(&forward, &sequential(&data));
+}
+
+#[test]
+fn merging_empty_aggregates_is_identity() {
+    let data = triples(100, 9);
+    let reference = sequential(&data);
+    let mut merged = CombinedErrorStats::new();
+    merged.merge(&reference);
+    assert_eq!(merged, reference, "empty ∪ x == x bit-for-bit");
+    let mut other = reference;
+    other.merge(&CombinedErrorStats::new());
+    assert_eq!(other, reference, "x ∪ empty == x bit-for-bit");
+}
+
+#[test]
+fn single_shard_merge_is_bit_identical_to_sequential() {
+    // With one shard the engine path degenerates to the sequential push
+    // order; no float reassociation happens at all.
+    let data = triples(1_000, 3);
+    assert_eq!(sharded(&data, 1), sequential(&data));
+}

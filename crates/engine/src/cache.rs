@@ -1,0 +1,122 @@
+//! Memoized per-design synthesis/annotation artifacts.
+//!
+//! The seed implementation rebuilt every [`DesignContext`] once per figure
+//! — twelve synthesis + annotation passes repeated up to seven times by
+//! `all_figures`. The cache builds each (design, die) pair exactly once per
+//! process and hands out shared references, so every pipeline and substrate
+//! sees the same die sample for the same design.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use isa_core::Design;
+
+use crate::context::{DesignContext, ExperimentConfig};
+
+/// Cache key: the design plus every configuration field that influences
+/// synthesis or the die sample. Floats are keyed by their bit patterns —
+/// configurations are compared for identity, not numeric closeness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ArtifactKey {
+    design: Design,
+    period_bits: u64,
+    sigma_bits: u64,
+    variation_seed: u64,
+}
+
+impl ArtifactKey {
+    fn new(design: &Design, config: &ExperimentConfig) -> Self {
+        Self {
+            design: *design,
+            period_bits: config.period_ps.to_bits(),
+            sigma_bits: config.variation_sigma.to_bits(),
+            variation_seed: config.variation_seed,
+        }
+    }
+}
+
+/// Thread-safe memo of [`DesignContext`]s.
+///
+/// Concurrent requests for *different* designs synthesize in parallel;
+/// concurrent requests for the *same* design block on a per-key
+/// [`OnceLock`] so each design is built exactly once.
+#[derive(Debug, Default)]
+pub struct ArtifactCache {
+    slots: Mutex<HashMap<ArtifactKey, Arc<OnceLock<Arc<DesignContext>>>>>,
+}
+
+impl ArtifactCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the memoized context for a design, synthesizing it on first
+    /// use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if synthesis fails (propagated from [`DesignContext::build`])
+    /// or if a concurrent build of the same design panicked.
+    #[must_use]
+    pub fn context(&self, design: &Design, config: &ExperimentConfig) -> Arc<DesignContext> {
+        let key = ArtifactKey::new(design, config);
+        let slot = {
+            let mut slots = self.slots.lock().expect("artifact cache poisoned");
+            Arc::clone(slots.entry(key).or_default())
+        };
+        // Build outside the map lock: other designs stay buildable in
+        // parallel; same-design racers block here until the winner is done.
+        Arc::clone(slot.get_or_init(|| Arc::new(DesignContext::build(*design, config))))
+    }
+
+    /// Number of contexts built so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots
+            .lock()
+            .expect("artifact cache poisoned")
+            .values()
+            .filter(|slot| slot.get().is_some())
+            .count()
+    }
+
+    /// True if nothing was built yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isa_core::IsaConfig;
+
+    #[test]
+    fn same_design_is_built_once_and_shared() {
+        let cache = ArtifactCache::new();
+        let config = ExperimentConfig::default();
+        let design = Design::Isa(IsaConfig::new(32, 8, 0, 0, 4).unwrap());
+        let a = cache.context(&design, &config);
+        let b = cache.context(&design, &config);
+        assert!(Arc::ptr_eq(&a, &b), "second fetch must hit the memo");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn different_dies_get_different_slots() {
+        let cache = ArtifactCache::new();
+        let config = ExperimentConfig::default();
+        let other_die = ExperimentConfig {
+            variation_seed: 42,
+            ..ExperimentConfig::default()
+        };
+        let design = Design::Exact { width: 32 };
+        let a = cache.context(&design, &config);
+        let b = cache.context(&design, &other_die);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -4,15 +4,16 @@
 //! paper's experiments: the synthesized netlist, its delay annotation with
 //! process variation (the die sample), and the behavioural golden model.
 //!
-//! Flow asymmetry (DESIGN.md §6): ISA designs are Pareto points from the
-//! NEWCAS'15 library that *fit* the 0.3 ns constraint with natural slack,
-//! so they are synthesized min-area without area recovery; the exact adder
-//! is *constrained at* 0.3 ns ("also constrained at 0.3 ns") and recovered
-//! to the slack wall like any commercial flow would.
+//! Flow asymmetry (see the root README's "Synthesis flow" note): ISA
+//! designs are Pareto points from the NEWCAS'15 library that *fit* the
+//! 0.3 ns constraint with natural slack, so they are synthesized min-area
+//! without area recovery; the exact adder is *constrained at* 0.3 ns ("also
+//! constrained at 0.3 ns") and recovered to the slack wall like any
+//! commercial flow would.
 
 use isa_core::{paper_designs, Adder, Design};
 use isa_netlist::cell::CellLibrary;
-use isa_netlist::synth::{synthesize_exact, synthesize_isa, Synthesized, SynthesisOptions};
+use isa_netlist::synth::{synthesize_exact, synthesize_isa, SynthesisOptions, Synthesized};
 use isa_netlist::timing::{DelayAnnotation, VariationModel};
 use isa_timing_sim::{run_adder_trace, CycleRecord};
 
@@ -49,7 +50,7 @@ impl ExperimentConfig {
     /// # Examples
     ///
     /// ```
-    /// use isa_experiments::ExperimentConfig;
+    /// use isa_engine::ExperimentConfig;
     ///
     /// let cfg = ExperimentConfig::default();
     /// assert_eq!(cfg.clock_ps(0.10), 270.0);
@@ -75,6 +76,10 @@ pub struct DesignContext {
 
 impl DesignContext {
     /// Synthesizes and annotates one design under the configuration.
+    ///
+    /// Prefer fetching contexts through
+    /// [`Engine::context`](crate::Engine::context), which memoizes them per
+    /// (design, die) so each design is synthesized once per process.
     ///
     /// # Panics
     ///
@@ -130,7 +135,7 @@ impl DesignContext {
 }
 
 /// Stable per-design seed component so each die sample differs.
-fn design_seed(design: &Design) -> u64 {
+pub(crate) fn design_seed(design: &Design) -> u64 {
     match design {
         Design::Exact { width } => 0xE0_0000 | u64::from(*width),
         Design::Isa(cfg) => {

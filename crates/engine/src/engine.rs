@@ -1,0 +1,473 @@
+//! The sharded plan executor.
+//!
+//! [`Engine::run`] evaluates an [`ExperimentPlan`] — the cross product
+//! `designs × cprs × workloads` — on the plan's substrate, in parallel
+//! across OS threads (`std::thread::scope`, no external executor). Two
+//! levels of parallelism apply:
+//!
+//! * independent **runs** (one (design, cpr, workload) triple each) are
+//!   distributed over a worker pool;
+//! * a single run on a *stateless* substrate (where cycle order cannot
+//!   matter) is additionally split into input **shards**, whose
+//!   [`CombinedErrorStats`] are merged back in deterministic shard order.
+//!
+//! Per-design synthesis/annotation artifacts are memoized in the engine's
+//! [`ArtifactCache`], so a twelve-design seven-figure session synthesizes
+//! each design once instead of once per figure.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use isa_core::{
+    Adder, BehaviouralSubstrate, BitErrorDistribution, CombinedErrorStats, Design, ExactAdder,
+    OutputTriple, Substrate,
+};
+
+use crate::cache::ArtifactCache;
+use crate::context::{DesignContext, ExperimentConfig};
+use crate::plan::{ExperimentPlan, SubstrateChoice, WorkloadSpec};
+use crate::substrates::{GateLevelSubstrate, PredictedSubstrate};
+
+/// Below this many cycles a stateless run is not worth sharding.
+const MIN_SHARD_CYCLES: usize = 8192;
+
+/// Aggregated outcome of one (design, cpr, workload) run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The evaluated design.
+    pub design: Design,
+    /// Display label of the design (quadruple or `exact`).
+    pub design_label: String,
+    /// Clock-period reduction applied (0.0 = safe clock).
+    pub cpr: f64,
+    /// Absolute clock period in picoseconds.
+    pub clock_ps: f64,
+    /// Workload name.
+    pub workload: String,
+    /// Substrate label the run executed on.
+    pub substrate: String,
+    /// Cycles evaluated.
+    pub cycles: u64,
+    /// The Fig. 6 combined statistics (structural / timing / joint).
+    pub stats: CombinedErrorStats,
+    /// Structural errors translated to equivalent bit positions (Fig. 10).
+    pub structural_bits: BitErrorDistribution,
+    /// Timing errors by flipped bit position (Fig. 10).
+    pub timing_bits: BitErrorDistribution,
+}
+
+impl RunResult {
+    /// Fraction of cycles with at least one timing-erroneous output bit.
+    #[must_use]
+    pub fn timing_error_rate(&self) -> f64 {
+        self.stats.e_timing.error_rate()
+    }
+}
+
+/// Per-shard accumulator, merged in shard order.
+struct ShardOut {
+    stats: CombinedErrorStats,
+    structural_bits: BitErrorDistribution,
+    timing_bits: BitErrorDistribution,
+}
+
+/// The plan executor: a worker pool plus the shared artifact cache.
+#[derive(Debug)]
+pub struct Engine {
+    threads: usize,
+    cache: Arc<ArtifactCache>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// Creates an engine sized to the machine's available parallelism.
+    #[must_use]
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        Self::with_threads(threads)
+    }
+
+    /// Creates an engine with an explicit worker count (`1` = fully
+    /// sequential, deterministic scheduling).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            cache: Arc::new(ArtifactCache::new()),
+        }
+    }
+
+    /// Worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The shared artifact cache (for substrates constructed outside the
+    /// engine that should reuse its synthesis results).
+    #[must_use]
+    pub fn cache(&self) -> Arc<ArtifactCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// Memoized synthesis/annotation artifacts for one design.
+    #[must_use]
+    pub fn context(&self, design: &Design, config: &ExperimentConfig) -> Arc<DesignContext> {
+        self.cache.context(design, config)
+    }
+
+    /// Builds (and memoizes) the contexts of many designs in parallel.
+    pub fn prewarm(&self, designs: &[Design], config: &ExperimentConfig) {
+        self.parallel_indexed(designs.len(), |i| {
+            let _ = self.cache.context(&designs[i], config);
+        });
+    }
+
+    /// Resolves a plan's substrate choice against this engine's cache.
+    #[must_use]
+    pub fn resolve_substrate(&self, plan: &ExperimentPlan) -> Arc<dyn Substrate> {
+        match &plan.substrate {
+            SubstrateChoice::Behavioural => Arc::new(BehaviouralSubstrate),
+            SubstrateChoice::GateLevel => {
+                Arc::new(GateLevelSubstrate::new(self.cache(), plan.config.clone()))
+            }
+            SubstrateChoice::Predicted { train_cycles } => Arc::new(PredictedSubstrate::new(
+                self.cache(),
+                plan.config.clone(),
+                *train_cycles,
+            )),
+            SubstrateChoice::Custom(substrate) => Arc::clone(substrate),
+        }
+    }
+
+    /// Executes the plan: every (design × cpr × workload) run on the
+    /// plan's substrate, sharded across the worker pool, results in plan
+    /// order (designs outermost, workloads innermost).
+    ///
+    /// Statistics are deterministic for a given plan: shard boundaries
+    /// depend only on the plan and engine thread count, and per-shard
+    /// results are merged in shard order regardless of completion order.
+    #[must_use]
+    pub fn run(&self, plan: &ExperimentPlan) -> Vec<RunResult> {
+        let substrate = self.resolve_substrate(plan);
+        let workloads: Vec<WorkloadSpec> = plan.resolved_workloads();
+        let designs = plan.design_list();
+        let cprs = plan.cpr_list();
+
+        // Enumerate runs and their shards up front.
+        struct Unit {
+            design_idx: usize,
+            cpr_idx: usize,
+            workload_idx: usize,
+            shards: Vec<Range<usize>>,
+        }
+        let mut units = Vec::new();
+        for design_idx in 0..designs.len() {
+            for cpr_idx in 0..cprs.len() {
+                for (workload_idx, workload) in workloads.iter().enumerate() {
+                    let n = workload.inputs.len();
+                    let shard_count = if substrate.is_stateless() {
+                        (n / MIN_SHARD_CYCLES)
+                            .clamp(1, self.threads)
+                            .min(plan.max_shards_per_run)
+                    } else {
+                        1
+                    };
+                    let shards = split_ranges(n, shard_count);
+                    units.push(Unit {
+                        design_idx,
+                        cpr_idx,
+                        workload_idx,
+                        shards,
+                    });
+                }
+            }
+        }
+        let tasks: Vec<(usize, usize)> = units
+            .iter()
+            .enumerate()
+            .flat_map(|(u, unit)| (0..unit.shards.len()).map(move |s| (u, s)))
+            .collect();
+
+        let shard_results: Vec<ShardOut> = self.parallel_indexed(tasks.len(), |t| {
+            let (u, s) = tasks[t];
+            let unit = &units[u];
+            let design = &designs[unit.design_idx];
+            let clock_ps = plan.config.clock_ps(cprs[unit.cpr_idx]);
+            let inputs = &workloads[unit.workload_idx].inputs[unit.shards[s].clone()];
+            run_shard(substrate.as_ref(), design, clock_ps, inputs)
+        });
+
+        // Stitch shards back into runs, merging in shard order.
+        let mut results = Vec::with_capacity(units.len());
+        let mut cursor = 0;
+        for unit in &units {
+            let design = designs[unit.design_idx];
+            let mut shards = shard_results[cursor..cursor + unit.shards.len()].iter();
+            cursor += unit.shards.len();
+            let first = shards.next().expect("every run has at least one shard");
+            let mut stats = first.stats;
+            let mut structural_bits = first.structural_bits.clone();
+            let mut timing_bits = first.timing_bits.clone();
+            for shard in shards {
+                stats.merge(&shard.stats);
+                structural_bits.merge(&shard.structural_bits);
+                timing_bits.merge(&shard.timing_bits);
+            }
+            let cpr = cprs[unit.cpr_idx];
+            results.push(RunResult {
+                design,
+                design_label: design.to_string(),
+                cpr,
+                clock_ps: plan.config.clock_ps(cpr),
+                workload: workloads[unit.workload_idx].name.clone(),
+                substrate: substrate.label(),
+                cycles: stats.len(),
+                stats,
+                structural_bits,
+                timing_bits,
+            });
+        }
+        results
+    }
+
+    /// Runs an arbitrary evaluator over every (design × cpr × workload)
+    /// unit of the plan, in parallel, returning results in plan order.
+    ///
+    /// This is the escape hatch for pipelines whose per-run logic does not
+    /// reduce to combined error statistics (predictor training/evaluation,
+    /// energy measurement, Razor comparisons); they still inherit the
+    /// engine's memoized artifacts and its worker pool. Parallelism is
+    /// across *units* only — unlike [`Engine::run`], `map` never splits a
+    /// unit's input stream, so each evaluator sees its full stream on one
+    /// thread and a single-unit plan runs sequentially.
+    pub fn map<T, F>(&self, plan: &ExperimentPlan, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(RunUnit<'_>) -> T + Sync,
+    {
+        let workloads: Vec<WorkloadSpec> = plan.resolved_workloads();
+        let designs = plan.design_list();
+        let cprs = plan.cpr_list();
+        let per_design = cprs.len() * workloads.len();
+        let total = designs.len() * per_design;
+        self.parallel_indexed(total, |i| {
+            let design_idx = i / per_design;
+            let cpr_idx = (i % per_design) / workloads.len();
+            let workload_idx = i % workloads.len();
+            let cpr = cprs[cpr_idx];
+            f(RunUnit {
+                engine: self,
+                config: &plan.config,
+                design: designs[design_idx],
+                cpr,
+                clock_ps: plan.config.clock_ps(cpr),
+                workload: &workloads[workload_idx].name,
+                inputs: &workloads[workload_idx].inputs,
+            })
+        })
+    }
+
+    /// Work-stealing parallel map over `0..n`, results in index order.
+    /// Falls back to a plain sequential loop for one worker or one task.
+    fn parallel_indexed<T: Send>(&self, n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = f(i);
+                    results.lock().expect("result sink poisoned").push((i, out));
+                });
+            }
+        });
+        let mut indexed = results.into_inner().expect("result sink poisoned");
+        indexed.sort_unstable_by_key(|&(i, _)| i);
+        indexed.into_iter().map(|(_, out)| out).collect()
+    }
+}
+
+/// One unit handed to an [`Engine::map`] evaluator.
+pub struct RunUnit<'a> {
+    engine: &'a Engine,
+    /// The plan's configuration.
+    pub config: &'a ExperimentConfig,
+    /// The unit's design.
+    pub design: Design,
+    /// Clock-period reduction (0.0 = safe clock).
+    pub cpr: f64,
+    /// Absolute clock period in picoseconds.
+    pub clock_ps: f64,
+    /// Workload name.
+    pub workload: &'a str,
+    /// The unit's full input stream.
+    pub inputs: &'a [(u64, u64)],
+}
+
+impl RunUnit<'_> {
+    /// The memoized synthesis artifacts of this unit's design.
+    #[must_use]
+    pub fn context(&self) -> Arc<DesignContext> {
+        self.engine.context(&self.design, self.config)
+    }
+}
+
+/// Evaluates one shard of one run: the Fig. 6 inner loop plus the Fig. 10
+/// bit-position translations.
+fn run_shard(
+    substrate: &dyn Substrate,
+    design: &Design,
+    clock_ps: f64,
+    inputs: &[(u64, u64)],
+) -> ShardOut {
+    let gold = design.behavioural();
+    let exact = ExactAdder::new(design.width());
+    let positions = design.width() + 1;
+    let mut session = substrate.prepare(design, clock_ps);
+    let mut stats = CombinedErrorStats::new();
+    let mut structural_bits = BitErrorDistribution::new(positions);
+    let mut timing_bits = BitErrorDistribution::new(positions);
+    for &(a, b) in inputs {
+        let gold_y = gold.add(a, b);
+        let silver = session.next_silver(a, b);
+        let triple = OutputTriple::new(exact.add(a, b), gold_y, silver);
+        stats.push(&triple);
+        structural_bits.record_arithmetic(triple.e_struct());
+        timing_bits.record_flips(silver, gold_y);
+    }
+    ShardOut {
+        stats,
+        structural_bits,
+        timing_bits,
+    }
+}
+
+/// Splits `0..n` into `parts` contiguous near-equal ranges (first ranges
+/// one longer when `n` is not divisible).
+fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isa_core::IsaConfig;
+
+    fn one_design() -> Design {
+        Design::Isa(IsaConfig::new(32, 8, 0, 0, 4).unwrap())
+    }
+
+    #[test]
+    fn split_ranges_covers_everything_in_order() {
+        let ranges = split_ranges(10, 3);
+        assert_eq!(ranges, vec![0..4, 4..7, 7..10]);
+        assert_eq!(split_ranges(2, 5).len(), 2, "never more shards than items");
+        assert_eq!(split_ranges(0, 3), vec![0..0]);
+    }
+
+    #[test]
+    fn behavioural_plan_matches_direct_structural_errors() {
+        let engine = Engine::with_threads(4);
+        let design = one_design();
+        let plan = ExperimentPlan::new(ExperimentConfig::default())
+            .designs([design])
+            .cprs([0.10])
+            .cycles(2_000)
+            .substrate(SubstrateChoice::Behavioural);
+        let results = engine.run(&plan);
+        assert_eq!(results.len(), 1);
+        let result = &results[0];
+        assert_eq!(result.cycles, 2_000);
+        assert_eq!(result.substrate, "behavioural");
+        assert_eq!(result.timing_error_rate(), 0.0);
+
+        let gold = design.behavioural();
+        let inputs = plan.resolved_workloads()[0].inputs.clone();
+        let direct = isa_core::combine::structural_errors(gold.as_ref(), inputs.iter().copied());
+        assert_eq!(result.stats, direct, "unsharded run matches direct loop");
+    }
+
+    #[test]
+    fn sharded_stateless_run_matches_sequential_within_tolerance() {
+        let engine_parallel = Engine::with_threads(8);
+        let engine_serial = Engine::with_threads(1);
+        let plan = ExperimentPlan::new(ExperimentConfig::default())
+            .designs([one_design()])
+            .cprs([0.10])
+            .cycles(40_000)
+            .substrate(SubstrateChoice::Behavioural);
+        let sharded = &engine_parallel.run(&plan)[0];
+        let sequential = &engine_serial.run(&plan.clone().max_shards_per_run(1))[0];
+        assert_eq!(sharded.cycles, sequential.cycles);
+        assert!((sharded.stats.re_joint.rms() - sequential.stats.re_joint.rms()).abs() < 1e-12);
+        assert_eq!(
+            sharded.structural_bits, sequential.structural_bits,
+            "bit counts are integers: sharding must not change them"
+        );
+    }
+
+    #[test]
+    fn run_order_is_designs_then_cprs_then_workloads() {
+        let engine = Engine::with_threads(2);
+        let plan = ExperimentPlan::new(ExperimentConfig::default())
+            .designs([one_design(), Design::Exact { width: 32 }])
+            .cprs([0.05, 0.10])
+            .workload("w0", vec![(1, 2); 64])
+            .workload("w1", vec![(3, 4); 64])
+            .substrate(SubstrateChoice::Behavioural);
+        let results = engine.run(&plan);
+        assert_eq!(results.len(), 8);
+        assert_eq!(results[0].workload, "w0");
+        assert_eq!(results[1].workload, "w1");
+        assert_eq!(results[0].cpr, 0.05);
+        assert_eq!(results[2].cpr, 0.10);
+        assert_eq!(results[0].design_label, "(8,0,0,4)");
+        assert_eq!(results[4].design_label, "exact");
+    }
+
+    #[test]
+    fn map_preserves_plan_order_under_parallelism() {
+        let engine = Engine::with_threads(4);
+        let plan = ExperimentPlan::new(ExperimentConfig::default())
+            .designs([one_design(), Design::Exact { width: 32 }])
+            .cprs([0.05, 0.15])
+            .workload("w", vec![(0, 0); 8]);
+        let labels = engine.map(&plan, |unit| format!("{}@{:.2}", unit.design, unit.cpr));
+        assert_eq!(
+            labels,
+            vec![
+                "(8,0,0,4)@0.05",
+                "(8,0,0,4)@0.15",
+                "exact@0.05",
+                "exact@0.15"
+            ]
+        );
+    }
+}

@@ -1,12 +1,19 @@
 //! Runs the complete reproduction: design table, Figs. 7-10, writing CSVs
 //! under `results/`.
 //!
-//! Usage: `all_figures [--cycles N] [--train N] [--test N] [--samples N] [--outdir DIR]`
+//! One engine is shared by every pipeline, so the twelve designs are
+//! synthesized exactly once and all (design × CPR × workload) runs shard
+//! across the machine.
+//!
+//! Usage: `all_figures [--cycles N] [--train N] [--test N] [--samples N]
+//! [--outdir DIR] [--threads N]`
 
-use isa_core::IsaConfig;
+use std::time::Instant;
+
+use isa_core::{paper_designs, Design, IsaConfig};
 use isa_experiments::{
-    arg_value, design_table, energy, fig10, fig9, guardband, prediction,
-    workload_sensitivity, DesignContext, ExperimentConfig,
+    arg_value, design_table, energy, engine_from_args, fig10, fig9, guardband, prediction,
+    workload_sensitivity, ExperimentConfig,
 };
 
 fn main() {
@@ -19,51 +26,57 @@ fn main() {
     std::fs::create_dir_all(&outdir).expect("create output directory");
 
     let config = ExperimentConfig::default();
-    eprintln!("synthesizing the twelve designs...");
-    let contexts = DesignContext::build_all(&config);
+    let engine = engine_from_args(&args);
+    let designs = paper_designs();
+    let started = Instant::now();
+    eprintln!(
+        "synthesizing the twelve designs ({} workers)...",
+        engine.threads()
+    );
+    engine.prewarm(&designs, &config);
 
     eprintln!("design table ({samples} behavioural samples)...");
-    let table = design_table::run_with_contexts(&config, &contexts, samples);
+    let table = design_table::run_on(&engine, &config, &designs, samples);
     print!("{}", table.render());
     std::fs::write(format!("{outdir}/design_table.csv"), table.to_csv()).expect("write");
 
     eprintln!("fig 9 ({cycles} gate-level cycles per design/CPR)...");
-    let f9 = fig9::run_with_contexts(&config, &contexts, cycles);
+    let f9 = fig9::run_on(&engine, &config, &designs, cycles);
     print!("{}", f9.render());
     std::fs::write(format!("{outdir}/fig9.csv"), f9.to_csv()).expect("write");
 
     eprintln!("figs 7+8 (train {train} / test {test})...");
-    let pred = prediction::run_with_contexts(&config, &contexts, train, test);
+    let pred = prediction::run_on(&engine, &config, &designs, train, test);
     print!("{}", pred.render_fig7());
     print!("{}", pred.render_fig8());
     std::fs::write(format!("{outdir}/fig7_fig8.csv"), pred.to_csv()).expect("write");
 
     eprintln!("fig 10 ({} cycles)...", cycles * 2);
-    let ctx_8004 = contexts
-        .iter()
-        .find(|c| c.label() == "(8,0,0,4)")
-        .expect("paper design present");
-    let f10 = fig10::run_with_context(&config, ctx_8004, 0.15, cycles * 2);
+    let isa_8004 = Design::Isa(IsaConfig::new(32, 8, 0, 0, 4).expect("valid design"));
+    let f10 = fig10::run_on(&engine, &config, isa_8004, 0.15, cycles * 2);
     print!("{}", f10.render());
     std::fs::write(format!("{outdir}/fig10.csv"), f10.to_csv()).expect("write");
 
     let extension_cycles = (cycles / 5).max(1_000);
     eprintln!("energy table ({extension_cycles} cycles, extension)...");
-    let en = energy::run_with_contexts(&config, &contexts, extension_cycles);
+    let en = energy::run_on(&engine, &config, &designs, extension_cycles);
     print!("{}", en.render());
     std::fs::write(format!("{outdir}/energy.csv"), en.to_csv()).expect("write");
 
     eprintln!("guardband strategy comparison ({extension_cycles} cycles, extension)...");
     let isa = IsaConfig::new(32, 8, 0, 0, 4).expect("valid design");
-    let gb = guardband::run(&config, isa, extension_cycles);
+    let gb = guardband::run_on(&engine, &config, isa, extension_cycles);
     print!("{}", gb.render());
     std::fs::write(format!("{outdir}/guardband.csv"), gb.to_csv()).expect("write");
 
     eprintln!("workload sensitivity ({extension_cycles} cycles, extension)...");
-    let ws =
-        workload_sensitivity::run_with_contexts(&config, &contexts, 0.10, extension_cycles);
+    let ws = workload_sensitivity::run_on(&engine, &config, &designs, 0.10, extension_cycles);
     print!("{}", ws.render());
     std::fs::write(format!("{outdir}/workload_sensitivity.csv"), ws.to_csv()).expect("write");
 
-    eprintln!("done; CSVs in {outdir}/");
+    eprintln!(
+        "done in {:.1}s ({} workers); CSVs in {outdir}/",
+        started.elapsed().as_secs_f64(),
+        engine.threads()
+    );
 }

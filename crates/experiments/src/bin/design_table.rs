@@ -1,14 +1,15 @@
 //! Regenerates the Section V.A design characterization table.
 //!
-//! Usage: `design_table [--samples N] [--csv PATH]`
+//! Usage: `design_table [--samples N] [--csv PATH] [--threads N]`
 
-use isa_experiments::{arg_value, design_table, ExperimentConfig};
+use isa_experiments::{arg_value, design_table, engine_from_args, ExperimentConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let samples = arg_value(&args, "samples").unwrap_or(1_000_000);
     let config = ExperimentConfig::default();
-    let table = design_table::run(&config, samples);
+    let engine = engine_from_args(&args);
+    let table = design_table::run_on(&engine, &config, &isa_core::paper_designs(), samples);
     print!("{}", table.render());
     if let Some(path) = arg_value::<String>(&args, "csv") {
         std::fs::write(&path, table.to_csv()).expect("write csv");

@@ -1,15 +1,18 @@
 //! Regenerates Fig. 10 (bit-level error distribution of ISA (8,0,0,4) at
 //! 15% CPR).
 //!
-//! Usage: `fig10 [--cycles N] [--csv PATH]`
+//! Usage: `fig10 [--cycles N] [--csv PATH] [--threads N]`
 
-use isa_experiments::{arg_value, fig10, ExperimentConfig};
+use isa_core::{Design, IsaConfig};
+use isa_experiments::{arg_value, engine_from_args, fig10, ExperimentConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cycles = arg_value(&args, "cycles").unwrap_or(100_000);
     let config = ExperimentConfig::default();
-    let report = fig10::run(&config, cycles);
+    let engine = engine_from_args(&args);
+    let design = Design::Isa(IsaConfig::new(32, 8, 0, 0, 4).expect("paper design is valid"));
+    let report = fig10::run_on(&engine, &config, design, 0.15, cycles);
     print!("{}", report.render());
     if let Some(path) = arg_value::<String>(&args, "csv") {
         std::fs::write(&path, report.to_csv()).expect("write csv");

@@ -1,14 +1,15 @@
 //! Regenerates Figs. 9a/b/c (structural/timing/joint relative-error RMS).
 //!
-//! Usage: `fig9 [--cycles N] [--csv PATH]`
+//! Usage: `fig9 [--cycles N] [--csv PATH] [--threads N]`
 
-use isa_experiments::{arg_value, fig9, ExperimentConfig};
+use isa_experiments::{arg_value, engine_from_args, fig9, ExperimentConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cycles = arg_value(&args, "cycles").unwrap_or(50_000);
     let config = ExperimentConfig::default();
-    let report = fig9::run(&config, cycles);
+    let engine = engine_from_args(&args);
+    let report = fig9::run_on(&engine, &config, &isa_core::paper_designs(), cycles);
     print!("{}", report.render());
     if let Some(path) = arg_value::<String>(&args, "csv") {
         std::fs::write(&path, report.to_csv()).expect("write csv");

@@ -2,11 +2,10 @@
 //! structural accuracy of the twelve designs (the reproduction's
 //! counterpart of the design-selection table from reference \[17\]).
 
-use isa_core::combine::structural_errors;
+use isa_core::Design;
+use isa_engine::{Engine, ExperimentConfig, ExperimentPlan, SubstrateChoice};
 use isa_metrics::snr_db;
-use isa_workloads::{take_pairs, UniformWorkload};
 
-use crate::context::{DesignContext, ExperimentConfig};
 use crate::report::{sci, Table};
 
 /// One design's characterization row.
@@ -43,33 +42,44 @@ pub struct DesignTable {
 }
 
 /// Characterizes all twelve designs: synthesis metrics plus structural
-/// accuracy over `samples` behavioural additions (the paper uses 10⁷).
+/// accuracy over `samples` behavioural additions (the paper uses 10⁷), on
+/// a fresh engine.
 #[must_use]
 pub fn run(config: &ExperimentConfig, samples: usize) -> DesignTable {
-    let contexts = DesignContext::build_all(config);
-    run_with_contexts(config, &contexts, samples)
+    run_on(&Engine::new(), config, &isa_core::paper_designs(), samples)
 }
 
-/// Runs with pre-built contexts.
+/// Runs on a shared engine for an explicit design list.
+///
+/// The structural-accuracy columns run on the behavioural substrate (so a
+/// single design's sample stream is sharded across workers and merged);
+/// the synthesis columns come from the engine's memoized artifacts.
 #[must_use]
-pub fn run_with_contexts(
+pub fn run_on(
+    engine: &Engine,
     config: &ExperimentConfig,
-    contexts: &[DesignContext],
+    designs: &[Design],
     samples: usize,
 ) -> DesignTable {
-    let inputs = take_pairs(UniformWorkload::new(32, config.workload_seed), samples);
-    let rows = contexts
+    engine.prewarm(designs, config);
+    let plan = ExperimentPlan::new(config.clone())
+        .designs(designs.iter().copied())
+        .cprs([0.0])
+        .cycles(samples)
+        .substrate(SubstrateChoice::Behavioural);
+    let results = engine.run(&plan);
+    let rows = results
         .iter()
-        .map(|ctx| {
-            let stats = structural_errors(ctx.gold.as_ref(), inputs.iter().copied());
-            let rms_pct = stats.re_struct.rms() * 100.0;
+        .map(|result| {
+            let ctx = engine.context(&result.design, config);
+            let stats = &result.stats;
             DesignRow {
                 design: ctx.label(),
                 topology: ctx.synthesized.topology.name(),
                 area: ctx.synthesized.area,
                 critical_ps: ctx.synthesized.critical_ps,
                 cells: ctx.synthesized.adder.netlist().cell_count(),
-                rms_re_struct_pct: rms_pct,
+                rms_re_struct_pct: stats.re_struct.rms() * 100.0,
                 structural_error_rate: stats.e_struct.error_rate(),
                 mean_abs_e: stats.e_struct.mean_abs(),
                 snr_db: (stats.re_struct.rms() > 0.0).then(|| snr_db(stats.re_struct.rms())),
@@ -163,7 +173,10 @@ mod tests {
         // decade-scale trend).
         assert!(rms[0] > rms[4], "(8,0,0,0) vs (8,0,1,6)");
         assert!(rms[4] > rms[5], "8-block worst case vs (16,0,0,0)");
-        assert!(rms[5] > rms[10] || rms[10] == 0.0, "(16,0,0,0) vs (16,7,0,8)");
+        assert!(
+            rms[5] > rms[10] || rms[10] == 0.0,
+            "(16,0,0,0) vs (16,7,0,8)"
+        );
     }
 
     #[test]

@@ -6,12 +6,12 @@
 //! switching activity, area, delay, and the resulting energy-delay product,
 //! against each design's structural accuracy.
 
+use isa_core::Design;
+use isa_engine::{Engine, ExperimentConfig, ExperimentPlan};
+use isa_netlist::cell::CellLibrary;
 use isa_timing_sim::{measure_energy, GateLevelSim};
 use isa_workloads::{take_pairs, UniformWorkload};
 
-use isa_netlist::cell::CellLibrary;
-
-use crate::context::{DesignContext, ExperimentConfig};
 use crate::report::{sci, Table};
 
 /// One design's energy row.
@@ -45,51 +45,58 @@ pub struct EnergyTable {
     pub cycles: usize,
 }
 
-/// Runs the energy characterization at the safe clock.
+/// Runs the energy characterization at the safe clock on a fresh engine.
 #[must_use]
 pub fn run(config: &ExperimentConfig, cycles: usize) -> EnergyTable {
-    let contexts = DesignContext::build_all(config);
-    run_with_contexts(config, &contexts, cycles)
+    run_on(&Engine::new(), config, &isa_core::paper_designs(), cycles)
 }
 
-/// Runs with pre-built contexts.
+/// Runs on a shared engine for an explicit design list: per-design
+/// activity simulations are sharded across the engine's workers and reuse
+/// its memoized synthesis artifacts.
 #[must_use]
-pub fn run_with_contexts(
+pub fn run_on(
+    engine: &Engine,
     config: &ExperimentConfig,
-    contexts: &[DesignContext],
+    designs: &[Design],
     cycles: usize,
 ) -> EnergyTable {
-    let lib = CellLibrary::industrial_65nm();
-    let inputs = take_pairs(UniformWorkload::new(32, config.workload_seed ^ 0xE6E), cycles);
+    let inputs = take_pairs(
+        UniformWorkload::new(32, config.workload_seed ^ 0xE6E),
+        cycles,
+    );
+    let plan = ExperimentPlan::new(config.clone())
+        .designs(designs.iter().copied())
+        .cprs([0.0])
+        .workload("uniform-energy", inputs);
     let period_fs = (config.period_ps * 1000.0) as u64;
-    let rows = contexts
-        .iter()
-        .map(|ctx| {
-            let netlist = ctx.synthesized.adder.netlist();
-            let mut sim = GateLevelSim::new(netlist, &ctx.annotation);
-            let mut structural = isa_core::ErrorStats::new();
-            for &(a, b) in &inputs {
-                let t0 = sim.now_fs();
-                sim.set_inputs(&ctx.synthesized.adder.input_values(a, b));
-                sim.run_until(t0 + period_fs);
-                let diamond = (a + b) as f64;
-                let denom = if diamond == 0.0 { 1.0 } else { diamond };
-                structural.push((ctx.gold.add(a, b) as f64 - diamond) / denom);
-            }
-            let report = measure_energy(&sim, netlist, &lib);
-            let energy_per_op = report.per_op_fj(inputs.len() as u64);
-            EnergyRow {
-                design: ctx.label(),
-                area: ctx.synthesized.area,
-                critical_ps: ctx.synthesized.critical_ps,
-                energy_per_op_fj: energy_per_op,
-                dynamic_fraction: report.dynamic_fj / report.total_fj().max(f64::MIN_POSITIVE),
-                transitions_per_op: report.transitions as f64 / inputs.len() as f64,
-                rms_re_struct_pct: structural.rms() * 100.0,
-                edp_fj_ns: energy_per_op * ctx.synthesized.critical_ps / 1000.0,
-            }
-        })
-        .collect();
+    let rows = engine.map(&plan, |unit| {
+        let lib = CellLibrary::industrial_65nm();
+        let ctx = unit.context();
+        let netlist = ctx.synthesized.adder.netlist();
+        let mut sim = GateLevelSim::new(netlist, &ctx.annotation);
+        let mut structural = isa_core::ErrorStats::new();
+        for &(a, b) in unit.inputs {
+            let t0 = sim.now_fs();
+            sim.set_inputs(&ctx.synthesized.adder.input_values(a, b));
+            sim.run_until(t0 + period_fs);
+            let diamond = (a + b) as f64;
+            let denom = if diamond == 0.0 { 1.0 } else { diamond };
+            structural.push((ctx.gold.add(a, b) as f64 - diamond) / denom);
+        }
+        let report = measure_energy(&sim, netlist, &lib);
+        let energy_per_op = report.per_op_fj(unit.inputs.len() as u64);
+        EnergyRow {
+            design: ctx.label(),
+            area: ctx.synthesized.area,
+            critical_ps: ctx.synthesized.critical_ps,
+            energy_per_op_fj: energy_per_op,
+            dynamic_fraction: report.dynamic_fj / report.total_fj().max(f64::MIN_POSITIVE),
+            transitions_per_op: report.transitions as f64 / unit.inputs.len() as f64,
+            rms_re_struct_pct: structural.rms() * 100.0,
+            edp_fj_ns: energy_per_op * ctx.synthesized.critical_ps / 1000.0,
+        }
+    });
     EnergyTable { rows, cycles }
 }
 
@@ -163,14 +170,11 @@ mod tests {
     #[test]
     fn isa_beats_exact_on_energy() {
         let config = ExperimentConfig::default();
-        let contexts = vec![
-            DesignContext::build(
-                Design::Isa(IsaConfig::new(32, 8, 0, 0, 4).unwrap()),
-                &config,
-            ),
-            DesignContext::build(Design::Exact { width: 32 }, &config),
+        let designs = [
+            Design::Isa(IsaConfig::new(32, 8, 0, 0, 4).unwrap()),
+            Design::Exact { width: 32 },
         ];
-        let table = run_with_contexts(&config, &contexts, 300);
+        let table = run_on(&Engine::new(), &config, &designs, 300);
         let isa = &table.rows[0];
         let exact = &table.rows[1];
         assert!(
@@ -180,17 +184,17 @@ mod tests {
             exact.energy_per_op_fj
         );
         assert!(isa.edp_fj_ns < exact.edp_fj_ns);
-        assert!(isa.rms_re_struct_pct > 0.0, "the energy is bought with accuracy");
+        assert!(
+            isa.rms_re_struct_pct > 0.0,
+            "the energy is bought with accuracy"
+        );
     }
 
     #[test]
     fn energy_components_are_sane() {
         let config = ExperimentConfig::default();
-        let contexts = vec![DesignContext::build(
-            Design::Isa(IsaConfig::new(32, 16, 2, 1, 6).unwrap()),
-            &config,
-        )];
-        let table = run_with_contexts(&config, &contexts, 200);
+        let designs = [Design::Isa(IsaConfig::new(32, 16, 2, 1, 6).unwrap())];
+        let table = run_on(&Engine::new(), &config, &designs, 200);
         let row = &table.rows[0];
         assert!(row.energy_per_op_fj > 0.0);
         assert!(row.dynamic_fraction > 0.0 && row.dynamic_fraction < 1.0);

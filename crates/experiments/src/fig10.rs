@@ -11,9 +11,8 @@
 //! than the global MSBs.
 
 use isa_core::{BitErrorDistribution, Design, IsaConfig};
-use isa_workloads::{take_pairs, UniformWorkload};
+use isa_engine::{Engine, ExperimentConfig, ExperimentPlan, SubstrateChoice};
 
-use crate::context::{DesignContext, ExperimentConfig};
 use crate::report::Table;
 
 /// The Fig. 10 dataset.
@@ -41,41 +40,37 @@ pub fn run(config: &ExperimentConfig, cycles: usize) -> Fig10Report {
     run_for(config, Design::Isa(cfg), 0.15, cycles)
 }
 
-/// Runs the distribution experiment for any design and CPR.
+/// Runs the distribution experiment for any design and CPR on a fresh
+/// engine.
 #[must_use]
-pub fn run_for(
+pub fn run_for(config: &ExperimentConfig, design: Design, cpr: f64, cycles: usize) -> Fig10Report {
+    run_on(&Engine::new(), config, design, cpr, cycles)
+}
+
+/// Runs on a shared engine: one gate-level run whose per-bit distributions
+/// come straight from the engine's [`RunResult`](isa_engine::RunResult).
+#[must_use]
+pub fn run_on(
+    engine: &Engine,
     config: &ExperimentConfig,
     design: Design,
     cpr: f64,
     cycles: usize,
 ) -> Fig10Report {
-    let ctx = DesignContext::build(design, config);
-    run_with_context(config, &ctx, cpr, cycles)
-}
-
-/// Runs with a pre-built context.
-#[must_use]
-pub fn run_with_context(
-    config: &ExperimentConfig,
-    ctx: &DesignContext,
-    cpr: f64,
-    cycles: usize,
-) -> Fig10Report {
-    let positions = ctx.design.width() + 1;
-    let inputs = take_pairs(UniformWorkload::new(32, config.workload_seed), cycles);
-    let trace = ctx.trace(config.clock_ps(cpr), &inputs);
-    let mut structural = BitErrorDistribution::new(positions);
-    let mut timing = BitErrorDistribution::new(positions);
-    for rec in &trace {
-        let diamond = (rec.a + rec.b) as i64;
-        structural.record_arithmetic(rec.settled as i64 - diamond);
-        timing.record_flips(rec.sampled, rec.settled);
-    }
+    let plan = ExperimentPlan::new(config.clone())
+        .designs([design])
+        .cprs([cpr])
+        .cycles(cycles)
+        .substrate(SubstrateChoice::GateLevel);
+    let result = engine
+        .run(&plan)
+        .pop()
+        .expect("single-design plan yields one result");
     Fig10Report {
-        design: ctx.label(),
+        design: result.design_label,
         cpr,
-        structural,
-        timing,
+        structural: result.structural_bits,
+        timing: result.timing_bits,
     }
 }
 

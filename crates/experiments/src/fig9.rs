@@ -1,14 +1,13 @@
 //! Fig. 9 reproduction: structural, timing and joint relative-error RMS of
 //! every design at 5/10/15 % clock-period reduction.
 //!
-//! Implements the Fig. 6 flow end to end: `ydiamond` from exact addition,
-//! `ygold` from the behavioural ISA model (cross-checked against the
-//! settled netlist), `ysilver` from the overclocked event-driven trace.
+//! Implements the Fig. 6 flow end to end through the engine: `ydiamond`
+//! from exact addition, `ygold` from the behavioural ISA model, `ysilver`
+//! from the gate-level substrate's overclocked event-driven sessions.
 
-use isa_core::{CombinedErrorStats, OutputTriple};
-use isa_workloads::{take_pairs, UniformWorkload};
+use isa_core::Design;
+use isa_engine::{Engine, ExperimentConfig, ExperimentPlan, SubstrateChoice};
 
-use crate::context::{DesignContext, ExperimentConfig};
 use crate::report::{sci, Table};
 
 /// One (design, CPR) measurement.
@@ -46,56 +45,51 @@ pub struct Fig9Report {
     pub cycles: usize,
 }
 
-/// Runs the error-combination experiment over all twelve designs.
+/// Runs the error-combination experiment over all twelve designs on a
+/// fresh engine.
 ///
 /// `cycles` is the gate-level sample count per (design, CPR) pair; the
-/// paper uses ten million behavioural samples — see EXPERIMENTS.md for the
+/// paper uses ten million behavioural samples — see the README for the
 /// counts used in the reproduction and their convergence check.
 #[must_use]
 pub fn run(config: &ExperimentConfig, cycles: usize) -> Fig9Report {
-    let contexts = DesignContext::build_all(config);
-    run_with_contexts(config, &contexts, cycles)
+    run_on(&Engine::new(), config, &isa_core::paper_designs(), cycles)
 }
 
-/// Runs the experiment with pre-built design contexts (shared across
-/// figures).
+/// Runs the experiment on a shared engine (memoized synthesis artifacts,
+/// sharded across its worker pool) for an explicit design list.
 #[must_use]
-pub fn run_with_contexts(
+pub fn run_on(
+    engine: &Engine,
     config: &ExperimentConfig,
-    contexts: &[DesignContext],
+    designs: &[Design],
     cycles: usize,
 ) -> Fig9Report {
-    let inputs = take_pairs(UniformWorkload::new(32, config.workload_seed), cycles);
-    let rows = contexts
+    let plan = ExperimentPlan::new(config.clone())
+        .designs(designs.iter().copied())
+        .cycles(cycles)
+        .substrate(SubstrateChoice::GateLevel);
+    let results = engine.run(&plan);
+    let ncpr = config.cprs.len();
+    let rows = designs
         .iter()
-        .map(|ctx| {
-            let points = config
-                .cprs
-                .iter()
-                .map(|&cpr| {
-                    let trace = ctx.trace(config.clock_ps(cpr), &inputs);
-                    let mut stats = CombinedErrorStats::new();
-                    let mut erroneous = 0usize;
-                    for rec in &trace {
-                        if rec.has_timing_error() {
-                            erroneous += 1;
-                        }
-                        let triple =
-                            OutputTriple::new(rec.a + rec.b, rec.settled, rec.sampled);
-                        stats.push(&triple);
-                    }
-                    let (s, t, j) = stats.rms_re_percent();
+        .enumerate()
+        .map(|(d, design)| {
+            let points = (0..ncpr)
+                .map(|c| {
+                    let result = &results[d * ncpr + c];
+                    let (s, t, j) = result.stats.rms_re_percent();
                     Fig9Point {
-                        cpr,
+                        cpr: result.cpr,
                         rms_re_struct_pct: s,
                         rms_re_timing_pct: t,
                         rms_re_joint_pct: j,
-                        timing_error_rate: erroneous as f64 / trace.len().max(1) as f64,
+                        timing_error_rate: result.timing_error_rate(),
                     }
                 })
                 .collect();
             Fig9Row {
-                design: ctx.label(),
+                design: design.to_string(),
                 points,
             }
         })
@@ -184,14 +178,11 @@ mod tests {
     #[test]
     fn small_run_produces_consistent_rows() {
         let config = ExperimentConfig::default();
-        let contexts = vec![
-            DesignContext::build(
-                Design::Isa(IsaConfig::new(32, 8, 0, 0, 4).unwrap()),
-                &config,
-            ),
-            DesignContext::build(Design::Exact { width: 32 }, &config),
+        let designs = [
+            Design::Isa(IsaConfig::new(32, 8, 0, 0, 4).unwrap()),
+            Design::Exact { width: 32 },
         ];
-        let report = run_with_contexts(&config, &contexts, 400);
+        let report = run_on(&Engine::new(), &config, &designs, 400);
         assert_eq!(report.rows.len(), 2);
         for row in &report.rows {
             assert_eq!(row.points.len(), 3);
@@ -204,7 +195,10 @@ mod tests {
             assert!(p.rms_re_struct_pct > 0.0);
         }
         let s0 = isa.points[0].rms_re_struct_pct;
-        assert!(isa.points.iter().all(|p| (p.rms_re_struct_pct - s0).abs() < 1e-12));
+        assert!(isa
+            .points
+            .iter()
+            .all(|p| (p.rms_re_struct_pct - s0).abs() < 1e-12));
         for p in &exact.points {
             assert_eq!(p.rms_re_struct_pct, 0.0);
             // Exact adder's joint error is purely timing.
@@ -218,11 +212,8 @@ mod tests {
     #[test]
     fn render_and_csv_contain_all_designs() {
         let config = ExperimentConfig::default();
-        let contexts = vec![DesignContext::build(
-            Design::Isa(IsaConfig::new(32, 16, 2, 1, 6).unwrap()),
-            &config,
-        )];
-        let report = run_with_contexts(&config, &contexts, 100);
+        let designs = [Design::Isa(IsaConfig::new(32, 16, 2, 1, 6).unwrap())];
+        let report = run_on(&Engine::new(), &config, &designs, 100);
         let text = report.render();
         assert!(text.contains("Fig. 9a"));
         assert!(text.contains("(16,2,1,6)"));

@@ -20,14 +20,15 @@
 //! Reported per strategy: effective throughput (ops/cycle), residual RMS
 //! relative error, and silent-error rate.
 
-use isa_core::{ErrorStats, IsaConfig};
-use isa_learn::{PredictorConfig, TimingErrorPredictor};
+use isa_core::{Design, ErrorStats, IsaConfig, Substrate};
+use isa_engine::{
+    Engine, ExperimentConfig, ExperimentPlan, GateLevelSubstrate, PredictedSubstrate,
+};
+use isa_learn::CyclePair;
 use isa_netlist::cell::CellLibrary;
 use isa_timing_sim::razor::{run_razor_trace, RazorConfig};
 use isa_workloads::{take_pairs, UniformWorkload};
 
-use crate::context::{DesignContext, ExperimentConfig};
-use crate::prediction::trace_to_cycles;
 use crate::report::{sci, Table};
 
 /// One strategy's operating point at one CPR.
@@ -58,111 +59,148 @@ pub struct GuardbandReport {
 pub const RECOVERY_CYCLES: u32 = 5;
 
 /// Runs the comparison for the given ISA design (the paper's balanced
-/// (8,0,0,4) is the natural choice).
+/// (8,0,0,4) is the natural choice) on a fresh engine.
 #[must_use]
 pub fn run(config: &ExperimentConfig, isa_cfg: IsaConfig, cycles: usize) -> GuardbandReport {
-    let lib = CellLibrary::industrial_65nm();
-    let exact_ctx = DesignContext::build(isa_core::Design::Exact { width: 32 }, config);
-    let isa_ctx = DesignContext::build(isa_core::Design::Isa(isa_cfg), config);
-    let train_inputs = take_pairs(
-        UniformWorkload::new(32, config.workload_seed ^ 0x6A3D),
+    run_on(&Engine::new(), config, isa_cfg, cycles)
+}
+
+/// Runs on a shared engine: the per-CPR evaluations parallelize across its
+/// workers and both designs' synthesis artifacts come from its cache. The
+/// ISA's overclocked stream comes from a gate-level substrate session; the
+/// replay strategy's model from the predictor substrate (trained on an
+/// independently seeded stream).
+#[must_use]
+pub fn run_on(
+    engine: &Engine,
+    config: &ExperimentConfig,
+    isa_cfg: IsaConfig,
+    cycles: usize,
+) -> GuardbandReport {
+    let gate = GateLevelSubstrate::new(engine.cache(), config.clone());
+    let predicted = PredictedSubstrate::with_train_seed(
+        engine.cache(),
+        config.clone(),
         cycles,
+        config.workload_seed ^ 0x6A3D,
     );
     let eval_inputs = take_pairs(
         UniformWorkload::new(32, config.workload_seed ^ 0xE7A1),
         cycles,
     );
+    let plan = ExperimentPlan::new(config.clone())
+        .designs([Design::Isa(isa_cfg)])
+        .workload("guardband-eval", eval_inputs);
+    let points = engine
+        .map(&plan, |unit| {
+            let lib = CellLibrary::industrial_65nm();
+            let cpr = unit.cpr;
+            let clk = unit.clock_ps;
 
-    let mut points = Vec::new();
-    for &cpr in &config.cprs {
-        let clk = config.clock_ps(cpr);
-
-        // 1. Exact adder + Razor.
-        let razor_cfg = RazorConfig {
-            margin_ps: 0.12 * config.period_ps,
-            recovery_cycles: RECOVERY_CYCLES,
-        };
-        let (razor_cycles, razor_report) = run_razor_trace(
-            &exact_ctx.synthesized.adder,
-            &exact_ctx.annotation,
-            &lib,
-            clk,
-            &razor_cfg,
-            &eval_inputs,
-        );
-        let mut razor_re = ErrorStats::new();
-        let mut razor_silent = 0usize;
-        for c in &razor_cycles {
-            let diamond = (c.a + c.b) as f64;
-            let denom = if diamond == 0.0 { 1.0 } else { diamond };
-            let committed = c.committed();
-            razor_re.push((committed as f64 - diamond) / denom);
-            if committed as f64 != diamond {
-                razor_silent += 1;
-            }
-        }
-        points.push(StrategyPoint {
-            strategy: "exact+razor".into(),
-            cpr,
-            throughput: razor_report.throughput(),
-            rms_re_pct: razor_re.rms() * 100.0,
-            silent_error_rate: razor_silent as f64 / razor_cycles.len() as f64,
-        });
-
-        // 2. ISA open loop.
-        let isa_trace = isa_ctx.trace(clk, &eval_inputs);
-        let mut isa_re = ErrorStats::new();
-        let mut isa_wrong = 0usize;
-        for rec in &isa_trace {
-            let diamond = (rec.a + rec.b) as f64;
-            let denom = if diamond == 0.0 { 1.0 } else { diamond };
-            isa_re.push((rec.sampled as f64 - diamond) / denom);
-            if rec.sampled as f64 != diamond {
-                isa_wrong += 1;
-            }
-        }
-        points.push(StrategyPoint {
-            strategy: "isa open-loop".into(),
-            cpr,
-            throughput: 1.0,
-            rms_re_pct: isa_re.rms() * 100.0,
-            silent_error_rate: isa_wrong as f64 / isa_trace.len() as f64,
-        });
-
-        // 3. ISA + predictor-guided replay.
-        let train_trace = isa_ctx.trace(clk, &train_inputs);
-        let train = trace_to_cycles(&train_trace);
-        let predictor = TimingErrorPredictor::train(&train, 32, &PredictorConfig::default());
-        let eval = trace_to_cycles(&isa_trace);
-        let mut guided_re = ErrorStats::new();
-        let mut guided_wrong = 0usize;
-        let mut flagged = 0usize;
-        for cycle in &eval {
-            let predicted = predictor.predict_flips(cycle);
-            let real_silver = cycle.gold ^ cycle.flips;
-            // Replay at the safe clock leaves only structural error.
-            let committed = if predicted != 0 {
-                flagged += 1;
-                cycle.gold
-            } else {
-                real_silver
+            // 1. Exact adder + Razor.
+            let exact_ctx = engine.context(&Design::Exact { width: 32 }, config);
+            let razor_cfg = RazorConfig {
+                margin_ps: 0.12 * config.period_ps,
+                recovery_cycles: RECOVERY_CYCLES,
             };
-            let diamond = (cycle.a + cycle.b) as f64;
-            let denom = if diamond == 0.0 { 1.0 } else { diamond };
-            guided_re.push((committed as f64 - diamond) / denom);
-            if committed as f64 != diamond {
-                guided_wrong += 1;
+            let (razor_cycles, razor_report) = run_razor_trace(
+                &exact_ctx.synthesized.adder,
+                &exact_ctx.annotation,
+                &lib,
+                clk,
+                &razor_cfg,
+                unit.inputs,
+            );
+            let mut razor_re = ErrorStats::new();
+            let mut razor_silent = 0usize;
+            for c in &razor_cycles {
+                let diamond = (c.a + c.b) as f64;
+                let denom = if diamond == 0.0 { 1.0 } else { diamond };
+                let committed = c.committed();
+                razor_re.push((committed as f64 - diamond) / denom);
+                if committed as f64 != diamond {
+                    razor_silent += 1;
+                }
             }
-        }
-        let total_cycles = eval.len() as u64 + flagged as u64 * u64::from(RECOVERY_CYCLES);
-        points.push(StrategyPoint {
-            strategy: "isa+predictor".into(),
-            cpr,
-            throughput: eval.len() as f64 / total_cycles as f64,
-            rms_re_pct: guided_re.rms() * 100.0,
-            silent_error_rate: guided_wrong as f64 / eval.len() as f64,
-        });
-    }
+            let razor_point = StrategyPoint {
+                strategy: "exact+razor".into(),
+                cpr,
+                throughput: razor_report.throughput(),
+                rms_re_pct: razor_re.rms() * 100.0,
+                silent_error_rate: razor_silent as f64 / razor_cycles.len() as f64,
+            };
+
+            // 2. ISA open loop: one overclocked gate-level session.
+            let gold = unit.design.behavioural();
+            let mut session = gate.prepare(&unit.design, clk);
+            let trace: Vec<(u64, u64, u64, u64)> = unit
+                .inputs
+                .iter()
+                .map(|&(a, b)| (a, b, gold.add(a, b), session.next_silver(a, b)))
+                .collect();
+            let mut isa_re = ErrorStats::new();
+            let mut isa_wrong = 0usize;
+            for &(a, b, _, silver) in &trace {
+                let diamond = (a + b) as f64;
+                let denom = if diamond == 0.0 { 1.0 } else { diamond };
+                isa_re.push((silver as f64 - diamond) / denom);
+                if silver as f64 != diamond {
+                    isa_wrong += 1;
+                }
+            }
+            let open_point = StrategyPoint {
+                strategy: "isa open-loop".into(),
+                cpr,
+                throughput: 1.0,
+                rms_re_pct: isa_re.rms() * 100.0,
+                silent_error_rate: isa_wrong as f64 / trace.len() as f64,
+            };
+
+            // 3. ISA + predictor-guided replay.
+            let predictor = predicted.predictor(&unit.design, clk);
+            let mut guided_re = ErrorStats::new();
+            let mut guided_wrong = 0usize;
+            let mut flagged = 0usize;
+            let mut prev = (0u64, 0u64, 0u64);
+            for &(a, b, gold_y, silver) in &trace {
+                let cycle = CyclePair {
+                    a,
+                    b,
+                    a_prev: prev.0,
+                    b_prev: prev.1,
+                    gold: gold_y,
+                    gold_prev: prev.2,
+                    flips: silver ^ gold_y,
+                };
+                prev = (a, b, gold_y);
+                // Replay at the safe clock leaves only structural error.
+                let committed = if predictor.predict_flips(&cycle) != 0 {
+                    flagged += 1;
+                    gold_y
+                } else {
+                    silver
+                };
+                let diamond = (a + b) as f64;
+                let denom = if diamond == 0.0 { 1.0 } else { diamond };
+                guided_re.push((committed as f64 - diamond) / denom);
+                if committed as f64 != diamond {
+                    guided_wrong += 1;
+                }
+            }
+            let total_cycles = trace.len() as u64 + flagged as u64 * u64::from(RECOVERY_CYCLES);
+            let guided_point = StrategyPoint {
+                strategy: "isa+predictor".into(),
+                cpr,
+                throughput: trace.len() as f64 / total_cycles as f64,
+                rms_re_pct: guided_re.rms() * 100.0,
+                silent_error_rate: guided_wrong as f64 / trace.len() as f64,
+            };
+
+            [razor_point, open_point, guided_point]
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     GuardbandReport { points, cycles }
 }
 

@@ -17,25 +17,35 @@
 //! activity, and [`guardband`] quantifies the paper's positioning against
 //! Razor-style detect-and-recover schemes (reference \[10\]).
 //!
-//! Each module exposes a `run(...)` entry point plus `render()`/`to_csv()`
-//! on its report type; the `fig7`, `fig8`, `fig9`, `fig10`, `design_table`,
-//! `energy_table` and `all_figures` binaries drive them from the command
-//! line.
+//! Each module exposes a `run(...)` entry point (fresh engine) plus a
+//! `run_on(&Engine, ...)` variant for sharing one engine — and hence one
+//! set of memoized synthesis artifacts and one worker pool — across
+//! pipelines, as `all_figures` does. Reports keep their
+//! `render()`/`to_csv()` methods; the `fig7`, `fig8`, `fig9`, `fig10`,
+//! `design_table`, `energy_table`, `guardband`, `workloads` and
+//! `all_figures` binaries drive them from the command line.
+//!
+//! All pipelines execute through the
+//! [`isa_engine`] plan API — substrates are swappable behind
+//! [`isa_core::Substrate`] and no binary hand-rolls a
+//! synthesize→annotate→simulate loop.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod context;
 pub mod design_table;
 pub mod energy;
 pub mod fig10;
-pub mod guardband;
 pub mod fig9;
+pub mod guardband;
 pub mod prediction;
 pub mod report;
 pub mod workload_sensitivity;
 
-pub use context::{DesignContext, ExperimentConfig};
+pub use isa_engine::{
+    ArtifactCache, DesignContext, Engine, ExperimentConfig, ExperimentPlan, GateLevelSubstrate,
+    PredictedSubstrate, RunResult, SubstrateChoice,
+};
 
 /// Parses `--name value` style options from a raw argument list, returning
 /// the value for `name` if present and parseable.
@@ -46,6 +56,13 @@ pub fn arg_value<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T>
         .position(|a| a == &flag)
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
+}
+
+/// Builds the experiment engine every binary shares: machine-sized worker
+/// pool, overridable with `--threads N`.
+#[must_use]
+pub fn engine_from_args(args: &[String]) -> Engine {
+    arg_value::<usize>(args, "threads").map_or_else(Engine::new, Engine::with_threads)
 }
 
 #[cfg(test)]

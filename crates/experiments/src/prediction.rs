@@ -7,12 +7,15 @@
 //! yRTL_n[t]} -> timing class`; evaluation runs on held-out cycles from an
 //! independently seeded stream.
 
-use isa_learn::{CyclePair, PredictorConfig, TimingErrorPredictor};
+use isa_core::{Design, Substrate};
+use isa_engine::{
+    Engine, ExperimentConfig, ExperimentPlan, GateLevelSubstrate, PredictedSubstrate,
+};
+use isa_learn::CyclePair;
 use isa_metrics::{AbperAccumulator, AvpeAccumulator};
 use isa_timing_sim::CycleRecord;
 use isa_workloads::{take_pairs, UniformWorkload};
 
-use crate::context::{DesignContext, ExperimentConfig};
 use crate::report::{sci, Table};
 
 /// Converts a gate-level trace into the predictor's cycle stream.
@@ -62,43 +65,87 @@ pub struct PredictionReport {
     pub test_cycles: usize,
 }
 
-/// Runs model training + evaluation for all twelve designs.
+/// Runs model training + evaluation for all twelve designs on a fresh
+/// engine.
 #[must_use]
 pub fn run(config: &ExperimentConfig, train_cycles: usize, test_cycles: usize) -> PredictionReport {
-    let contexts = DesignContext::build_all(config);
-    run_with_contexts(config, &contexts, train_cycles, test_cycles)
+    run_on(
+        &Engine::new(),
+        config,
+        &isa_core::paper_designs(),
+        train_cycles,
+        test_cycles,
+    )
 }
 
-/// Runs with pre-built contexts.
+/// Runs on a shared engine for an explicit design list.
+///
+/// Training goes through the engine's [`PredictedSubstrate`] (which
+/// memoizes one trained model per (design, clock) against the shared
+/// artifact cache); ground truth comes from independent
+/// [`GateLevelSubstrate`] sessions over the held-out stream. The
+/// (design × CPR) evaluations are sharded across the engine's workers.
 #[must_use]
-pub fn run_with_contexts(
+pub fn run_on(
+    engine: &Engine,
     config: &ExperimentConfig,
-    contexts: &[DesignContext],
+    designs: &[Design],
     train_cycles: usize,
     test_cycles: usize,
 ) -> PredictionReport {
-    let train_inputs = take_pairs(
-        UniformWorkload::new(32, config.workload_seed ^ 0x7EA1),
-        train_cycles,
-    );
+    let predicted = PredictedSubstrate::new(engine.cache(), config.clone(), train_cycles);
+    let gate = GateLevelSubstrate::new(engine.cache(), config.clone());
     let test_inputs = take_pairs(
         UniformWorkload::new(32, config.workload_seed ^ 0x7E57),
         test_cycles,
     );
-    let rows = contexts
-        .iter()
-        .map(|ctx| {
-            let points = config
-                .cprs
-                .iter()
-                .map(|&cpr| {
-                    evaluate_design_at(ctx, config.clock_ps(cpr), cpr, &train_inputs, &test_inputs)
-                })
-                .collect();
-            PredictionRow {
-                design: ctx.label(),
-                points,
+    let plan = ExperimentPlan::new(config.clone())
+        .designs(designs.iter().copied())
+        .workload("uniform-test", test_inputs);
+    let points = engine.map(&plan, |unit| {
+        let predictor = predicted.predictor(&unit.design, unit.clock_ps);
+        let gold = unit.design.behavioural();
+        let mut truth = gate.prepare(&unit.design, unit.clock_ps);
+        let mut abper = AbperAccumulator::new(unit.design.width() + 1);
+        let mut avpe = AvpeAccumulator::new();
+        let mut erroneous = 0usize;
+        let mut prev = (0u64, 0u64, 0u64);
+        for &(a, b) in unit.inputs {
+            let gold_y = gold.add(a, b);
+            let real_silver = truth.next_silver(a, b);
+            let real_flips = real_silver ^ gold_y;
+            let cycle = CyclePair {
+                a,
+                b,
+                a_prev: prev.0,
+                b_prev: prev.1,
+                gold: gold_y,
+                gold_prev: prev.2,
+                flips: real_flips,
+            };
+            let predicted_flips = predictor.predict_flips(&cycle);
+            abper.record(predicted_flips, real_flips);
+            avpe.record(gold_y ^ predicted_flips, real_silver);
+            if real_flips != 0 {
+                erroneous += 1;
             }
+            prev = (a, b, gold_y);
+        }
+        PredictionPoint {
+            cpr: unit.cpr,
+            abper: abper.abper(),
+            avpe: avpe.avpe(),
+            trained_bits: predictor.trained_bits(),
+            test_error_rate: erroneous as f64 / unit.inputs.len().max(1) as f64,
+        }
+    });
+    let ncpr = config.cprs.len();
+    let rows = designs
+        .iter()
+        .enumerate()
+        .map(|(d, design)| PredictionRow {
+            design: design.to_string(),
+            points: points[d * ncpr..(d + 1) * ncpr].to_vec(),
         })
         .collect();
     PredictionReport {
@@ -106,41 +153,6 @@ pub fn run_with_contexts(
         rows,
         train_cycles,
         test_cycles,
-    }
-}
-
-fn evaluate_design_at(
-    ctx: &DesignContext,
-    clock_ps: f64,
-    cpr: f64,
-    train_inputs: &[(u64, u64)],
-    test_inputs: &[(u64, u64)],
-) -> PredictionPoint {
-    let train_trace = ctx.trace(clock_ps, train_inputs);
-    let train = trace_to_cycles(&train_trace);
-    let predictor = TimingErrorPredictor::train(&train, 32, &PredictorConfig::default());
-
-    let test_trace = ctx.trace(clock_ps, test_inputs);
-    let test = trace_to_cycles(&test_trace);
-    let mut abper = AbperAccumulator::new(33);
-    let mut avpe = AvpeAccumulator::new();
-    let mut erroneous = 0usize;
-    for cycle in &test {
-        let predicted_flips = predictor.predict_flips(cycle);
-        abper.record(predicted_flips, cycle.flips);
-        let predicted_silver = cycle.gold ^ predicted_flips;
-        let real_silver = cycle.gold ^ cycle.flips;
-        avpe.record(predicted_silver, real_silver);
-        if cycle.flips != 0 {
-            erroneous += 1;
-        }
-    }
-    PredictionPoint {
-        cpr,
-        abper: abper.abper(),
-        avpe: avpe.avpe(),
-        trained_bits: predictor.trained_bits(),
-        test_error_rate: erroneous as f64 / test.len().max(1) as f64,
     }
 }
 
@@ -158,11 +170,7 @@ impl PredictionReport {
         self.render_metric("Fig. 8: AVPE", |p| isa_metrics::floor(p.avpe))
     }
 
-    fn render_metric(
-        &self,
-        title: &str,
-        metric: impl Fn(&PredictionPoint) -> f64,
-    ) -> String {
+    fn render_metric(&self, title: &str, metric: impl Fn(&PredictionPoint) -> f64) -> String {
         let mut headers = vec!["design".into()];
         for &cpr in &self.cprs {
             headers.push(format!("{:.3}ns", 0.3 * (1.0 - cpr)));
@@ -225,20 +233,12 @@ mod tests {
     fn error_free_design_yields_floor_metrics() {
         // (16,0,0,0) has no timing errors at 5% CPR under the default die:
         // ABPER and AVPE must be exactly 0 (displayed as the 1e-6 floor).
-        let config = ExperimentConfig::default();
-        let ctx = DesignContext::build(
-            Design::Isa(IsaConfig::new(32, 16, 0, 0, 0).unwrap()),
-            &config,
-        );
-        let report = run_with_contexts(
-            &ExperimentConfig {
-                cprs: vec![0.05],
-                ..config
-            },
-            std::slice::from_ref(&ctx),
-            300,
-            150,
-        );
+        let config = ExperimentConfig {
+            cprs: vec![0.05],
+            ..ExperimentConfig::default()
+        };
+        let designs = [Design::Isa(IsaConfig::new(32, 16, 0, 0, 0).unwrap())];
+        let report = run_on(&Engine::new(), &config, &designs, 300, 150);
         let p = report.rows[0].points[0];
         assert_eq!(p.test_error_rate, 0.0);
         assert_eq!(p.abper, 0.0);
@@ -256,8 +256,8 @@ mod tests {
             cprs: vec![0.15],
             ..ExperimentConfig::default()
         };
-        let ctx = DesignContext::build(Design::Exact { width: 32 }, &config);
-        let report = run_with_contexts(&config, std::slice::from_ref(&ctx), 1500, 600);
+        let designs = [Design::Exact { width: 32 }];
+        let report = run_on(&Engine::new(), &config, &designs, 1500, 600);
         let p = report.rows[0].points[0];
         assert!(p.test_error_rate > 0.05, "rate {}", p.test_error_rate);
         assert!(p.trained_bits > 0);
@@ -268,11 +268,8 @@ mod tests {
     #[test]
     fn csv_has_one_line_per_design_cpr() {
         let config = ExperimentConfig::default();
-        let ctx = DesignContext::build(
-            Design::Isa(IsaConfig::new(32, 8, 0, 0, 0).unwrap()),
-            &config,
-        );
-        let report = run_with_contexts(&config, std::slice::from_ref(&ctx), 100, 50);
+        let designs = [Design::Isa(IsaConfig::new(32, 8, 0, 0, 0).unwrap())];
+        let report = run_on(&Engine::new(), &config, &designs, 100, 50);
         assert_eq!(report.to_csv().lines().count(), 1 + 3);
     }
 }

@@ -8,12 +8,12 @@
 //! design at the same clock shows different timing-error rates under
 //! uniform, correlated (random-walk), DSP-tone and accumulation workloads.
 
-use isa_core::{CombinedErrorStats, OutputTriple};
+use isa_core::Design;
+use isa_engine::{Engine, ExperimentConfig, ExperimentPlan, SubstrateChoice};
 use isa_workloads::{
     take_pairs, AccumulationWorkload, RandomWalkWorkload, SineWorkload, UniformWorkload,
 };
 
-use crate::context::{DesignContext, ExperimentConfig};
 use crate::report::{sci, Table};
 
 /// One (workload, design) measurement.
@@ -51,7 +51,9 @@ fn workloads(seed: u64, cycles: usize) -> Vec<(&'static str, Vec<(u64, u64)>)> {
         ),
         (
             "walk-4k",
-            RandomWalkWorkload::new(32, 4096, seed).take(cycles).collect(),
+            RandomWalkWorkload::new(32, 4096, seed)
+                .take(cycles)
+                .collect(),
         ),
         (
             "sine-mix",
@@ -59,43 +61,45 @@ fn workloads(seed: u64, cycles: usize) -> Vec<(&'static str, Vec<(u64, u64)>)> {
         ),
         (
             "accumulate",
-            AccumulationWorkload::new(32, 24, seed).take(cycles).collect(),
+            AccumulationWorkload::new(32, 24, seed)
+                .take(cycles)
+                .collect(),
         ),
     ]
 }
 
-/// Runs the sensitivity study for given designs at one CPR.
+/// Runs the sensitivity study for given designs at one CPR on a shared
+/// engine: one gate-level plan whose workload axis carries the whole
+/// suite, sharded across the engine's workers.
 #[must_use]
-pub fn run_with_contexts(
+pub fn run_on(
+    engine: &Engine,
     config: &ExperimentConfig,
-    contexts: &[DesignContext],
+    designs: &[Design],
     cpr: f64,
     cycles: usize,
 ) -> WorkloadReport {
-    let clk = config.clock_ps(cpr);
-    let suite = workloads(config.workload_seed ^ 0x3013, cycles);
-    let mut points = Vec::new();
-    for ctx in contexts {
-        for (name, inputs) in &suite {
-            let trace = ctx.trace(clk, inputs);
-            let mut stats = CombinedErrorStats::new();
-            let mut errors = 0usize;
-            for rec in &trace {
-                if rec.has_timing_error() {
-                    errors += 1;
-                }
-                stats.push(&OutputTriple::new(rec.a + rec.b, rec.settled, rec.sampled));
-            }
-            let (_, t, j) = stats.rms_re_percent();
-            points.push(WorkloadPoint {
-                workload: (*name).to_owned(),
-                design: ctx.label(),
-                timing_error_rate: errors as f64 / trace.len().max(1) as f64,
+    let mut plan = ExperimentPlan::new(config.clone())
+        .designs(designs.iter().copied())
+        .cprs([cpr])
+        .substrate(SubstrateChoice::GateLevel);
+    for (name, inputs) in workloads(config.workload_seed ^ 0x3013, cycles) {
+        plan = plan.workload(name, inputs);
+    }
+    let points = engine
+        .run(&plan)
+        .into_iter()
+        .map(|result| {
+            let (_, t, j) = result.stats.rms_re_percent();
+            WorkloadPoint {
+                workload: result.workload.clone(),
+                design: result.design_label.clone(),
+                timing_error_rate: result.timing_error_rate(),
                 rms_re_timing_pct: t,
                 rms_re_joint_pct: j,
-            });
-        }
-    }
+            }
+        })
+        .collect();
     WorkloadReport {
         cpr,
         points,
@@ -164,9 +168,13 @@ mod tests {
     #[test]
     fn correlated_workloads_reduce_timing_errors_on_exact() {
         let config = ExperimentConfig::default();
-        let ctx = DesignContext::build(Design::Exact { width: 32 }, &config);
-        let report =
-            run_with_contexts(&config, std::slice::from_ref(&ctx), 0.10, 1_500);
+        let report = run_on(
+            &Engine::new(),
+            &config,
+            &[Design::Exact { width: 32 }],
+            0.10,
+            1_500,
+        );
         let rate = |name: &str| {
             report
                 .points
@@ -188,11 +196,10 @@ mod tests {
     #[test]
     fn report_covers_every_workload() {
         let config = ExperimentConfig::default();
-        let ctx = DesignContext::build(
-            Design::Isa(isa_core::IsaConfig::new(32, 8, 0, 0, 4).unwrap()),
-            &config,
-        );
-        let report = run_with_contexts(&config, std::slice::from_ref(&ctx), 0.15, 300);
+        let designs = [Design::Isa(
+            isa_core::IsaConfig::new(32, 8, 0, 0, 4).unwrap(),
+        )];
+        let report = run_on(&Engine::new(), &config, &designs, 0.15, 300);
         assert_eq!(report.points.len(), 4);
         let csv = report.to_csv();
         assert_eq!(csv.lines().count(), 5);

@@ -80,7 +80,8 @@ impl Dataset {
             features.len()
         );
         let base = self.data.len();
-        self.data.extend(std::iter::repeat_n(0, self.words_per_sample));
+        self.data
+            .extend(std::iter::repeat_n(0, self.words_per_sample));
         for (i, &f) in features.iter().enumerate() {
             if f {
                 self.data[base + i / 64] |= 1u64 << (i % 64);

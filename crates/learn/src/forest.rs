@@ -173,10 +173,7 @@ impl RandomForest {
     /// normalized to sum to 1 (all zeros when no tree ever split).
     #[must_use]
     pub fn feature_importances(&self) -> Vec<f64> {
-        let n_features = self
-            .trees
-            .first()
-            .map_or(0, DecisionTree::num_features);
+        let n_features = self.trees.first().map_or(0, DecisionTree::num_features);
         let mut total = vec![0.0f64; n_features];
         for tree in &self.trees {
             for (slot, &v) in total.iter_mut().zip(tree.feature_importances()) {

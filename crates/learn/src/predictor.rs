@@ -69,13 +69,11 @@ enum BitModel {
 }
 
 /// Configuration of the full per-bit predictor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PredictorConfig {
     /// Forest settings shared by every bit position.
     pub forest: ForestConfig,
 }
-
 
 /// The trained bit-level timing-error prediction model for one (design,
 /// clock period) pair.
@@ -150,8 +148,7 @@ impl TimingErrorPredictor {
 
         let models = (0..out_bits)
             .map(|n| {
-                let labels: Vec<bool> =
-                    cycles.iter().map(|c| (c.flips >> n) & 1 == 1).collect();
+                let labels: Vec<bool> = cycles.iter().map(|c| (c.flips >> n) & 1 == 1).collect();
                 let first = labels[0];
                 if labels.iter().all(|&l| l == first) {
                     return BitModel::Constant(first);
@@ -423,8 +420,7 @@ mod tests {
 
     #[test]
     fn error_free_stream_trains_constant_models() {
-        let raw: Vec<(u64, u64, u64, u64)> =
-            (0..200).map(|i| (i, i + 1, 2 * i + 1, 0)).collect();
+        let raw: Vec<(u64, u64, u64, u64)> = (0..200).map(|i| (i, i + 1, 2 * i + 1, 0)).collect();
         let cycles = CyclePair::from_stream(&raw);
         let predictor = TimingErrorPredictor::train(&cycles, 16, &PredictorConfig::default());
         assert_eq!(predictor.trained_bits(), 0);
@@ -510,7 +506,11 @@ mod importance_tests {
             let a = seed & mask;
             let b = (seed >> 17) & mask;
             let gold = (a + b) & 0x1FFFF;
-            let flips = if (a & 0x7) == 0x7 && (b & 1) == 1 { 1 << 8 } else { 0 };
+            let flips = if (a & 0x7) == 0x7 && (b & 1) == 1 {
+                1 << 8
+            } else {
+                0
+            };
             raw.push((a, b, gold, flips));
         }
         let cycles = CyclePair::from_stream(&raw);

@@ -6,7 +6,7 @@
 //! implemented by [`crate::DecisionTree::to_text`],
 //! [`crate::RandomForest::to_text`] and
 //! [`crate::TimingErrorPredictor::to_text`]. The format is
-//! human-inspectable and dependency-free (see DESIGN.md §7 on avoiding a
+//! human-inspectable and dependency-free (a deliberate choice to avoid a
 //! serde dependency).
 
 use std::error::Error;
@@ -38,7 +38,11 @@ impl ParseModelError {
 
 impl fmt::Display for ParseModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "model parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "model parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

@@ -70,7 +70,12 @@ impl DecisionTree {
     ///
     /// Panics if `indices` is empty.
     #[must_use]
-    pub fn fit(dataset: &Dataset, indices: &[usize], config: &TreeConfig, rng: &mut StdRng) -> Self {
+    pub fn fit(
+        dataset: &Dataset,
+        indices: &[usize],
+        config: &TreeConfig,
+        rng: &mut StdRng,
+    ) -> Self {
         assert!(!indices.is_empty(), "cannot fit a tree on zero samples");
         let mut tree = Self {
             nodes: Vec::new(),
@@ -155,8 +160,7 @@ impl DecisionTree {
             return self.push_leaf(positives as f64 / total as f64);
         };
         // Mean-decrease-in-impurity importance, weighted by node size.
-        self.importances[feature as usize] +=
-            gain.max(0.0) * total as f64 / self.root_size as f64;
+        self.importances[feature as usize] += gain.max(0.0) * total as f64 / self.root_size as f64;
 
         // Partition in place: low side first.
         let mut mid = 0;

@@ -96,7 +96,11 @@ impl AbperAccumulator {
 /// Panics if the slices differ in length or `bits` is out of range.
 #[must_use]
 pub fn abper(predicted: &[u64], real: &[u64], bits: u32) -> f64 {
-    assert_eq!(predicted.len(), real.len(), "prediction/real length mismatch");
+    assert_eq!(
+        predicted.len(),
+        real.len(),
+        "prediction/real length mismatch"
+    );
     let mut acc = AbperAccumulator::new(bits);
     for (&p, &r) in predicted.iter().zip(real) {
         acc.record(p, r);

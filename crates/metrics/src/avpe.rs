@@ -95,7 +95,11 @@ impl AvpeAccumulator {
 /// Panics if the slices differ in length.
 #[must_use]
 pub fn avpe(predicted: &[u64], real: &[u64]) -> f64 {
-    assert_eq!(predicted.len(), real.len(), "prediction/real length mismatch");
+    assert_eq!(
+        predicted.len(),
+        real.len(),
+        "prediction/real length mismatch"
+    );
     let mut acc = AvpeAccumulator::new();
     for (&p, &r) in predicted.iter().zip(real) {
         acc.record(p, r);

@@ -25,7 +25,10 @@ pub(crate) fn cla4_chain(
     cin: Option<NetId>,
 ) -> (Vec<NetId>, NetId) {
     let n = a_bits.len();
-    assert!(n > 0 && n.is_multiple_of(4), "CLA4 requires a positive multiple of 4");
+    assert!(
+        n > 0 && n.is_multiple_of(4),
+        "CLA4 requires a positive multiple of 4"
+    );
     assert_eq!(a_bits.len(), b_bits.len(), "operand width mismatch");
     let (g, p) = pg_init(b, a_bits, b_bits);
 
@@ -237,8 +240,8 @@ pub fn build(width: u32, scheme: BlockScheme) -> AdderNetlist {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::builders::test_support::check_adder;
     use crate::builders::ripple;
+    use crate::builders::test_support::check_adder;
     use crate::cell::CellLibrary;
     use crate::sta::StaReport;
     use crate::timing::DelayAnnotation;

@@ -158,12 +158,8 @@ pub fn build(cfg: &IsaConfig, topology: AdderTopology) -> Result<AdderNetlist, I
             )
         };
         spec.push(cin);
-        let (sums, cout) = topology.chain(
-            &mut b,
-            &a_bits[lo..lo + bsz],
-            &b_bits[lo..lo + bsz],
-            cin,
-        );
+        let (sums, cout) =
+            topology.chain(&mut b, &a_bits[lo..lo + bsz], &b_bits[lo..lo + bsz], cin);
         raw_sums.push(sums);
         couts.push(cout);
     }

@@ -12,7 +12,7 @@ pub mod isa;
 pub mod prefix;
 pub mod ripple;
 
-use crate::graph::{Netlist, NetlistBuilder, NetId};
+use crate::graph::{NetId, Netlist, NetlistBuilder};
 
 /// An adder implementation choice — the architectural degree of freedom a
 /// cost-driven synthesis explores under a timing constraint.
@@ -70,9 +70,7 @@ impl AdderTopology {
             return false;
         }
         match self {
-            AdderTopology::Ripple
-            | AdderTopology::Sklansky
-            | AdderTopology::KoggeStone => true,
+            AdderTopology::Ripple | AdderTopology::Sklansky | AdderTopology::KoggeStone => true,
             AdderTopology::Cla4 => width.is_multiple_of(4),
             AdderTopology::CarrySkip(k) => *k >= 2 && width.is_multiple_of(*k) && width > *k,
             AdderTopology::CarrySelect(k) => *k >= 1 && width.is_multiple_of(*k) && width > *k,
@@ -96,9 +94,7 @@ impl AdderTopology {
         match self {
             AdderTopology::Ripple => ripple::ripple_chain(b, a_bits, b_bits, cin),
             AdderTopology::Cla4 => blocks::cla4_chain(b, a_bits, b_bits, cin),
-            AdderTopology::CarrySkip(k) => {
-                blocks::skip_chain(b, a_bits, b_bits, cin, *k as usize)
-            }
+            AdderTopology::CarrySkip(k) => blocks::skip_chain(b, a_bits, b_bits, cin, *k as usize),
             AdderTopology::CarrySelect(k) => {
                 blocks::select_chain(b, a_bits, b_bits, cin, *k as usize)
             }

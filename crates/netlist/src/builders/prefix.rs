@@ -35,13 +35,7 @@ impl PrefixScheme {
 }
 
 /// `(G, P) = (Gh | Ph·Gl, Ph·Pl)` — the prefix combine operator.
-fn combine(
-    b: &mut NetlistBuilder,
-    gh: NetId,
-    ph: NetId,
-    gl: NetId,
-    pl: NetId,
-) -> (NetId, NetId) {
+fn combine(b: &mut NetlistBuilder, gh: NetId, ph: NetId, gl: NetId, pl: NetId) -> (NetId, NetId) {
     (b.ao21(ph, gl, gh), b.and2(ph, pl))
 }
 
@@ -70,7 +64,10 @@ fn prefix_network(
             }
         }
         PrefixScheme::BrentKung => {
-            assert!(n.is_power_of_two(), "Brent-Kung requires power-of-two width");
+            assert!(
+                n.is_power_of_two(),
+                "Brent-Kung requires power-of-two width"
+            );
             // Up-sweep.
             let mut d = 1;
             while 2 * d <= n {
@@ -177,8 +174,8 @@ pub fn build(width: u32, scheme: PrefixScheme) -> AdderNetlist {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::builders::test_support::check_adder;
     use crate::builders::ripple;
+    use crate::builders::test_support::check_adder;
     use crate::cell::CellLibrary;
     use crate::sta::StaReport;
     use crate::timing::DelayAnnotation;
@@ -266,8 +263,13 @@ mod tests {
         let a_bits = b.input_bus("a", 8);
         let b_bits = b.input_bus("b", 8);
         let one = b.const1();
-        let (sums, cout) =
-            prefix_chain(&mut b, PrefixScheme::KoggeStone, &a_bits, &b_bits, Some(one));
+        let (sums, cout) = prefix_chain(
+            &mut b,
+            PrefixScheme::KoggeStone,
+            &a_bits,
+            &b_bits,
+            Some(one),
+        );
         b.mark_output_bus(&sums, "sum");
         b.mark_output(cout, "sum[8]");
         let nl = b.finish().unwrap();

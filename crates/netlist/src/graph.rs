@@ -379,7 +379,9 @@ impl NetlistBuilder {
 
     /// Declares a bus of primary inputs `name[0]..name[width-1]`, LSB first.
     pub fn input_bus(&mut self, name: &str, width: u32) -> Vec<NetId> {
-        (0..width).map(|i| self.input(format!("{name}[{i}]"))).collect()
+        (0..width)
+            .map(|i| self.input(format!("{name}[{i}]")))
+            .collect()
     }
 
     /// Instantiates a cell and returns its output net.
@@ -679,7 +681,11 @@ mod tests {
         for pattern in 0..(1u32 << 7) {
             let inputs: Vec<bool> = (0..7).map(|i| pattern & (1 << i) != 0).collect();
             let expected = u64::from(pattern == 0x7F);
-            assert_eq!(nl.evaluate_outputs_u64(&inputs), expected, "pattern {pattern:#b}");
+            assert_eq!(
+                nl.evaluate_outputs_u64(&inputs),
+                expected,
+                "pattern {pattern:#b}"
+            );
         }
     }
 

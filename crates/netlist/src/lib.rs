@@ -41,5 +41,5 @@ pub use builders::{build_exact, AdderNetlist, AdderTopology, CANDIDATE_TOPOLOGIE
 pub use cell::{CellKind, CellLibrary, CellTiming};
 pub use graph::{Cell, CellId, NetDriver, NetId, Netlist, NetlistBuilder, NetlistError};
 pub use sta::StaReport;
-pub use synth::{synthesize_exact, synthesize_isa, Synthesized, SynthesisError, SynthesisOptions};
+pub use synth::{synthesize_exact, synthesize_isa, SynthesisError, SynthesisOptions, Synthesized};
 pub use timing::{DelayAnnotation, VariationModel};

@@ -57,7 +57,10 @@ impl fmt::Display for SdfError {
                 write!(f, "unknown or duplicate instance {instance:?}")
             }
             SdfError::MissingInstances { annotated, cells } => {
-                write!(f, "SDF annotates {annotated} instances, netlist has {cells}")
+                write!(
+                    f,
+                    "SDF annotates {annotated} instances, netlist has {cells}"
+                )
             }
         }
     }
@@ -245,7 +248,10 @@ mod tests {
             .join("\n");
         assert!(matches!(
             read(&nl, &truncated),
-            Err(SdfError::MissingInstances { annotated: 1, cells: 2 })
+            Err(SdfError::MissingInstances {
+                annotated: 1,
+                cells: 2
+            })
         ));
     }
 

@@ -124,8 +124,7 @@ impl StaReport {
                     // The input that determined this cell's arrival.
                     let expected = self.arrival_ps[net.index()] - delays.delay_ps(id);
                     let Some(&worst) = cell.inputs.iter().max_by(|a, b| {
-                        self.arrival_ps[a.index()]
-                            .total_cmp(&self.arrival_ps[b.index()])
+                        self.arrival_ps[a.index()].total_cmp(&self.arrival_ps[b.index()])
                     }) else {
                         break; // constant cell: path starts here
                     };
@@ -194,7 +193,9 @@ mod tests {
         let sta = StaReport::analyze(&nl, &DelayAnnotation::from_delays(vec![]));
         assert_eq!(sta.critical_ps(), 0.0);
         assert!(sta.critical_net().is_none());
-        assert!(sta.critical_path(&nl, &DelayAnnotation::from_delays(vec![])).is_empty());
+        assert!(sta
+            .critical_path(&nl, &DelayAnnotation::from_delays(vec![]))
+            .is_empty());
     }
 
     #[test]

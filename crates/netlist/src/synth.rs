@@ -102,8 +102,7 @@ pub fn area_recovery(
             .enumerate()
             .map(|(i, cell)| {
                 let id = crate::graph::CellId::from_index(i);
-                let worst_through =
-                    sta.arrival_ps(cell.output) + downstream[cell.output.index()];
+                let worst_through = sta.arrival_ps(cell.output) + downstream[cell.output.index()];
                 let pass_factor = if worst_through > 0.0 {
                     (target_ps / worst_through).max(1.0)
                 } else {
@@ -111,8 +110,7 @@ pub fn area_recovery(
                 };
                 // The cumulative slow-down per cell is capped (minimum cell
                 // size / HVT-swap limit).
-                let new_delay = (current.delay_ps(id) * pass_factor)
-                    .min(original[i] * max_factor);
+                let new_delay = (current.delay_ps(id) * pass_factor).min(original[i] * max_factor);
                 if new_delay > current.delay_ps(id) * 1.005 {
                     changed = true;
                 }
@@ -428,13 +426,13 @@ mod tests {
     fn area_recovery_respects_max_factor_cap() {
         let lib = CellLibrary::industrial_65nm();
         let synth = synthesize_exact(32, PERIOD, &lib, &SynthesisOptions::default()).unwrap();
-        let recovered =
-            area_recovery(synth.adder.netlist(), &synth.annotation, 0.99 * PERIOD, 1.25);
-        for (r, n) in recovered
-            .as_slice()
-            .iter()
-            .zip(synth.annotation.as_slice())
-        {
+        let recovered = area_recovery(
+            synth.adder.netlist(),
+            &synth.annotation,
+            0.99 * PERIOD,
+            1.25,
+        );
+        for (r, n) in recovered.as_slice().iter().zip(synth.annotation.as_slice()) {
             assert!(*r <= n * 1.25 + 1e-9);
             assert!(*r >= *n - 1e-9, "recovery must never speed a cell up");
         }

@@ -38,7 +38,10 @@ impl VariationModel {
     /// No variation: nominal delays.
     #[must_use]
     pub fn nominal() -> Self {
-        Self { sigma: 0.0, seed: 0 }
+        Self {
+            sigma: 0.0,
+            seed: 0,
+        }
     }
 }
 
@@ -71,7 +74,11 @@ impl DelayAnnotation {
     /// Annotation with per-instance Gaussian variation, clamped to ±3 sigma
     /// (no negative or absurd delays).
     #[must_use]
-    pub fn with_variation(netlist: &Netlist, lib: &CellLibrary, variation: &VariationModel) -> Self {
+    pub fn with_variation(
+        netlist: &Netlist,
+        lib: &CellLibrary,
+        variation: &VariationModel,
+    ) -> Self {
         let mut annotation = Self::nominal(netlist, lib);
         if variation.sigma == 0.0 {
             return annotation;

@@ -1,0 +1,509 @@
+//! Minimal, deterministic stand-in for the subset of the `proptest` crate
+//! API this workspace uses: the [`proptest!`] test macro, range / `Just` /
+//! tuple / `prop_oneof!` / `prop::collection::vec` strategies,
+//! `prop_filter_map`, `any::<T>()` for primitives and small tuples, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! The real `proptest` crate cannot be resolved in offline build
+//! environments. This shim keeps the property tests' *generative* style —
+//! each test still runs against a few dozen pseudo-random cases — but
+//! drops shrinking and persistence: a failing case panics with the plain
+//! assertion message. Case streams are seeded from the test name, so runs
+//! are fully deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator state handed to strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct CaseRng {
+    state: u64,
+}
+
+impl CaseRng {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, span: u64) -> u64 {
+        assert!(span > 0, "cannot sample an empty range");
+        self.next_u64() % span
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Value generators (subset of `proptest::strategy::Strategy`).
+pub mod strategy {
+    use super::CaseRng;
+
+    /// A source of pseudo-random values of one type.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut CaseRng) -> Self::Value;
+
+        /// Maps generated values, discarding those the mapper rejects
+        /// (retried up to an internal attempt budget).
+        fn prop_filter_map<T, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<T>,
+        {
+            FilterMap {
+                inner: self,
+                f,
+                whence,
+            }
+        }
+
+        /// Maps generated values.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_filter_map`].
+    #[derive(Debug, Clone)]
+    pub struct FilterMap<S, F> {
+        inner: S,
+        f: F,
+        whence: &'static str,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> Option<T>> Strategy for FilterMap<S, F> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut CaseRng) -> T {
+            for _ in 0..1_000 {
+                if let Some(value) = (self.f)(self.inner.generate(rng)) {
+                    return value;
+                }
+            }
+            panic!(
+                "prop_filter_map exhausted its attempt budget: {}",
+                self.whence
+            );
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut CaseRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always generates a clone of one value (subset of
+    /// `proptest::strategy::Just`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut CaseRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among homogeneous strategies (the `prop_oneof!`
+    /// backing type).
+    #[derive(Debug, Clone)]
+    pub struct OneOf<S> {
+        options: Vec<S>,
+    }
+
+    impl<S> OneOf<S> {
+        /// Creates a choice over at least one option.
+        #[must_use]
+        pub fn new(options: Vec<S>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self { options }
+        }
+    }
+
+    impl<S: Strategy> Strategy for OneOf<S> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut CaseRng) -> S::Value {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut CaseRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+use strategy::Strategy;
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut CaseRng) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut CaseRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range");
+                    let span = (end - start) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    start + rng.below(span + 1) as $t
+                }
+            }
+        )+
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut CaseRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// Types with a canonical full-range generator (subset of
+/// `proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut CaseRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),+) => {
+        $(
+            impl Arbitrary for $t {
+                #[allow(clippy::cast_possible_truncation)]
+                fn arbitrary(rng: &mut CaseRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+
+    };
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut CaseRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! tuple_arbitrary {
+    ($($name:ident),+) => {
+        impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+            fn arbitrary(rng: &mut CaseRng) -> Self {
+                ($($name::arbitrary(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_arbitrary!(A, B);
+tuple_arbitrary!(A, B, C);
+tuple_arbitrary!(A, B, C, D);
+
+/// Strategy over a type's full value range.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut CaseRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-range strategy for a type (subset of `proptest::prelude::any`).
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies (subset of the `proptest::collection` module,
+/// re-exported as `prop::collection` like the real prelude does).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::CaseRng;
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s with a length drawn from a range.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            length: Range<usize>,
+        }
+
+        /// Generates vectors whose elements come from `element` and whose
+        /// length is drawn from `length`.
+        pub fn vec<S: Strategy>(element: S, length: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, length }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut CaseRng) -> Vec<S::Value> {
+                let n = self.length.clone().generate(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Test-runner configuration (subset of
+/// `proptest::test_runner::ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; the shim trims to keep offline suites
+        // fast while still exercising a meaningful spread of cases.
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration with an explicit case count.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Stable per-test seed from the test's name (FNV-1a).
+#[must_use]
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Everything the property tests import (subset of `proptest::prelude`).
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig,
+    };
+}
+
+/// Defines deterministic generative tests (subset of `proptest::proptest!`).
+///
+/// Each `#[test] fn name(binding in strategy, ...) { body }` item becomes a
+/// plain test that evaluates `body` against `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::CaseRng::new($crate::seed_from_name(stringify!($name)));
+                for __case in 0..config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategy expressions of one type (subset of
+/// `proptest::prop_oneof!`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($option:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($option),+])
+    };
+}
+
+/// Asserts a condition for the current case (panics on failure — the shim
+/// does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality for the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_any_stay_in_bounds() {
+        let mut rng = crate::CaseRng::new(1);
+        for _ in 0..1_000 {
+            let v = Strategy::generate(&(3u32..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let w = Strategy::generate(&(0u32..=7), &mut rng);
+            assert!(w <= 7);
+            let f = Strategy::generate(&(-2.0f64..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn oneof_only_yields_listed_options() {
+        let strategy = prop_oneof![Just(8u32), Just(16u32)];
+        let mut rng = crate::CaseRng::new(2);
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            match Strategy::generate(&strategy, &mut rng) {
+                8 => seen[0] = true,
+                16 => seen[1] = true,
+                other => panic!("unexpected value {other}"),
+            }
+        }
+        assert!(seen[0] && seen[1], "both arms must be reachable");
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let strategy = prop::collection::vec(any::<u64>(), 2..6);
+        let mut rng = crate::CaseRng::new(3);
+        for _ in 0..100 {
+            let v = Strategy::generate(&strategy, &mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn filter_map_retries_until_accepted() {
+        let strategy = (0u64..100).prop_filter_map("even", |v| (v % 2 == 0).then_some(v));
+        let mut rng = crate::CaseRng::new(4);
+        for _ in 0..100 {
+            assert_eq!(Strategy::generate(&strategy, &mut rng) % 2, 0);
+        }
+    }
+
+    // The macro itself, exercised end to end (with assume + config).
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_and_filters(a in any::<u64>(), b in 1u64..1000) {
+            prop_assume!(!a.is_multiple_of(3));
+            prop_assert!((1..1000).contains(&b));
+            prop_assert_ne!(a % 3, 0);
+            prop_assert_eq!(a.wrapping_add(b).wrapping_sub(b), a);
+        }
+    }
+}

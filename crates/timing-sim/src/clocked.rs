@@ -11,32 +11,35 @@ use isa_netlist::builders::AdderNetlist;
 use isa_netlist::graph::Netlist;
 use isa_netlist::timing::DelayAnnotation;
 
-use crate::sim::{ps_to_fs, GateLevelSim};
+use crate::sim::{ps_to_fs, SimCore};
 
-/// A netlist operated at a fixed clock period.
+/// Netlist-free state of a clocked (overclocked) run: simulator state plus
+/// the clock period.
+///
+/// Like [`SimCore`], every method takes the netlist explicitly, so sessions
+/// that own their netlist (e.g. behind an `Arc` in an `isa-engine`
+/// substrate) can keep cycle-to-cycle circuit state without borrowing.
 #[derive(Debug, Clone)]
-pub struct ClockedSim<'a> {
-    sim: GateLevelSim<'a>,
-    netlist: &'a Netlist,
+pub struct ClockedCore {
+    sim: SimCore,
     period_fs: u64,
 }
 
-impl<'a> ClockedSim<'a> {
-    /// Creates a clocked wrapper running `netlist` at `period_ps`.
+impl ClockedCore {
+    /// Creates clocked state running `netlist` at `period_ps`.
     ///
     /// # Panics
     ///
     /// Panics if the period is not positive/finite or the annotation does
     /// not cover the netlist.
     #[must_use]
-    pub fn new(netlist: &'a Netlist, annotation: &DelayAnnotation, period_ps: f64) -> Self {
+    pub fn new(netlist: &Netlist, annotation: &DelayAnnotation, period_ps: f64) -> Self {
         assert!(
             period_ps.is_finite() && period_ps > 0.0,
             "period must be positive"
         );
         Self {
-            sim: GateLevelSim::new(netlist, annotation),
-            netlist,
+            sim: SimCore::new(netlist, annotation),
             period_fs: ps_to_fs(period_ps),
         }
     }
@@ -53,11 +56,56 @@ impl<'a> ClockedSim<'a> {
     /// # Panics
     ///
     /// Panics if `inputs.len()` differs from the netlist's input count.
-    pub fn step(&mut self, inputs: &[bool]) -> u64 {
+    pub fn step(&mut self, netlist: &Netlist, inputs: &[bool]) -> u64 {
         let t0 = self.sim.now_fs();
-        self.sim.set_inputs(inputs);
-        self.sim.run_until(t0 + self.period_fs);
-        self.sim.outputs_u64()
+        self.sim.set_inputs(netlist, inputs);
+        self.sim.run_until(netlist, t0 + self.period_fs);
+        self.sim.outputs_u64(netlist)
+    }
+
+    /// Total committed simulation events so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.sim.events_processed()
+    }
+}
+
+/// A netlist operated at a fixed clock period.
+#[derive(Debug, Clone)]
+pub struct ClockedSim<'a> {
+    core: ClockedCore,
+    netlist: &'a Netlist,
+}
+
+impl<'a> ClockedSim<'a> {
+    /// Creates a clocked wrapper running `netlist` at `period_ps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is not positive/finite or the annotation does
+    /// not cover the netlist.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist, annotation: &DelayAnnotation, period_ps: f64) -> Self {
+        Self {
+            core: ClockedCore::new(netlist, annotation, period_ps),
+            netlist,
+        }
+    }
+
+    /// The clock period in femtoseconds.
+    #[must_use]
+    pub fn period_fs(&self) -> u64 {
+        self.core.period_fs()
+    }
+
+    /// Applies one input vector at the current clock edge, runs one period,
+    /// and returns the outputs sampled at the next edge (packed LSB-first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the netlist's input count.
+    pub fn step(&mut self, inputs: &[bool]) -> u64 {
+        self.core.step(self.netlist, inputs)
     }
 
     /// The value the outputs would settle to for the *current* inputs if
@@ -72,7 +120,7 @@ impl<'a> ClockedSim<'a> {
     /// Total committed simulation events so far.
     #[must_use]
     pub fn events_processed(&self) -> u64 {
-        self.sim.events_processed()
+        self.core.events_processed()
     }
 }
 
@@ -193,8 +241,8 @@ mod tests {
         let mut last_rate = -1.0f64;
         for factor in [1.05, 0.8, 0.55, 0.3] {
             let trace = run_adder_trace(&adder, &ann, crit * factor, &inputs);
-            let rate = trace.iter().filter(|r| r.has_timing_error()).count() as f64
-                / trace.len() as f64;
+            let rate =
+                trace.iter().filter(|r| r.has_timing_error()).count() as f64 / trace.len() as f64;
             assert!(
                 rate >= last_rate - 0.02,
                 "rate should not decrease substantially with overclocking: \

@@ -34,8 +34,8 @@ pub mod razor;
 pub mod sim;
 pub mod waveform;
 
-pub use clocked::{run_adder_trace, ClockedSim, CycleRecord};
+pub use clocked::{run_adder_trace, ClockedCore, ClockedSim, CycleRecord};
 pub use power::{measure as measure_energy, EnergyReport};
 pub use razor::{run_razor_trace, RazorConfig, RazorCycle, RazorReport};
-pub use sim::{ps_to_fs, GateLevelSim, SettleError, FS_PER_PS};
+pub use sim::{ps_to_fs, GateLevelSim, SettleError, SimCore, FS_PER_PS};
 pub use waveform::{Transition, Waveform};

@@ -74,8 +74,7 @@ pub fn measure(sim: &GateLevelSim<'_>, netlist: &Netlist, lib: &CellLibrary) -> 
     }
     let span_fs = sim.now_fs();
     // nW * fs = 1e-9 W * 1e-15 s = 1e-24 J = 1e-9 fJ.
-    let leakage_fj =
-        netlist.area(lib) * LEAKAGE_NW_PER_AREA * span_fs as f64 * 1e-9;
+    let leakage_fj = netlist.area(lib) * LEAKAGE_NW_PER_AREA * span_fs as f64 * 1e-9;
     EnergyReport {
         dynamic_fj,
         leakage_fj,

@@ -215,8 +215,7 @@ pub fn run_razor_trace(
         detections,
         undetected_errors,
         false_alarms,
-        total_cycles: cycles.len() as u64
-            + detections as u64 * u64::from(config.recovery_cycles),
+        total_cycles: cycles.len() as u64 + detections as u64 * u64::from(config.recovery_cycles),
         hold_buffers,
     };
     (cycles, report)
@@ -290,8 +289,7 @@ mod tests {
             margin_ps: 10.0,
             recovery_cycles: 5,
         };
-        let (_, report) =
-            run_razor_trace(&adder, &ann, &lib, crit * 0.5, &config, &pairs(500));
+        let (_, report) = run_razor_trace(&adder, &ann, &lib, crit * 0.5, &config, &pairs(500));
         assert!(
             report.undetected_errors > 0,
             "a thin margin must miss long-path errors"
@@ -363,11 +361,7 @@ mod tests {
             margin_ps: 60.0,
             recovery_cycles: 7,
         };
-        let (_, report) =
-            run_razor_trace(&adder, &ann, &lib, crit * 0.8, &config, &pairs(200));
-        assert_eq!(
-            report.total_cycles,
-            200 + report.detections as u64 * 7
-        );
+        let (_, report) = run_razor_trace(&adder, &ann, &lib, crit * 0.8, &config, &pairs(200));
+        assert_eq!(report.total_cycles, 200 + report.detections as u64 * 7);
     }
 }

@@ -45,9 +45,7 @@ impl Waveform {
     /// guarantees this).
     pub fn record(&mut self, time_fs: u64, net: NetId, value: bool) {
         debug_assert!(
-            self.transitions
-                .last()
-                .is_none_or(|t| t.time_fs <= time_fs),
+            self.transitions.last().is_none_or(|t| t.time_fs <= time_fs),
             "transitions must be recorded in time order"
         );
         self.transitions.push(Transition {
@@ -172,7 +170,7 @@ fn sanitize_name(name: &str) -> String {
 mod tests {
     use super::*;
     use crate::sim::GateLevelSim;
-    
+
     use isa_netlist::graph::NetlistBuilder;
     use isa_netlist::timing::DelayAnnotation;
 
@@ -197,7 +195,10 @@ mod tests {
         let wave = sim.take_recording().unwrap();
         // a rises, buf follows, y follows: 3 commits.
         assert_eq!(wave.len(), 3);
-        assert!(wave.transitions().windows(2).all(|w| w[0].time_fs <= w[1].time_fs));
+        assert!(wave
+            .transitions()
+            .windows(2)
+            .all(|w| w[0].time_fs <= w[1].time_fs));
     }
 
     #[test]

@@ -33,9 +33,7 @@ fn build_random(n_inputs: usize, recipes: &[CellRecipe]) -> Netlist {
     let mut nets: Vec<_> = (0..n_inputs).map(|i| b.input(format!("i{i}"))).collect();
     for &(k, s0, s1, s2) in recipes {
         let kind = kinds[k as usize % kinds.len()];
-        let pick = |sel: u16, nets: &[isa_netlist::graph::NetId]| {
-            nets[sel as usize % nets.len()]
-        };
+        let pick = |sel: u16, nets: &[isa_netlist::graph::NetId]| nets[sel as usize % nets.len()];
         let ins: Vec<_> = [s0, s1, s2][..kind.arity()]
             .iter()
             .map(|&s| pick(s, &nets))

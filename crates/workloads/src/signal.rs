@@ -162,7 +162,9 @@ mod tests {
     #[test]
     fn noiseless_sine_is_deterministic() {
         let a: Vec<_> = SineWorkload::new(16, 0.02, 0.05, 0.0, 1).take(50).collect();
-        let b: Vec<_> = SineWorkload::new(16, 0.02, 0.05, 0.0, 99).take(50).collect();
+        let b: Vec<_> = SineWorkload::new(16, 0.02, 0.05, 0.0, 99)
+            .take(50)
+            .collect();
         assert_eq!(a, b, "noise-free streams ignore the seed");
     }
 

@@ -46,7 +46,10 @@ impl Iterator for UniformWorkload {
     type Item = (u64, u64);
 
     fn next(&mut self) -> Option<Self::Item> {
-        Some((self.rng.gen::<u64>() & self.mask, self.rng.gen::<u64>() & self.mask))
+        Some((
+            self.rng.gen::<u64>() & self.mask,
+            self.rng.gen::<u64>() & self.mask,
+        ))
     }
 }
 

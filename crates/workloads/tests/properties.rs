@@ -1,8 +1,7 @@
 //! Property-based tests of the workload generators.
 
 use isa_workloads::{
-    take_pairs, AccumulationWorkload, RandomWalkWorkload, SineWorkload, UniformWorkload,
-    Workload,
+    take_pairs, AccumulationWorkload, RandomWalkWorkload, SineWorkload, UniformWorkload, Workload,
 };
 use proptest::prelude::*;
 

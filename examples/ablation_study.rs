@@ -1,5 +1,5 @@
 //! Ablation study: isolates which modelling choice produces which feature
-//! of the reproduced figures (DESIGN.md §6).
+//! of the reproduced figures (see the root README's "Synthesis flow" note).
 //!
 //! Three ablations on the exact adder and one ISA:
 //!

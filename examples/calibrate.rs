@@ -4,7 +4,7 @@
 //! clock-period reductions. Used to sanity-check the cell library and
 //! synthesis settings against the paper's qualitative shapes.
 //!
-//! Flow asymmetry (see DESIGN.md §6): the ISA designs are Pareto points
+//! Flow asymmetry (see the root README's "Synthesis flow" note): the ISA designs are Pareto points
 //! from the NEWCAS'15 library that *fit* 0.3 ns with natural slack, while
 //! the exact adder is *constrained at* 0.3 ns and area-recovered to the
 //! slack wall.

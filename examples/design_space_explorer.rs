@@ -49,8 +49,7 @@ fn main() {
                         continue;
                     };
                     explored += 1;
-                    let Ok(synth) =
-                        synthesize_isa(&cfg, 300.0, &lib, &SynthesisOptions::default())
+                    let Ok(synth) = synthesize_isa(&cfg, 300.0, &lib, &SynthesisOptions::default())
                     else {
                         infeasible += 1;
                         continue;
@@ -107,16 +106,12 @@ fn main() {
     let near_frontier = paper
         .iter()
         .filter(|cfg| {
-            candidates
-                .iter()
-                .find(|c| c.cfg == **cfg)
-                .is_some_and(|c| {
-                    frontier.iter().any(|f| {
-                        (f.area - c.area).abs() / c.area < 0.05
-                            && (f.rms_re_pct - c.rms_re_pct).abs()
-                                <= 0.05 * c.rms_re_pct.max(1e-9)
-                    })
+            candidates.iter().find(|c| c.cfg == **cfg).is_some_and(|c| {
+                frontier.iter().any(|f| {
+                    (f.area - c.area).abs() / c.area < 0.05
+                        && (f.rms_re_pct - c.rms_re_pct).abs() <= 0.05 * c.rms_re_pct.max(1e-9)
                 })
+            })
         })
         .count();
     println!(

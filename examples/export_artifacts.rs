@@ -47,7 +47,12 @@ fn main() -> std::io::Result<()> {
     let vcd_path = format!("{base}.vcd");
     std::fs::write(&vcd_path, wave.to_vcd(netlist))?;
 
-    println!("design {} ({} cells, crit {:.1} ps)", ctx.label(), netlist.cell_count(), ctx.synthesized.critical_ps);
+    println!(
+        "design {} ({} cells, crit {:.1} ps)",
+        ctx.label(),
+        netlist.cell_count(),
+        ctx.synthesized.critical_ps
+    );
     println!("  wrote {v_path}");
     println!("  wrote {sdf_path}");
     println!(

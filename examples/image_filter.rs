@@ -104,9 +104,7 @@ fn image_designs() -> Vec<Design> {
     let mut designs: Vec<Design> = quads
         .iter()
         .map(|&(b, s, c, r)| {
-            Design::Isa(
-                IsaConfig::new(ADDER_WIDTH, b, s, c, r).expect("valid 16-bit quadruple"),
-            )
+            Design::Isa(IsaConfig::new(ADDER_WIDTH, b, s, c, r).expect("valid 16-bit quadruple"))
         })
         .collect();
     designs.push(Design::Exact { width: ADDER_WIDTH });

@@ -5,28 +5,16 @@
 //! Also demonstrates workload dependence: correlated (random-walk) inputs
 //! sensitize far fewer long paths than uniform ones at the same clock.
 //!
+//! The whole sweep is one [`ExperimentPlan`]: eleven CPR steps × two
+//! workloads on the gate-level substrate, sharded across the machine by
+//! the engine (the design is synthesized once, in its artifact cache).
+//!
 //! Run with: `cargo run --release --example overclocking_explorer [design] [cycles]`
 //! where `design` is `exact` or a quadruple like `(8,0,1,4)`.
 
-use overclocked_isa::core::{CombinedErrorStats, Design, IsaConfig, OutputTriple};
-use overclocked_isa::experiments::{DesignContext, ExperimentConfig};
+use overclocked_isa::core::{Design, IsaConfig};
+use overclocked_isa::engine::{Engine, ExperimentConfig, ExperimentPlan, SubstrateChoice};
 use overclocked_isa::workloads::{take_pairs, RandomWalkWorkload, UniformWorkload};
-
-fn measure(ctx: &DesignContext, clk: f64, inputs: &[(u64, u64)]) -> (f64, f64) {
-    let trace = ctx.trace(clk, inputs);
-    let mut stats = CombinedErrorStats::new();
-    let mut errors = 0usize;
-    for rec in &trace {
-        if rec.has_timing_error() {
-            errors += 1;
-        }
-        stats.push(&OutputTriple::new(rec.a + rec.b, rec.settled, rec.sampled));
-    }
-    (
-        errors as f64 / trace.len() as f64,
-        stats.re_joint.rms() * 100.0,
-    )
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,13 +25,11 @@ fn main() {
                 .expect("design must be 'exact' or a quadruple like (8,0,1,4)"),
         ),
     };
-    let cycles: usize = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8_000);
+    let cycles: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8_000);
 
     let config = ExperimentConfig::default();
-    let ctx = DesignContext::build(design, &config);
+    let engine = Engine::new();
+    let ctx = engine.context(&design, &config);
     println!(
         "design {} — {} cells, critical {:.1} ps (constraint {} ps)",
         ctx.label(),
@@ -52,21 +38,33 @@ fn main() {
         config.period_ps
     );
 
-    let uniform = take_pairs(UniformWorkload::new(32, 7), cycles);
-    let walk: Vec<(u64, u64)> = RandomWalkWorkload::new(32, 4096, 7).take(cycles).collect();
+    let cprs: Vec<f64> = (0..=10).map(|step| 0.025 * f64::from(step)).collect();
+    let plan = ExperimentPlan::new(config.clone())
+        .designs([design])
+        .cprs(cprs.iter().copied())
+        .workload("uniform", take_pairs(UniformWorkload::new(32, 7), cycles))
+        .workload(
+            "walk-4k",
+            RandomWalkWorkload::new(32, 4096, 7).take(cycles).collect(),
+        )
+        .substrate(SubstrateChoice::GateLevel);
+    let results = engine.run(&plan);
 
     println!(
         "{:>8} {:>6} | {:>12} {:>12} | {:>12} {:>12}",
         "clk(ps)", "CPR%", "uni err-rate", "uni RMSre%", "walk err-rate", "walk RMSre%"
     );
-    for step in 0..=10 {
-        let cpr = 0.025 * f64::from(step);
-        let clk = config.clock_ps(cpr);
-        let (u_rate, u_rms) = measure(&ctx, clk, &uniform);
-        let (w_rate, w_rms) = measure(&ctx, clk, &walk);
+    // Results arrive in plan order: cprs outer, workloads inner.
+    for pair in results.chunks(2) {
+        let (uni, walk) = (&pair[0], &pair[1]);
         println!(
-            "{clk:>8.1} {:>6.1} | {u_rate:>12.4} {u_rms:>12.4} | {w_rate:>12.4} {w_rms:>12.4}",
-            cpr * 100.0
+            "{:>8.1} {:>6.1} | {:>12.4} {:>12.4} | {:>12.4} {:>12.4}",
+            uni.clock_ps,
+            uni.cpr * 100.0,
+            uni.timing_error_rate(),
+            uni.stats.re_joint.rms() * 100.0,
+            walk.timing_error_rate(),
+            walk.stats.re_joint.rms() * 100.0,
         );
     }
     println!("\nCorrelated inputs sensitize shorter paths: the error onset moves");

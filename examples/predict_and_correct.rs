@@ -61,13 +61,23 @@ fn main() {
         re_unguarded.push((real_silver as f64 - diamond) / denom);
         // Guided replay: cycles predicted erroneous are re-executed at a
         // safe clock, leaving only structural errors on those cycles.
-        let guarded = if predicted != 0 { cycle.gold } else { real_silver };
+        let guarded = if predicted != 0 {
+            cycle.gold
+        } else {
+            real_silver
+        };
         re_guarded.push((guarded as f64 - diamond) / denom);
     }
 
     println!("\nbit-level model quality:");
-    println!("  ABPER          = {:.3e}", overclocked_isa::metrics::floor(abper.abper()));
-    println!("  AVPE           = {:.3e}", overclocked_isa::metrics::floor(avpe.avpe()));
+    println!(
+        "  ABPER          = {:.3e}",
+        overclocked_isa::metrics::floor(abper.abper())
+    );
+    println!(
+        "  AVPE           = {:.3e}",
+        overclocked_isa::metrics::floor(avpe.avpe())
+    );
     println!("\ncycle-level detector:");
     println!("  accuracy  {:.4}", cycle_matrix.accuracy());
     println!("  precision {:.4}", cycle_matrix.precision());

@@ -1,11 +1,11 @@
 //! Quickstart: build an Inexact Speculative Adder, synthesize it, overclock
 //! it, and combine its structural and timing errors — the paper's whole
-//! methodology in one page.
+//! methodology in one page, driven through the engine's plan API.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use overclocked_isa::core::{combine, Adder, IsaConfig, OutputTriple, SpeculativeAdder};
-use overclocked_isa::experiments::{DesignContext, ExperimentConfig};
+use overclocked_isa::core::{combine, Adder, IsaConfig, SpeculativeAdder};
+use overclocked_isa::engine::{Engine, ExperimentConfig, ExperimentPlan, SubstrateChoice};
 use overclocked_isa::workloads::{take_pairs, UniformWorkload};
 
 fn main() {
@@ -31,12 +31,12 @@ fn main() {
     );
 
     // 3. Synthesize to gates (65 nm-class library, 0.3 ns constraint),
-    //    overclock by 15% and measure emergent timing errors.
+    //    overclock by 15% and measure emergent timing errors — one
+    //    experiment plan on the gate-level substrate.
     let config = ExperimentConfig::default();
-    let ctx = DesignContext::build(
-        overclocked_isa::core::Design::Isa(cfg),
-        &config,
-    );
+    let engine = Engine::new();
+    let design = overclocked_isa::core::Design::Isa(cfg);
+    let ctx = engine.context(&design, &config);
     println!(
         "\nsynthesized as {} sub-adders: {} cells, {:.0} NAND2-eq, critical {:.1} ps",
         ctx.synthesized.topology.name(),
@@ -45,15 +45,16 @@ fn main() {
         ctx.synthesized.critical_ps,
     );
 
-    let clk = config.clock_ps(0.15);
-    let trace = ctx.trace(clk, &inputs[..20_000]);
-    let mut stats = overclocked_isa::core::CombinedErrorStats::new();
-    for rec in &trace {
-        stats.push(&OutputTriple::new(rec.a + rec.b, rec.settled, rec.sampled));
-    }
-    let (s, t, j) = stats.rms_re_percent();
+    let plan = ExperimentPlan::new(config)
+        .designs([design])
+        .cprs([0.15])
+        .workload("uniform", inputs[..20_000].to_vec())
+        .substrate(SubstrateChoice::GateLevel);
+    let result = &engine.run(&plan)[0];
+    let (s, t, j) = result.stats.rms_re_percent();
     println!(
-        "overclocked at {clk} ps (15% CPR): RMS RE structural {s:.4}%, timing {t:.4}%, joint {j:.4}%"
+        "overclocked at {} ps (15% CPR): RMS RE structural {s:.4}%, timing {t:.4}%, joint {j:.4}%",
+        result.clock_ps
     );
     println!("(timing errors emerged from event-driven gate simulation — nothing injected)");
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Mirrors CI locally: formatting, lints, tier-1 verify, workspace tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release (tier-1)"
+cargo build --release
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "verify: OK"

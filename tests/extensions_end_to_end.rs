@@ -38,10 +38,7 @@ fn razor_protects_the_slack_walled_exact_adder() {
     // be catching them (that is its purpose) at a throughput cost.
     assert!(report.detections > 50, "detections {}", report.detections);
     assert!(report.throughput() < 0.8);
-    let committed_correct = cycles
-        .iter()
-        .filter(|c| c.committed() == c.a + c.b)
-        .count();
+    let committed_correct = cycles.iter().filter(|c| c.committed() == c.a + c.b).count();
     assert!(
         committed_correct as f64 / cycles.len() as f64 > 0.95,
         "recovery must restore almost all results"
@@ -95,7 +92,10 @@ fn exported_artifacts_are_consistent() {
     assert!(v.contains(&format!("module {}", netlist.name())));
     assert!(s.contains(&format!("(DESIGN \"{}\")", netlist.name())));
     assert_eq!(s.matches("(CELL ").count(), netlist.cell_count());
-    let instances = v.lines().filter(|l| l.contains("(.") && l.contains(");")).count();
+    let instances = v
+        .lines()
+        .filter(|l| l.contains("(.") && l.contains(");"))
+        .count();
     assert_eq!(instances, netlist.cell_count());
 }
 

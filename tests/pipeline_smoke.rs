@@ -2,25 +2,23 @@
 //! counts, asserting the paper's headline qualitative findings.
 
 use overclocked_isa::core::{Design, IsaConfig};
-use overclocked_isa::experiments::{
-    design_table, fig10, fig9, prediction, DesignContext, ExperimentConfig,
-};
+use overclocked_isa::engine::Engine;
+use overclocked_isa::experiments::{design_table, fig10, fig9, prediction, ExperimentConfig};
 
-fn mini_contexts(config: &ExperimentConfig) -> Vec<DesignContext> {
+fn mini_designs() -> Vec<Design> {
     // A representative subset: a low-accuracy 8-block, a high-accuracy
     // 16-block, and the exact baseline.
     vec![
-        DesignContext::build(Design::Isa(IsaConfig::new(32, 8, 0, 0, 4).unwrap()), config),
-        DesignContext::build(Design::Isa(IsaConfig::new(32, 16, 2, 1, 6).unwrap()), config),
-        DesignContext::build(Design::Exact { width: 32 }, config),
+        Design::Isa(IsaConfig::new(32, 8, 0, 0, 4).unwrap()),
+        Design::Isa(IsaConfig::new(32, 16, 2, 1, 6).unwrap()),
+        Design::Exact { width: 32 },
     ]
 }
 
 #[test]
 fn fig9_headline_findings_hold_at_small_scale() {
     let config = ExperimentConfig::default();
-    let contexts = mini_contexts(&config);
-    let report = fig9::run_with_contexts(&config, &contexts, 2_000);
+    let report = fig9::run_on(&Engine::new(), &config, &mini_designs(), 2_000);
 
     let isa8 = report.row("(8,0,0,4)").unwrap();
     let isa16 = report.row("(16,2,1,6)").unwrap();
@@ -53,8 +51,8 @@ fn prediction_pipeline_beats_the_trivial_baseline_when_errors_exist() {
         cprs: vec![0.15],
         ..ExperimentConfig::default()
     };
-    let contexts = vec![DesignContext::build(Design::Exact { width: 32 }, &config)];
-    let report = prediction::run_with_contexts(&config, &contexts, 2_000, 1_000);
+    let designs = [Design::Exact { width: 32 }];
+    let report = prediction::run_on(&Engine::new(), &config, &designs, 2_000, 1_000);
     let p = report.rows[0].points[0];
     assert!(p.test_error_rate > 0.2, "exact at 15% must be error-heavy");
     // Trivial always-correct prediction would score ABPER equal to the
@@ -105,11 +103,8 @@ fn design_table_characterizes_all_designs() {
 #[test]
 fn csv_exports_are_well_formed() {
     let config = ExperimentConfig::default();
-    let contexts = vec![DesignContext::build(
-        Design::Isa(IsaConfig::new(32, 8, 0, 1, 4).unwrap()),
-        &config,
-    )];
-    let f9 = fig9::run_with_contexts(&config, &contexts, 200);
+    let designs = [Design::Isa(IsaConfig::new(32, 8, 0, 1, 4).unwrap())];
+    let f9 = fig9::run_on(&Engine::new(), &config, &designs, 200);
     let csv = f9.to_csv();
     let mut lines = csv.lines();
     let header = lines.next().unwrap();

@@ -32,7 +32,8 @@ fn sdf_roundtrip_reproduces_the_trace_exactly() {
         .filter(|(a, b)| a.sampled != b.sampled)
         .count();
     assert_eq!(
-        diverging, 0,
+        diverging,
+        0,
         "replayed trace diverges on {diverging}/{} cycles",
         original.len()
     );
