@@ -1,0 +1,236 @@
+//! Bit-sliced operand batches: 64 independent lanes per machine word.
+//!
+//! The combined structural+timing methodology needs millions of Monte-Carlo
+//! adder evaluations per (design, clock, workload) cell. Bit-sliced
+//! (SIMD-within-a-register) logic simulation evaluates 64 independent
+//! operand pairs per gate pass by storing, for every single-bit signal, a
+//! `u64` *plane* whose bit `l` is the signal's value in lane `l`. One
+//! bitwise operation then advances all 64 lanes at once — the classic
+//! throughput trick for gate-level Monte Carlo.
+//!
+//! A [`LaneBatch`] is the packed form of up to [`LANES`] operand pairs:
+//! `width` planes for each operand, LSB-plane first, plus the original
+//! pairs for scalar fallbacks. [`LaneBatch::unpack_lanes`] is the inverse
+//! transform for output planes.
+//!
+//! ## Stream segmentation
+//!
+//! Timing errors depend on previous circuit state, so a *stream* cannot be
+//! dealt out to lanes round-robin without destroying its cycle-to-cycle
+//! transitions (a random-walk workload would degenerate into uniform
+//! noise). Batched stream evaluation instead gives each lane one
+//! **contiguous segment** of the stream ([`segment_len`]): lane `l` carries
+//! cycles `l*seg .. (l+1)*seg`, so consecutive cycles stay consecutive
+//! everywhere except the 63 segment seams, where a lane starts from the
+//! circuit's reset state exactly like the scalar simulator's first cycle.
+
+use crate::adder::MAX_WIDTH;
+
+/// Number of independent simulation lanes per machine word.
+pub const LANES: usize = 64;
+
+/// Length of each lane's contiguous segment when a stream of `n` cycles is
+/// dealt across [`LANES`] lanes: lane `l` carries stream positions
+/// `l * segment_len(n) ..` (clipped to `n`).
+///
+/// Always at least 1, so `i % segment_len(n) == 0` identifies the positions
+/// where a lane starts from the reset state.
+#[must_use]
+pub fn segment_len(n: usize) -> usize {
+    n.div_ceil(LANES).max(1)
+}
+
+/// Up to [`LANES`] operand pairs packed one-bit-per-lane into `u64` planes.
+///
+/// Plane `w` of operand `a` holds bit `w` of every lane's `a` value: bit
+/// `l` of `a_planes()[w]` equals bit `w` of `pairs()[l].0`. Unused lanes
+/// (when fewer than [`LANES`] pairs are packed) hold zeros.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneBatch {
+    width: u32,
+    len: usize,
+    pairs: [(u64, u64); LANES],
+    a_planes: Vec<u64>,
+    b_planes: Vec<u64>,
+}
+
+impl LaneBatch {
+    /// Packs up to [`LANES`] operand pairs into bit planes. Operands are
+    /// masked to `width` bits (like [`Adder::add`](crate::Adder::add)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` is empty or longer than [`LANES`], or if `width`
+    /// is zero or exceeds [`MAX_WIDTH`].
+    #[must_use]
+    pub fn pack(width: u32, pairs: &[(u64, u64)]) -> Self {
+        assert!(
+            (1..=MAX_WIDTH).contains(&width),
+            "batch width must be in 1..={MAX_WIDTH}, got {width}"
+        );
+        assert!(
+            !pairs.is_empty() && pairs.len() <= LANES,
+            "a batch holds 1..={LANES} pairs, got {}",
+            pairs.len()
+        );
+        let value_mask = (1u64 << width) - 1;
+        let mut lanes = [(0u64, 0u64); LANES];
+        for (lane, &(a, b)) in lanes.iter_mut().zip(pairs) {
+            *lane = (a & value_mask, b & value_mask);
+        }
+        let mut a_planes = vec![0u64; width as usize];
+        let mut b_planes = vec![0u64; width as usize];
+        for (l, &(a, b)) in lanes.iter().enumerate().take(pairs.len()) {
+            for w in 0..width as usize {
+                a_planes[w] |= ((a >> w) & 1) << l;
+                b_planes[w] |= ((b >> w) & 1) << l;
+            }
+        }
+        Self {
+            width,
+            len: pairs.len(),
+            pairs: lanes,
+            a_planes,
+            b_planes,
+        }
+    }
+
+    /// Operand width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of packed pairs (occupied lanes).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no lane is occupied (unreachable via [`pack`](Self::pack)).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The packed (masked) operand pairs, one per occupied lane.
+    #[must_use]
+    pub fn pairs(&self) -> &[(u64, u64)] {
+        &self.pairs[..self.len]
+    }
+
+    /// Bit planes of the first operand, LSB plane first (`width` entries).
+    #[must_use]
+    pub fn a_planes(&self) -> &[u64] {
+        &self.a_planes
+    }
+
+    /// Bit planes of the second operand, LSB plane first (`width` entries).
+    #[must_use]
+    pub fn b_planes(&self) -> &[u64] {
+        &self.b_planes
+    }
+
+    /// Mask with one bit set per occupied lane.
+    #[must_use]
+    pub fn lane_mask(&self) -> u64 {
+        if self.len == LANES {
+            u64::MAX
+        } else {
+            (1u64 << self.len) - 1
+        }
+    }
+
+    /// Transposes output planes back to per-lane values: entry `l` of the
+    /// result collects bit `l` of every plane, plane `w` contributing bit
+    /// `w`. The inverse of [`pack`](Self::pack) for `lanes` lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`LANES`] lanes are requested or more than 64
+    /// planes are given (values are returned as `u64`s).
+    #[must_use]
+    pub fn unpack_lanes(planes: &[u64], lanes: usize) -> Vec<u64> {
+        assert!(lanes <= LANES, "at most {LANES} lanes per batch");
+        assert!(planes.len() <= 64, "at most 64 planes fit a u64 value");
+        let mut out = vec![0u64; lanes];
+        for (w, &plane) in planes.iter().enumerate() {
+            let mut remaining = if lanes == LANES {
+                plane
+            } else {
+                plane & ((1u64 << lanes) - 1)
+            };
+            while remaining != 0 {
+                let l = remaining.trailing_zeros() as usize;
+                out[l] |= 1u64 << w;
+                remaining &= remaining - 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_then_unpack_round_trips() {
+        let pairs: Vec<(u64, u64)> = (0..LANES as u64).map(|i| (i * 977, i * 3331)).collect();
+        let batch = LaneBatch::pack(32, &pairs);
+        assert_eq!(batch.len(), LANES);
+        assert_eq!(batch.lane_mask(), u64::MAX);
+        let a = LaneBatch::unpack_lanes(batch.a_planes(), batch.len());
+        let b = LaneBatch::unpack_lanes(batch.b_planes(), batch.len());
+        for (l, &(pa, pb)) in pairs.iter().enumerate() {
+            assert_eq!(a[l], pa & 0xFFFF_FFFF);
+            assert_eq!(b[l], pb & 0xFFFF_FFFF);
+        }
+    }
+
+    #[test]
+    fn partial_batches_zero_unused_lanes() {
+        let batch = LaneBatch::pack(8, &[(0xFF, 0x0F), (0x01, 0x80)]);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.lane_mask(), 0b11);
+        assert_eq!(batch.pairs(), &[(0xFF, 0x0F), (0x01, 0x80)]);
+        // Plane 0 (LSB): lane 0 has a=1, lane 1 has a=1.
+        assert_eq!(batch.a_planes()[0], 0b11);
+        // Plane 7: lane 0 has bit 7 of 0xFF, lane 1 of 0x01 does not.
+        assert_eq!(batch.a_planes()[7], 0b01);
+        assert_eq!(batch.b_planes()[7], 0b10);
+    }
+
+    #[test]
+    fn operands_are_masked_to_width() {
+        let batch = LaneBatch::pack(4, &[(0x1F, 0xFF)]);
+        assert_eq!(batch.pairs(), &[(0xF, 0xF)]);
+        assert_eq!(batch.a_planes().len(), 4);
+    }
+
+    #[test]
+    fn segment_len_covers_all_lanes() {
+        assert_eq!(segment_len(0), 1);
+        assert_eq!(segment_len(1), 1);
+        assert_eq!(segment_len(64), 1);
+        assert_eq!(segment_len(65), 2);
+        assert_eq!(segment_len(10_000), 157);
+        // 64 segments of segment_len always cover the stream.
+        for n in [1usize, 63, 64, 65, 1000, 4097] {
+            assert!(segment_len(n) * LANES >= n, "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64 pairs")]
+    fn oversized_batch_is_rejected() {
+        let _ = LaneBatch::pack(8, &vec![(0, 0); LANES + 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch width")]
+    fn width_64_is_rejected() {
+        // MAX_WIDTH is 63: the width+1-bit result must fit a u64.
+        let _ = LaneBatch::pack(64, &[(1, 2)]);
+    }
+}

@@ -41,6 +41,7 @@
 
 pub mod adder;
 pub mod analysis;
+pub mod batch;
 pub mod bitdist;
 pub mod combine;
 pub mod config;
@@ -53,6 +54,7 @@ pub mod substrate;
 
 pub use adder::{Adder, ExactAdder, MAX_WIDTH};
 pub use analysis::{BoundaryStats, DesignAnalysis};
+pub use batch::{segment_len, LaneBatch, LANES};
 pub use bitdist::BitErrorDistribution;
 pub use combine::{combine_errors, CombinedErrorStats, SilverSource};
 pub use config::{ConfigError, IsaConfig, ParseQuadrupleError, SpecGuess};

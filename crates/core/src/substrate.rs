@@ -37,6 +37,8 @@
 use crate::combine::SilverSource;
 use crate::designs::Design;
 
+pub use crate::batch::{segment_len, LaneBatch, LANES};
+
 /// Relative cost tier of a substrate, cheapest first.
 ///
 /// Orderable so schedulers can pick the cheapest backend that satisfies an
@@ -85,6 +87,26 @@ pub trait Substrate: Send + Sync {
     /// sessions and the per-shard statistics merged.
     fn is_stateless(&self) -> bool {
         false
+    }
+
+    /// Evaluates one full (design, clock) run over an input stream,
+    /// returning `ysilver` per cycle in stream order.
+    ///
+    /// The default implementation feeds one scalar
+    /// [`prepare`](Substrate::prepare) session cycle by cycle, so every
+    /// substrate keeps working unchanged. Backends with a bit-sliced
+    /// (64-lane) fast path override this to evaluate [`LANES`] cycles per
+    /// gate pass; such overrides deal the stream to lanes in **contiguous
+    /// segments** of [`segment_len`] cycles, so a lane's cycle-to-cycle
+    /// state carryover matches the scalar simulator's everywhere except at
+    /// the segment seams, where a lane starts from the reset state exactly
+    /// like the scalar run's first cycle.
+    fn run_batch(&self, design: &Design, clock_ps: f64, inputs: &[(u64, u64)]) -> Vec<u64> {
+        let mut session = self.prepare(design, clock_ps);
+        inputs
+            .iter()
+            .map(|&(a, b)| session.next_silver(a, b))
+            .collect()
     }
 }
 
@@ -148,6 +170,20 @@ mod tests {
         let mut s1 = substrate.prepare(&design, 300.0);
         let mut s2 = substrate.prepare(&design, 285.0);
         assert_eq!(s1.next_silver(1000, 24), s2.next_silver(1000, 24));
+    }
+
+    #[test]
+    fn default_run_batch_matches_a_scalar_session() {
+        let substrate = BehaviouralSubstrate;
+        let design = paper_best();
+        let inputs: Vec<(u64, u64)> = (0..200u64).map(|i| (i * 7919, i * 104729)).collect();
+        let batched = substrate.run_batch(&design, 300.0, &inputs);
+        let mut session = substrate.prepare(&design, 300.0);
+        let scalar: Vec<u64> = inputs
+            .iter()
+            .map(|&(a, b)| session.next_silver(a, b))
+            .collect();
+        assert_eq!(batched, scalar);
     }
 
     #[test]

@@ -17,6 +17,59 @@ use isa_netlist::synth::{synthesize_exact, synthesize_isa, SynthesisOptions, Syn
 use isa_netlist::timing::{DelayAnnotation, VariationModel};
 use isa_timing_sim::{run_adder_trace, CycleRecord};
 
+/// Which gate-level evaluation engine the experiments run on.
+///
+/// Both backends simulate the same delay-annotated netlists with the same
+/// event semantics; they differ in how a run's input stream is dealt out:
+///
+/// * [`Scalar`](SimBackend::Scalar) feeds one event-driven
+///   [`ClockedCore`](isa_timing_sim::ClockedCore) cycle by cycle — the
+///   seed behaviour, kept as the parity/benchmark reference;
+/// * [`BitSliced`](SimBackend::BitSliced) packs 64 contiguous stream
+///   segments into the lanes of a
+///   [`BitClockedCore`](isa_timing_sim::BitClockedCore), advancing all 64
+///   per gate pass. Each lane is bit-for-bit a scalar run of its segment
+///   (property-tested), so aggregate statistics are Monte-Carlo-equivalent;
+///   individual runs differ from scalar runs only in which cycle precedes
+///   which (the at-most-63 segment seams restart from reset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SimBackend {
+    /// One cycle per event-queue pass (the seed path).
+    Scalar,
+    /// 64 lanes per event-queue pass (the fast path, default).
+    #[default]
+    BitSliced,
+}
+
+impl SimBackend {
+    /// Parses the `--backend` CLI value.
+    #[must_use]
+    pub fn parse(value: &str) -> Option<Self> {
+        match value {
+            "scalar" => Some(Self::Scalar),
+            "bitsliced" | "bit-sliced" | "batched" => Some(Self::BitSliced),
+            _ => None,
+        }
+    }
+
+    /// CLI/report label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Scalar => "scalar",
+            Self::BitSliced => "bitsliced",
+        }
+    }
+}
+
+impl std::str::FromStr for SimBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::parse(s).ok_or_else(|| format!("unknown backend {s:?} (scalar|bitsliced)"))
+    }
+}
+
 /// Shared settings of the paper's evaluation (Section V.A).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentConfig {
@@ -30,6 +83,8 @@ pub struct ExperimentConfig {
     pub variation_seed: u64,
     /// Seed of the input workload.
     pub workload_seed: u64,
+    /// Gate-level evaluation engine (bit-sliced 64-lane by default).
+    pub backend: SimBackend,
 }
 
 impl Default for ExperimentConfig {
@@ -40,6 +95,7 @@ impl Default for ExperimentConfig {
             variation_sigma: 0.05,
             variation_seed: 0xD1E_5A3D,
             workload_seed: 0x5EED_CAFE,
+            backend: SimBackend::default(),
         }
     }
 }

@@ -331,6 +331,12 @@ impl RunUnit<'_> {
 
 /// Evaluates one shard of one run: the Fig. 6 inner loop plus the Fig. 10
 /// bit-position translations.
+///
+/// The silver stream comes from the substrate's
+/// [`run_batch`](Substrate::run_batch) — the bit-sliced 64-lane fast path
+/// for the gate-level substrate, a plain scalar session otherwise — and
+/// statistics are accumulated in stream order, so shard results are
+/// independent of how the backend batches its lanes.
 fn run_shard(
     substrate: &dyn Substrate,
     design: &Design,
@@ -340,13 +346,13 @@ fn run_shard(
     let gold = design.behavioural();
     let exact = ExactAdder::new(design.width());
     let positions = design.width() + 1;
-    let mut session = substrate.prepare(design, clock_ps);
+    let silvers = substrate.run_batch(design, clock_ps, inputs);
+    debug_assert_eq!(silvers.len(), inputs.len());
     let mut stats = CombinedErrorStats::new();
     let mut structural_bits = BitErrorDistribution::new(positions);
     let mut timing_bits = BitErrorDistribution::new(positions);
-    for &(a, b) in inputs {
+    for (&(a, b), &silver) in inputs.iter().zip(&silvers) {
         let gold_y = gold.add(a, b);
-        let silver = session.next_silver(a, b);
         let triple = OutputTriple::new(exact.add(a, b), gold_y, silver);
         stats.push(&triple);
         structural_bits.record_arithmetic(triple.e_struct());
@@ -359,18 +365,30 @@ fn run_shard(
     }
 }
 
-/// Splits `0..n` into `parts` contiguous near-equal ranges (first ranges
-/// one longer when `n` is not divisible).
+/// Splits `0..n` into `parts` contiguous near-equal ranges whose interior
+/// boundaries are aligned to whole 64-lane batches ([`isa_core::LANES`]),
+/// so every shard but the last hands its substrate a whole number of full
+/// batches (no ragged interior tails). Note this does *not* make a
+/// backend's internal lane composition shard-count-independent — a
+/// segment-dealing `run_batch` re-derives its segment length from each
+/// shard's length. Sharding is only applied to stateless substrates, whose
+/// sessions are pure per-cycle functions, so per-cycle *values* (and the
+/// stream-order statistics built from them) stay shard-invariant
+/// regardless of lane composition. The final range absorbs the ragged
+/// tail.
 fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
     let parts = parts.clamp(1, n.max(1));
-    let base = n / parts;
-    let extra = n % parts;
+    let batches = n.div_ceil(isa_core::LANES).max(1);
+    let parts = parts.min(batches);
+    let base = batches / parts;
+    let extra = batches % parts;
     let mut ranges = Vec::with_capacity(parts);
     let mut start = 0;
     for i in 0..parts {
-        let len = base + usize::from(i < extra);
-        ranges.push(start..start + len);
-        start += len;
+        let len_batches = base + usize::from(i < extra);
+        let end = (start + len_batches * isa_core::LANES).min(n);
+        ranges.push(start..end);
+        start = end;
     }
     ranges
 }
@@ -386,10 +404,26 @@ mod tests {
 
     #[test]
     fn split_ranges_covers_everything_in_order() {
-        let ranges = split_ranges(10, 3);
-        assert_eq!(ranges, vec![0..4, 4..7, 7..10]);
-        assert_eq!(split_ranges(2, 5).len(), 2, "never more shards than items");
+        // Interior boundaries land on whole 64-lane batches.
+        let ranges = split_ranges(300, 3);
+        assert_eq!(ranges, vec![0..128, 128..256, 256..300]);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+            assert_eq!(w[0].end % isa_core::LANES, 0, "aligned boundary");
+        }
+        // Fewer batches than requested parts collapses the shard count.
+        assert_eq!(split_ranges(10, 3), vec![0..10]);
+        assert_eq!(split_ranges(130, 8).len(), 3);
         assert_eq!(split_ranges(0, 3), vec![0..0]);
+        // Everything is covered exactly once regardless of n/parts.
+        for (n, parts) in [(1usize, 1usize), (64, 2), (65, 2), (8192, 7), (10_000, 4)] {
+            let ranges = split_ranges(n, parts);
+            assert_eq!(ranges.first().unwrap().start, 0);
+            assert_eq!(ranges.last().unwrap().end, n);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+        }
     }
 
     #[test]

@@ -20,14 +20,15 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use isa_core::combine::SilverSource;
+use isa_core::segment_len;
 use isa_core::substrate::{CostClass, Substrate};
 use isa_core::{Adder, Design};
 use isa_learn::{CyclePair, PredictorConfig, TimingErrorPredictor};
-use isa_timing_sim::ClockedCore;
+use isa_timing_sim::{run_clocked_batch, ClockedCore};
 use isa_workloads::{take_pairs, UniformWorkload};
 
 use crate::cache::ArtifactCache;
-use crate::context::{DesignContext, ExperimentConfig};
+use crate::context::{DesignContext, ExperimentConfig, SimBackend};
 
 /// The ground-truth substrate: event-driven delay-annotated gate-level
 /// simulation of the synthesized design, sampled at the reduced clock edge.
@@ -83,6 +84,27 @@ impl Substrate for GateLevelSubstrate {
 
     fn cost_class(&self) -> CostClass {
         CostClass::GateLevel
+    }
+
+    /// Full-stream evaluation on the configured [`SimBackend`]: the
+    /// bit-sliced 64-lane simulator by default (contiguous per-lane
+    /// segments, each lane bit-for-bit a scalar run of its segment), or
+    /// the scalar event queue when the configuration pins
+    /// [`SimBackend::Scalar`] (the parity/benchmark reference).
+    fn run_batch(&self, design: &Design, clock_ps: f64, inputs: &[(u64, u64)]) -> Vec<u64> {
+        match self.config.backend {
+            SimBackend::Scalar => {
+                let mut session = self.prepare(design, clock_ps);
+                inputs
+                    .iter()
+                    .map(|&(a, b)| session.next_silver(a, b))
+                    .collect()
+            }
+            SimBackend::BitSliced => {
+                let ctx = self.context(design);
+                run_clocked_batch(&ctx.synthesized.adder, &ctx.annotation, clock_ps, inputs)
+            }
+        }
     }
 }
 
@@ -161,6 +183,12 @@ impl PredictedSubstrate {
     }
 
     /// Collects a gate-level training trace and fits the per-bit model.
+    ///
+    /// On the bit-sliced backend the trace comes from the 64-lane
+    /// simulator; the `x[t-1]` features then follow each *lane's* actual
+    /// predecessor, restarting from the reset state at segment seams (see
+    /// [`cycles_with_segment_resets`]) so features always describe the
+    /// circuit state that physically produced the labels.
     fn train(&self, design: &Design, clock_ps: f64) -> TimingErrorPredictor {
         let ctx = self.cache.context(design, &self.config);
         let inputs = take_pairs(
@@ -169,17 +197,31 @@ impl PredictedSubstrate {
         );
         let adder = &ctx.synthesized.adder;
         let netlist = adder.netlist();
-        let mut clocked = ClockedCore::new(netlist, &ctx.annotation, clock_ps);
-        let raw: Vec<(u64, u64, u64, u64)> = inputs
-            .iter()
-            .map(|&(a, b)| {
-                let pins = adder.input_values(a, b);
-                let sampled = clocked.step(netlist, &pins);
-                let settled = netlist.evaluate_outputs_u64(&pins);
-                (a, b, settled, sampled ^ settled)
-            })
-            .collect();
-        let cycles = CyclePair::from_stream(&raw);
+        let cycles = match self.config.backend {
+            SimBackend::Scalar => {
+                let mut clocked = ClockedCore::new(netlist, &ctx.annotation, clock_ps);
+                let raw: Vec<(u64, u64, u64, u64)> = inputs
+                    .iter()
+                    .map(|&(a, b)| {
+                        let pins = adder.input_values(a, b);
+                        let sampled = clocked.step(netlist, &pins);
+                        let settled = netlist.evaluate_outputs_u64(&pins);
+                        (a, b, settled, sampled ^ settled)
+                    })
+                    .collect();
+                CyclePair::from_stream(&raw)
+            }
+            SimBackend::BitSliced => {
+                let sampled = run_clocked_batch(adder, &ctx.annotation, clock_ps, &inputs);
+                let settled = adder.add_batch(&inputs);
+                let raw: Vec<(u64, u64, u64, u64)> = inputs
+                    .iter()
+                    .zip(sampled.iter().zip(&settled))
+                    .map(|(&(a, b), (&sam, &set))| (a, b, set, sam ^ set))
+                    .collect();
+                cycles_with_segment_resets(&raw)
+            }
+        };
         TimingErrorPredictor::train(&cycles, design.width(), &self.predictor_config)
     }
 }
@@ -191,6 +233,37 @@ impl std::fmt::Debug for PredictedSubstrate {
             .field("train_seed", &self.train_seed)
             .finish_non_exhaustive()
     }
+}
+
+/// Builds the predictor's cycle stream from stream-ordered `(a, b, gold,
+/// flips)` data produced by the **bit-sliced** backend: like
+/// [`CyclePair::from_stream`], but the `t-1` features reset to the
+/// all-zero state at every lane-segment seam (`i % segment_len(n) == 0`),
+/// where the 64-lane simulator's circuit state actually restarted from
+/// reset.
+#[must_use]
+pub fn cycles_with_segment_resets(raw: &[(u64, u64, u64, u64)]) -> Vec<CyclePair> {
+    let seg = segment_len(raw.len());
+    let mut prev = (0u64, 0u64, 0u64);
+    raw.iter()
+        .enumerate()
+        .map(|(i, &(a, b, gold, flips))| {
+            if i % seg == 0 {
+                prev = (0, 0, 0);
+            }
+            let pair = CyclePair {
+                a,
+                b,
+                a_prev: prev.0,
+                b_prev: prev.1,
+                gold,
+                gold_prev: prev.2,
+                flips,
+            };
+            prev = (a, b, gold);
+            pair
+        })
+        .collect()
 }
 
 /// One predictor session: golden model plus previous-cycle state (the

@@ -5,7 +5,7 @@
 //! behavioural (structural-only) substrate's exactly.
 
 use isa_core::{Design, IsaConfig};
-use isa_engine::{Engine, ExperimentConfig, ExperimentPlan, SubstrateChoice};
+use isa_engine::{Engine, ExperimentConfig, ExperimentPlan, SimBackend, SubstrateChoice};
 
 fn paper_subset() -> Vec<Design> {
     vec![
@@ -51,6 +51,66 @@ fn gate_level_at_safe_clock_matches_behavioural_exactly() {
         assert_eq!(g.structural_bits, b.structural_bits);
         assert_eq!(g.timing_bits, b.timing_bits);
     }
+}
+
+#[test]
+fn scalar_and_bitsliced_backends_agree_exactly_at_a_safe_clock() {
+    // At a safe clock every cycle settles, so lane organization cannot
+    // matter: both backends must produce bit-identical statistics.
+    let engine = Engine::new();
+    let scalar_config = ExperimentConfig {
+        backend: SimBackend::Scalar,
+        ..ExperimentConfig::default()
+    };
+    let plan = |config: ExperimentConfig| {
+        ExperimentPlan::new(config)
+            .designs(paper_subset())
+            .cprs([-0.2])
+            .cycles(700)
+            .max_shards_per_run(1)
+            .substrate(SubstrateChoice::GateLevel)
+    };
+    let bitsliced = engine.run(&plan(ExperimentConfig::default()));
+    let scalar = engine.run(&plan(scalar_config));
+    assert_eq!(bitsliced.len(), scalar.len());
+    for (bit, sc) in bitsliced.iter().zip(&scalar) {
+        assert_eq!(bit.stats, sc.stats, "{}", bit.design_label);
+        assert_eq!(bit.timing_bits, sc.timing_bits);
+        assert_eq!(bit.structural_bits, sc.structural_bits);
+    }
+}
+
+#[test]
+fn bitsliced_backend_statistics_stay_in_the_scalar_regime_when_overclocked() {
+    // Overclocked, the two backends organize state carryover differently
+    // (contiguous lane segments vs one stream), so their statistics are
+    // Monte-Carlo-equivalent rather than identical: error rates must be in
+    // the same regime, not orders of magnitude apart.
+    let engine = Engine::new();
+    let scalar_config = ExperimentConfig {
+        backend: SimBackend::Scalar,
+        ..ExperimentConfig::default()
+    };
+    let design = [Design::Exact { width: 32 }];
+    let cycles = 2_000;
+    let bit_plan = ExperimentPlan::new(ExperimentConfig::default())
+        .designs(design)
+        .cprs([0.15])
+        .cycles(cycles)
+        .substrate(SubstrateChoice::GateLevel);
+    let scalar_plan = ExperimentPlan::new(scalar_config)
+        .designs(design)
+        .cprs([0.15])
+        .cycles(cycles)
+        .substrate(SubstrateChoice::GateLevel);
+    let bit = &engine.run(&bit_plan)[0];
+    let scalar = &engine.run(&scalar_plan)[0];
+    let (b, s) = (bit.timing_error_rate(), scalar.timing_error_rate());
+    assert!(s > 0.05, "reference must be error-heavy: {s}");
+    assert!(
+        b > s * 0.5 && b < s * 2.0,
+        "bit-sliced rate {b} out of regime vs scalar {s}"
+    );
 }
 
 #[test]

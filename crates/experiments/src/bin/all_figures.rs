@@ -6,14 +6,14 @@
 //! across the machine.
 //!
 //! Usage: `all_figures [--cycles N] [--train N] [--test N] [--samples N]
-//! [--outdir DIR] [--threads N]`
+//! [--outdir DIR] [--threads N] [--backend scalar|bitsliced]`
 
 use std::time::Instant;
 
 use isa_core::{paper_designs, Design, IsaConfig};
 use isa_experiments::{
-    arg_value, design_table, energy, engine_from_args, fig10, fig9, guardband, prediction,
-    workload_sensitivity, ExperimentConfig,
+    arg_value, config_from_args, design_table, energy, engine_from_args, fig10, fig9, guardband,
+    prediction, workload_sensitivity,
 };
 
 fn main() {
@@ -25,7 +25,7 @@ fn main() {
     let outdir: String = arg_value(&args, "outdir").unwrap_or_else(|| "results".into());
     std::fs::create_dir_all(&outdir).expect("create output directory");
 
-    let config = ExperimentConfig::default();
+    let config = config_from_args(&args);
     let engine = engine_from_args(&args);
     let designs = paper_designs();
     let started = Instant::now();

@@ -1,0 +1,147 @@
+//! Scalar-vs-bit-sliced backend benchmark — the CI perf-regression gate.
+//!
+//! Runs the `all_figures` pipeline suite (design table, Figs. 7–10, and
+//! the three extensions) twice at identical sample counts: once on the
+//! scalar event-driven backend and once on the bit-sliced 64-lane backend.
+//! Each run gets its own engine, so both pay synthesis once, exactly like
+//! a standalone `all_figures` invocation. Results go to a `BENCH_*.json`
+//! report (see `BENCHMARKS.md` for the format); the process exits non-zero
+//! if the bit-sliced path is not at least `--min-speedup` times faster,
+//! which is how CI keeps the speedup non-regressable.
+//!
+//! Usage: `bench_backends [--cycles N] [--train N] [--test N]
+//! [--samples N] [--min-speedup X] [--json PATH] [--threads N]`
+
+use std::time::Instant;
+
+use isa_core::{paper_designs, Design, IsaConfig};
+use isa_experiments::{
+    arg_value, design_table, energy, fig10, fig9, guardband, prediction, workload_sensitivity,
+    Engine, ExperimentConfig, SimBackend,
+};
+
+struct Counts {
+    cycles: usize,
+    train: usize,
+    test: usize,
+    samples: usize,
+}
+
+impl Counts {
+    fn extension_cycles(&self) -> usize {
+        (self.cycles / 5).max(200)
+    }
+}
+
+/// Times one full pipeline-suite run on a fresh engine; returns
+/// per-component seconds in a fixed order plus the total.
+fn run_suite(
+    config: &ExperimentConfig,
+    threads: usize,
+    counts: &Counts,
+) -> (Vec<(String, f64)>, f64) {
+    let engine = Engine::with_threads(threads);
+    let designs = paper_designs();
+    let isa_8004 = IsaConfig::new(32, 8, 0, 0, 4).expect("paper design is valid");
+    let ext = counts.extension_cycles();
+    let started = Instant::now();
+    engine.prewarm(&designs, config);
+    let mut components = Vec::new();
+    let mut timed = |name: &str, f: &mut dyn FnMut()| {
+        let t = Instant::now();
+        f();
+        components.push((name.to_owned(), t.elapsed().as_secs_f64()));
+    };
+    timed("design_table", &mut || {
+        let _ = design_table::run_on(&engine, config, &designs, counts.samples);
+    });
+    timed("fig9", &mut || {
+        let _ = fig9::run_on(&engine, config, &designs, counts.cycles);
+    });
+    timed("prediction", &mut || {
+        let _ = prediction::run_on(&engine, config, &designs, counts.train, counts.test);
+    });
+    timed("fig10", &mut || {
+        let _ = fig10::run_on(
+            &engine,
+            config,
+            Design::Isa(isa_8004),
+            0.15,
+            counts.cycles * 2,
+        );
+    });
+    timed("energy", &mut || {
+        let _ = energy::run_on(&engine, config, &designs, ext);
+    });
+    timed("guardband", &mut || {
+        let _ = guardband::run_on(&engine, config, isa_8004, ext);
+    });
+    timed("workloads", &mut || {
+        let _ = workload_sensitivity::run_on(&engine, config, &designs, 0.10, ext);
+    });
+    (components, started.elapsed().as_secs_f64())
+}
+
+fn json_components(components: &[(String, f64)]) -> String {
+    components
+        .iter()
+        .map(|(name, secs)| format!("    \"{name}\": {secs:.3}"))
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let counts = Counts {
+        cycles: arg_value(&args, "cycles").unwrap_or(6_000),
+        train: arg_value(&args, "train").unwrap_or(2_000),
+        test: arg_value(&args, "test").unwrap_or(1_000),
+        samples: arg_value(&args, "samples").unwrap_or(100_000),
+    };
+    let min_speedup: f64 = arg_value(&args, "min-speedup").unwrap_or(1.0);
+    let json_path: Option<String> = arg_value(&args, "json");
+    let threads = arg_value(&args, "threads").unwrap_or(1);
+
+    let mut config = ExperimentConfig {
+        backend: SimBackend::Scalar,
+        ..ExperimentConfig::default()
+    };
+    eprintln!("scalar backend: running the pipeline suite...");
+    let (scalar_parts, scalar_s) = run_suite(&config, threads, &counts);
+    eprintln!("scalar backend: {scalar_s:.2}s");
+
+    config.backend = SimBackend::BitSliced;
+    eprintln!("bit-sliced backend: running the pipeline suite...");
+    let (bit_parts, bit_s) = run_suite(&config, threads, &counts);
+    eprintln!("bit-sliced backend: {bit_s:.2}s");
+
+    let speedup = scalar_s / bit_s.max(1e-9);
+    let pass = speedup >= min_speedup;
+    let json = format!(
+        "{{\n  \"schema\": \"isa-bench/v1\",\n  \"bench\": \"all_figures\",\n  \
+         \"threads\": {threads},\n  \"counts\": {{\n    \"cycles\": {},\n    \
+         \"train\": {},\n    \"test\": {},\n    \"samples\": {},\n    \
+         \"extension_cycles\": {}\n  }},\n  \"scalar_seconds\": {scalar_s:.3},\n  \
+         \"bitsliced_seconds\": {bit_s:.3},\n  \"speedup\": {speedup:.2},\n  \
+         \"min_speedup\": {min_speedup},\n  \"pass\": {pass},\n  \
+         \"scalar_components_seconds\": {{\n{}\n  }},\n  \
+         \"bitsliced_components_seconds\": {{\n{}\n  }}\n}}\n",
+        counts.cycles,
+        counts.train,
+        counts.test,
+        counts.samples,
+        counts.extension_cycles(),
+        json_components(&scalar_parts),
+        json_components(&bit_parts),
+    );
+    if let Some(path) = &json_path {
+        std::fs::write(path, &json).expect("write bench json");
+        eprintln!("wrote {path}");
+    }
+    println!("{json}");
+    eprintln!("speedup: {speedup:.2}x (gate: >= {min_speedup}x)");
+    if !pass {
+        eprintln!("FAIL: bit-sliced backend is not fast enough");
+        std::process::exit(1);
+    }
+}

@@ -1,13 +1,13 @@
 //! Regenerates the Section V.A design characterization table.
 //!
-//! Usage: `design_table [--samples N] [--csv PATH] [--threads N]`
+//! Usage: `design_table [--samples N] [--csv PATH] [--threads N] [--backend scalar|bitsliced]`
 
-use isa_experiments::{arg_value, design_table, engine_from_args, ExperimentConfig};
+use isa_experiments::{arg_value, config_from_args, design_table, engine_from_args};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let samples = arg_value(&args, "samples").unwrap_or(1_000_000);
-    let config = ExperimentConfig::default();
+    let config = config_from_args(&args);
     let engine = engine_from_args(&args);
     let table = design_table::run_on(&engine, &config, &isa_core::paper_designs(), samples);
     print!("{}", table.render());

@@ -1,15 +1,15 @@
 //! Regenerates Fig. 10 (bit-level error distribution of ISA (8,0,0,4) at
 //! 15% CPR).
 //!
-//! Usage: `fig10 [--cycles N] [--csv PATH] [--threads N]`
+//! Usage: `fig10 [--cycles N] [--csv PATH] [--threads N] [--backend scalar|bitsliced]`
 
 use isa_core::{Design, IsaConfig};
-use isa_experiments::{arg_value, engine_from_args, fig10, ExperimentConfig};
+use isa_experiments::{arg_value, config_from_args, engine_from_args, fig10};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cycles = arg_value(&args, "cycles").unwrap_or(100_000);
-    let config = ExperimentConfig::default();
+    let config = config_from_args(&args);
     let engine = engine_from_args(&args);
     let design = Design::Isa(IsaConfig::new(32, 8, 0, 0, 4).expect("paper design is valid"));
     let report = fig10::run_on(&engine, &config, design, 0.15, cycles);

@@ -1,14 +1,14 @@
 //! Regenerates Fig. 7 (ABPER per design at 5/10/15% CPR).
 //!
-//! Usage: `fig7 [--train N] [--test N] [--csv PATH] [--threads N]`
+//! Usage: `fig7 [--train N] [--test N] [--csv PATH] [--threads N] [--backend scalar|bitsliced]`
 
-use isa_experiments::{arg_value, engine_from_args, prediction, ExperimentConfig};
+use isa_experiments::{arg_value, config_from_args, engine_from_args, prediction};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let train = arg_value(&args, "train").unwrap_or(8_000);
     let test = arg_value(&args, "test").unwrap_or(4_000);
-    let config = ExperimentConfig::default();
+    let config = config_from_args(&args);
     let engine = engine_from_args(&args);
     let report = prediction::run_on(&engine, &config, &isa_core::paper_designs(), train, test);
     print!("{}", report.render_fig7());

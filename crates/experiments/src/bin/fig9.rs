@@ -1,13 +1,13 @@
 //! Regenerates Figs. 9a/b/c (structural/timing/joint relative-error RMS).
 //!
-//! Usage: `fig9 [--cycles N] [--csv PATH] [--threads N]`
+//! Usage: `fig9 [--cycles N] [--csv PATH] [--threads N] [--backend scalar|bitsliced]`
 
-use isa_experiments::{arg_value, engine_from_args, fig9, ExperimentConfig};
+use isa_experiments::{arg_value, config_from_args, engine_from_args, fig9};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cycles = arg_value(&args, "cycles").unwrap_or(50_000);
-    let config = ExperimentConfig::default();
+    let config = config_from_args(&args);
     let engine = engine_from_args(&args);
     let report = fig9::run_on(&engine, &config, &isa_core::paper_designs(), cycles);
     print!("{}", report.render());

@@ -19,10 +19,15 @@
 //!
 //! Reported per strategy: effective throughput (ops/cycle), residual RMS
 //! relative error, and silent-error rate.
+//!
+//! Backend note: the ISA open-loop and predictor-replay streams run on the
+//! configured [`SimBackend`] (bit-sliced by default); the Razor trace
+//! stays on the scalar event queue on either backend, because shadow-latch
+//! detection and replay stalls are inherently sequential per cycle.
 
-use isa_core::{Design, ErrorStats, IsaConfig, Substrate};
+use isa_core::{segment_len, Design, ErrorStats, IsaConfig, Substrate};
 use isa_engine::{
-    Engine, ExperimentConfig, ExperimentPlan, GateLevelSubstrate, PredictedSubstrate,
+    Engine, ExperimentConfig, ExperimentPlan, GateLevelSubstrate, PredictedSubstrate, SimBackend,
 };
 use isa_learn::CyclePair;
 use isa_netlist::cell::CellLibrary;
@@ -130,13 +135,15 @@ pub fn run_on(
                 silent_error_rate: razor_silent as f64 / razor_cycles.len() as f64,
             };
 
-            // 2. ISA open loop: one overclocked gate-level session.
+            // 2. ISA open loop: one overclocked gate-level run on the
+            // configured backend (bit-sliced 64-lane by default).
             let gold = unit.design.behavioural();
-            let mut session = gate.prepare(&unit.design, clk);
+            let silvers = gate.run_batch(&unit.design, clk, unit.inputs);
             let trace: Vec<(u64, u64, u64, u64)> = unit
                 .inputs
                 .iter()
-                .map(|&(a, b)| (a, b, gold.add(a, b), session.next_silver(a, b)))
+                .zip(&silvers)
+                .map(|(&(a, b), &silver)| (a, b, gold.add(a, b), silver))
                 .collect();
             let mut isa_re = ErrorStats::new();
             let mut isa_wrong = 0usize;
@@ -161,8 +168,18 @@ pub fn run_on(
             let mut guided_re = ErrorStats::new();
             let mut guided_wrong = 0usize;
             let mut flagged = 0usize;
+            // On the bit-sliced backend the circuit restarted from reset
+            // at every lane-segment seam: reset the predictor's x[t-1]
+            // features at the same positions.
+            let seam = match unit.config.backend {
+                SimBackend::Scalar => None,
+                SimBackend::BitSliced => Some(segment_len(trace.len())),
+            };
             let mut prev = (0u64, 0u64, 0u64);
-            for &(a, b, gold_y, silver) in &trace {
+            for (i, &(a, b, gold_y, silver)) in trace.iter().enumerate() {
+                if seam.is_some_and(|seg| i % seg == 0) {
+                    prev = (0, 0, 0);
+                }
                 let cycle = CyclePair {
                     a,
                     b,

@@ -44,7 +44,7 @@ pub mod workload_sensitivity;
 
 pub use isa_engine::{
     ArtifactCache, DesignContext, Engine, ExperimentConfig, ExperimentPlan, GateLevelSubstrate,
-    PredictedSubstrate, RunResult, SubstrateChoice,
+    PredictedSubstrate, RunResult, SimBackend, SubstrateChoice,
 };
 
 /// Parses `--name value` style options from a raw argument list, returning
@@ -63,6 +63,23 @@ pub fn arg_value<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T>
 #[must_use]
 pub fn engine_from_args(args: &[String]) -> Engine {
     arg_value::<usize>(args, "threads").map_or_else(Engine::new, Engine::with_threads)
+}
+
+/// Builds the shared experiment configuration every binary uses: the
+/// paper defaults, with the gate-level evaluation engine overridable via
+/// `--backend scalar|bitsliced` (bit-sliced 64-lane is the default).
+///
+/// # Panics
+///
+/// Panics with a usage message if `--backend` names an unknown backend.
+#[must_use]
+pub fn config_from_args(args: &[String]) -> ExperimentConfig {
+    let mut config = ExperimentConfig::default();
+    if let Some(backend) = arg_value::<String>(args, "backend") {
+        config.backend = SimBackend::parse(&backend)
+            .unwrap_or_else(|| panic!("unknown --backend {backend:?} (scalar|bitsliced)"));
+    }
+    config
 }
 
 #[cfg(test)]

@@ -29,6 +29,12 @@ pub struct Dataset {
     words_per_sample: usize,
     data: Vec<u64>,
     labels: Vec<bool>,
+    /// Column-major mirror: one bit-plane per feature over samples (bit
+    /// `i % 64` of word `i / 64` is the feature in sample `i`), the layout
+    /// that lets tree growth count split sides with bitmask popcounts.
+    planes: Vec<Vec<u64>>,
+    /// The labels as a bit-plane over samples.
+    label_plane: Vec<u64>,
 }
 
 impl Dataset {
@@ -45,6 +51,8 @@ impl Dataset {
             words_per_sample: num_features.div_ceil(64),
             data: Vec::new(),
             labels: Vec::new(),
+            planes: vec![Vec::new(); num_features],
+            label_plane: Vec::new(),
         }
     }
 
@@ -82,12 +90,80 @@ impl Dataset {
         let base = self.data.len();
         self.data
             .extend(std::iter::repeat_n(0, self.words_per_sample));
+        let sample = self.labels.len();
+        if sample.is_multiple_of(64) {
+            for plane in &mut self.planes {
+                plane.push(0);
+            }
+            self.label_plane.push(0);
+        }
+        let (word, bit) = (sample / 64, sample % 64);
         for (i, &f) in features.iter().enumerate() {
             if f {
                 self.data[base + i / 64] |= 1u64 << (i % 64);
+                self.planes[i][word] |= 1u64 << bit;
             }
         }
+        if label {
+            self.label_plane[word] |= 1u64 << bit;
+        }
         self.labels.push(label);
+    }
+
+    /// Builds a dataset directly from column-major feature planes and a
+    /// label plane over `len` samples — the zero-rebuild path for callers
+    /// that already hold bit-planes (e.g. the per-bit predictor, whose 4w
+    /// base-feature planes are shared by every output bit's dataset).
+    ///
+    /// Stray bits above `len` are masked off. The row-major mirror is not
+    /// materialized, so [`Self::sample`] must not be called on a
+    /// plane-built dataset (tree fitting and prediction never do).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `planes` is empty, `len` is zero, or any plane (or the
+    /// label plane) has the wrong word count.
+    #[must_use]
+    pub fn from_planes(mut planes: Vec<Vec<u64>>, mut label_plane: Vec<u64>, len: usize) -> Self {
+        assert!(!planes.is_empty(), "datasets need at least one feature");
+        assert!(len > 0, "datasets need at least one sample");
+        let words = len.div_ceil(64);
+        let tail_mask = if len.is_multiple_of(64) {
+            u64::MAX
+        } else {
+            (1u64 << (len % 64)) - 1
+        };
+        assert_eq!(label_plane.len(), words, "label plane has wrong length");
+        label_plane[words - 1] &= tail_mask;
+        for plane in &mut planes {
+            assert_eq!(plane.len(), words, "feature plane has wrong length");
+            plane[words - 1] &= tail_mask;
+        }
+        let labels: Vec<bool> = (0..len)
+            .map(|i| (label_plane[i / 64] >> (i % 64)) & 1 == 1)
+            .collect();
+        let num_features = planes.len();
+        Self {
+            num_features,
+            words_per_sample: num_features.div_ceil(64),
+            data: Vec::new(),
+            labels,
+            planes,
+            label_plane,
+        }
+    }
+
+    /// The bit-plane of feature `f` over all samples (bit `i % 64` of word
+    /// `i / 64` is the feature in sample `i`).
+    #[must_use]
+    pub fn feature_plane(&self, f: usize) -> &[u64] {
+        &self.planes[f]
+    }
+
+    /// The labels as a bit-plane over all samples.
+    #[must_use]
+    pub fn label_plane(&self) -> &[u64] {
+        &self.label_plane
     }
 
     /// The packed feature words of sample `i`.

@@ -6,7 +6,8 @@
 //! of the paper.
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
 
 use crate::dataset::Dataset;
 use crate::tree::{DecisionTree, TreeConfig};
@@ -46,7 +47,12 @@ pub struct ForestConfig {
     pub tree: TreeConfig,
     /// Per-split feature subsampling policy.
     pub features: FeatureSubsample,
-    /// Bootstrap-sample the training set per tree.
+    /// Bag the training set per tree: each tree trains on a random
+    /// ~63.2% subsample drawn **without replacement** — the expected
+    /// distinct-sample fraction of a classic bootstrap bag (`1 - 1/e`).
+    /// Duplicate-free bags are what let tree growth count node membership
+    /// with bitmask popcounts instead of per-index scans (the same
+    /// bit-sliced idea as the 64-lane simulator).
     pub bootstrap: bool,
     /// RNG seed controlling bagging and feature subsampling.
     pub seed: u64,
@@ -88,9 +94,11 @@ impl RandomForest {
         let trees = (0..config.n_trees)
             .map(|_| {
                 let bag: Vec<usize> = if config.bootstrap {
-                    (0..indices.len())
-                        .map(|_| indices[rng.gen_range(0..indices.len())])
-                        .collect()
+                    let mut bag = indices.to_vec();
+                    bag.shuffle(&mut rng);
+                    let keep = ((indices.len() as f64 * 0.632).ceil() as usize).max(1);
+                    bag.truncate(keep);
+                    bag
                 } else {
                     indices.to_vec()
                 };

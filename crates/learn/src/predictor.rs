@@ -141,30 +141,48 @@ impl TimingErrorPredictor {
         assert!(!cycles.is_empty(), "cannot train on an empty stream");
         assert!(width > 0 && width <= 63, "width must be in 1..=63");
         let out_bits = width + 1;
-        let bases: Vec<Vec<bool>> = cycles
-            .iter()
-            .map(|c| base_features(width, c.a, c.b, c.a_prev, c.b_prev))
-            .collect();
+        let n = cycles.len();
+        let words = n.div_ceil(64);
+        let w = width as usize;
+        // The 4w base-feature planes (x[t], x[t-1]) are identical for
+        // every output bit: build them once, column-major, and share them
+        // across the per-bit datasets by clone — the bit-sliced layout
+        // tree growth counts splits on directly.
+        let mut base_planes = vec![vec![0u64; words]; 4 * w];
+        for (i, c) in cycles.iter().enumerate() {
+            let (word, bit) = (i / 64, i % 64);
+            for (slot, value) in [c.a, c.b, c.a_prev, c.b_prev].into_iter().enumerate() {
+                for j in 0..w {
+                    if (value >> j) & 1 == 1 {
+                        base_planes[slot * w + j][word] |= 1u64 << bit;
+                    }
+                }
+            }
+        }
 
         let models = (0..out_bits)
-            .map(|n| {
-                let labels: Vec<bool> = cycles.iter().map(|c| (c.flips >> n) & 1 == 1).collect();
-                let first = labels[0];
-                if labels.iter().all(|&l| l == first) {
-                    return BitModel::Constant(first);
+            .map(|n_bit| {
+                let mut label_plane = vec![0u64; words];
+                let mut gold_prev_plane = vec![0u64; words];
+                let mut gold_plane = vec![0u64; words];
+                for (i, c) in cycles.iter().enumerate() {
+                    let (word, bit) = (i / 64, i % 64);
+                    label_plane[word] |= ((c.flips >> n_bit) & 1) << bit;
+                    gold_prev_plane[word] |= ((c.gold_prev >> n_bit) & 1) << bit;
+                    gold_plane[word] |= ((c.gold >> n_bit) & 1) << bit;
                 }
-                let mut dataset = Dataset::new(feature_count(width));
-                for (cycle, base) in cycles.iter().zip(&bases) {
-                    let features = bit_features(
-                        base,
-                        (cycle.gold_prev >> n) & 1 == 1,
-                        (cycle.gold >> n) & 1 == 1,
-                    );
-                    dataset.push(&features, (cycle.flips >> n) & 1 == 1);
+                let positives: usize = label_plane.iter().map(|w| w.count_ones() as usize).sum();
+                if positives == 0 || positives == n {
+                    return BitModel::Constant(positives == n);
                 }
+                let mut planes = base_planes.clone();
+                planes.push(gold_prev_plane);
+                planes.push(gold_plane);
+                debug_assert_eq!(planes.len(), feature_count(width));
+                let dataset = Dataset::from_planes(planes, label_plane, n);
                 let indices: Vec<usize> = (0..dataset.len()).collect();
                 let forest_config = ForestConfig {
-                    seed: config.forest.seed ^ (u64::from(n) << 32),
+                    seed: config.forest.seed ^ (u64::from(n_bit) << 32),
                     ..config.forest
                 };
                 BitModel::Forest(RandomForest::fit(&dataset, &indices, &forest_config))

@@ -66,6 +66,14 @@ fn gini(pos: f64, total: f64) -> f64 {
 impl DecisionTree {
     /// Fits a tree on the given sample indices of a dataset.
     ///
+    /// Growth is bit-parallel over samples: node membership is a bitmask
+    /// over the dataset, split sides are counted with popcounts against the
+    /// dataset's column-major feature planes, and partitioning is two
+    /// bitwise ANDs — the same SIMD-within-a-register idea the 64-lane
+    /// gate-level simulator uses. Duplicate indices collapse into the
+    /// membership mask (callers bag without replacement; see
+    /// [`ForestConfig::bootstrap`](crate::ForestConfig)).
+    ///
     /// # Panics
     ///
     /// Panics if `indices` is empty.
@@ -77,28 +85,38 @@ impl DecisionTree {
         rng: &mut StdRng,
     ) -> Self {
         assert!(!indices.is_empty(), "cannot fit a tree on zero samples");
+        let mut mask = vec![0u64; dataset.len().div_ceil(64)];
+        for &i in indices {
+            mask[i / 64] |= 1u64 << (i % 64);
+        }
+        let total: usize = mask.iter().map(|w| w.count_ones() as usize).sum();
         let mut tree = Self {
             nodes: Vec::new(),
             num_features: dataset.num_features(),
             importances: vec![0.0; dataset.num_features()],
-            root_size: indices.len(),
+            root_size: total,
         };
-        let mut scratch = indices.to_vec();
-        tree.grow(dataset, &mut scratch, 0, config, rng);
+        tree.grow(dataset, &mask, total, 0, config, rng);
         tree
     }
 
-    /// Recursively grows the subtree over `indices`, returning its node id.
+    /// Recursively grows the subtree over the membership mask, returning
+    /// its node id.
     fn grow(
         &mut self,
         dataset: &Dataset,
-        indices: &mut [usize],
+        mask: &[u64],
+        total: usize,
         depth: u32,
         config: &TreeConfig,
         rng: &mut StdRng,
     ) -> u32 {
-        let total = indices.len();
-        let positives = indices.iter().filter(|&&i| dataset.label(i)).count();
+        let labels = dataset.label_plane();
+        let positives: usize = mask
+            .iter()
+            .zip(labels)
+            .map(|(&m, &l)| (m & l).count_ones() as usize)
+            .sum();
         let make_leaf = positives == 0
             || positives == total
             || depth >= config.max_depth
@@ -122,15 +140,13 @@ impl DecisionTree {
         let parent_gini = gini(positives as f64, total as f64);
         let mut best: Option<(f64, u32)> = None;
         for &f in &candidates {
+            let plane = dataset.feature_plane(f as usize);
             let mut high_total = 0usize;
             let mut high_pos = 0usize;
-            for &i in indices.iter() {
-                if dataset.feature(i, f as usize) {
-                    high_total += 1;
-                    if dataset.label(i) {
-                        high_pos += 1;
-                    }
-                }
+            for ((&m, &p), &l) in mask.iter().zip(plane).zip(labels) {
+                let high = m & p;
+                high_total += high.count_ones() as usize;
+                high_pos += (high & l).count_ones() as usize;
             }
             let low_total = total - high_total;
             if high_total == 0 || low_total == 0 {
@@ -162,19 +178,16 @@ impl DecisionTree {
         // Mean-decrease-in-impurity importance, weighted by node size.
         self.importances[feature as usize] += gain.max(0.0) * total as f64 / self.root_size as f64;
 
-        // Partition in place: low side first.
-        let mut mid = 0;
-        for i in 0..indices.len() {
-            if !dataset.feature(indices[i], feature as usize) {
-                indices.swap(i, mid);
-                mid += 1;
-            }
-        }
+        // Partition: two bitwise ANDs against the chosen feature's plane.
+        let plane = dataset.feature_plane(feature as usize);
+        let high_mask: Vec<u64> = mask.iter().zip(plane).map(|(&m, &p)| m & p).collect();
+        let low_mask: Vec<u64> = mask.iter().zip(plane).map(|(&m, &p)| m & !p).collect();
+        let high_total: usize = high_mask.iter().map(|w| w.count_ones() as usize).sum();
+        let low_total = total - high_total;
         let id = self.nodes.len() as u32;
         self.nodes.push(Node::Leaf { prob_true: 0.0 }); // placeholder
-        let (low_slice, high_slice) = indices.split_at_mut(mid);
-        let low = self.grow(dataset, low_slice, depth + 1, config, rng);
-        let high = self.grow(dataset, high_slice, depth + 1, config, rng);
+        let low = self.grow(dataset, &low_mask, low_total, depth + 1, config, rng);
+        let high = self.grow(dataset, &high_mask, high_total, depth + 1, config, rng);
         self.nodes[id as usize] = Node::Split { feature, low, high };
         id
     }

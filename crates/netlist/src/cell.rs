@@ -149,6 +149,48 @@ impl CellKind {
         }
     }
 
+    /// Evaluates the cell function over 64 independent lanes at once: bit
+    /// `l` of every input word is lane `l`'s value, and bit `l` of the
+    /// result is lane `l`'s output — the bit-sliced
+    /// (SIMD-within-a-register) form of [`Self::eval`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from [`Self::arity`].
+    #[must_use]
+    pub fn eval_word(self, inputs: &[u64]) -> u64 {
+        assert_eq!(
+            inputs.len(),
+            self.arity(),
+            "{self} expects {} inputs, got {}",
+            self.arity(),
+            inputs.len()
+        );
+        match self {
+            CellKind::Const0 => 0,
+            CellKind::Const1 => u64::MAX,
+            CellKind::Buf => inputs[0],
+            CellKind::Inv => !inputs[0],
+            CellKind::And2 => inputs[0] & inputs[1],
+            CellKind::Or2 => inputs[0] | inputs[1],
+            CellKind::Nand2 => !(inputs[0] & inputs[1]),
+            CellKind::Nor2 => !(inputs[0] | inputs[1]),
+            CellKind::Xor2 => inputs[0] ^ inputs[1],
+            CellKind::Xnor2 => !(inputs[0] ^ inputs[1]),
+            CellKind::Mux2 => (inputs[1] & inputs[2]) | (inputs[0] & !inputs[2]),
+            CellKind::Ao21 => (inputs[0] & inputs[1]) | inputs[2],
+            CellKind::Oa21 => (inputs[0] | inputs[1]) & inputs[2],
+            CellKind::Aoi21 => !((inputs[0] & inputs[1]) | inputs[2]),
+            CellKind::Oai21 => !((inputs[0] | inputs[1]) & inputs[2]),
+            CellKind::Maj3 => {
+                (inputs[0] & inputs[1]) | (inputs[0] & inputs[2]) | (inputs[1] & inputs[2])
+            }
+            CellKind::And3 => inputs[0] & inputs[1] & inputs[2],
+            CellKind::Or3 => inputs[0] | inputs[1] | inputs[2],
+            CellKind::Xor3 => inputs[0] ^ inputs[1] ^ inputs[2],
+        }
+    }
+
     /// Library cell name (as emitted into SDF files).
     #[must_use]
     pub fn name(self) -> &'static str {
@@ -328,6 +370,35 @@ mod tests {
     #[should_panic(expected = "expects 2 inputs")]
     fn eval_rejects_wrong_arity() {
         let _ = CellKind::And2.eval(&[true]);
+    }
+
+    #[test]
+    fn eval_word_matches_eval_in_every_lane() {
+        // Exhaustive: every cell kind, every input combination, packed into
+        // distinct lanes of one word evaluation.
+        for kind in ALL_CELL_KINDS {
+            let arity = kind.arity();
+            let combos = 1usize << arity;
+            let mut words = vec![0u64; arity];
+            for lane in 0..combos {
+                for (pin, word) in words.iter_mut().enumerate() {
+                    if lane >> pin & 1 == 1 {
+                        *word |= 1 << lane;
+                    }
+                }
+            }
+            let out = kind.eval_word(&words);
+            for lane in 0..combos {
+                let pins: Vec<bool> = (0..arity).map(|p| lane >> p & 1 == 1).collect();
+                assert_eq!(out >> lane & 1 == 1, kind.eval(&pins), "{kind} lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 3 inputs")]
+    fn eval_word_rejects_wrong_arity() {
+        let _ = CellKind::Mux2.eval_word(&[0, 1]);
     }
 
     #[test]

@@ -311,6 +311,51 @@ impl Netlist {
         }
         out
     }
+
+    /// Bit-sliced zero-delay evaluation: like [`Self::evaluate`], but each
+    /// net carries 64 independent lanes packed into a `u64` word (bit `l`
+    /// is lane `l`'s value). One topological sweep evaluates all 64 lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len()` differs from the number of primary
+    /// inputs.
+    #[must_use]
+    pub fn evaluate_words(&self, input_words: &[u64]) -> Vec<u64> {
+        assert_eq!(
+            input_words.len(),
+            self.inputs.len(),
+            "expected {} input words, got {}",
+            self.inputs.len(),
+            input_words.len()
+        );
+        let mut values = vec![0u64; self.net_count()];
+        for (net, &w) in self.inputs.iter().zip(input_words) {
+            values[net.index()] = w;
+        }
+        let mut pins = [0u64; 3];
+        for cell in &self.cells {
+            for (slot, n) in pins.iter_mut().zip(&cell.inputs) {
+                *slot = values[n.index()];
+            }
+            values[cell.output.index()] = cell.kind.eval_word(&pins[..cell.inputs.len()]);
+        }
+        values
+    }
+
+    /// Bit-sliced evaluation of the primary outputs: returns one plane per
+    /// output net, in declaration order (bit `l` of plane `i` is output `i`
+    /// in lane `l`). The word-level counterpart of
+    /// [`Self::evaluate_outputs_u64`].
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Self::evaluate_words`].
+    #[must_use]
+    pub fn evaluate_output_planes(&self, input_words: &[u64]) -> Vec<u64> {
+        let values = self.evaluate_words(input_words);
+        self.outputs.iter().map(|n| values[n.index()]).collect()
+    }
 }
 
 /// Incremental netlist constructor.

@@ -133,3 +133,63 @@ proptest! {
         }
     }
 }
+
+mod word_level {
+    use super::*;
+    use isa_core::{LaneBatch, LANES};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Bit-sliced evaluation equals scalar evaluation in every lane, on
+        /// both exact and ISA netlists.
+        #[test]
+        fn evaluate_words_matches_scalar_lanes(
+            topology in topology_strategy(),
+            seed in any::<u64>(),
+        ) {
+            prop_assume!(topology.supports_width(8));
+            let cfg = IsaConfig::new(32, 8, 0, 1, 4).unwrap();
+            let adders = [
+                build_exact(32, topology),
+                isa::build(&cfg, topology).unwrap(),
+            ];
+            let mut x = seed | 1;
+            let pairs: Vec<(u64, u64)> = (0..LANES as u64)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    (x >> 32, x & 0xFFFF_FFFF)
+                })
+                .collect();
+            for adder in &adders {
+                let batch = LaneBatch::pack(32, &pairs);
+                let planes = adder
+                    .netlist()
+                    .evaluate_output_planes(&adder.input_planes(&batch));
+                let lanes = LaneBatch::unpack_lanes(&planes, LANES);
+                for (l, &(a, b)) in pairs.iter().enumerate() {
+                    prop_assert_eq!(lanes[l], adder.add(a, b), "lane {}", l);
+                }
+            }
+        }
+
+        /// `add_batch` equals mapping `add`, including ragged tails.
+        #[test]
+        fn add_batch_matches_add(n in 1usize..200, seed in any::<u64>()) {
+            let adder = build_exact(32, AdderTopology::BrentKung);
+            let mut x = seed | 1;
+            let pairs: Vec<(u64, u64)> = (0..n)
+                .map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (x >> 32, x & 0xFFFF_FFFF)
+                })
+                .collect();
+            let batched = adder.add_batch(&pairs);
+            for (i, &(a, b)) in pairs.iter().enumerate() {
+                prop_assert_eq!(batched[i], a + b);
+            }
+        }
+    }
+}

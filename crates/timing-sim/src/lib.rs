@@ -28,14 +28,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitsim;
 pub mod clocked;
 pub mod power;
 pub mod razor;
 pub mod sim;
 pub mod waveform;
 
+pub use bitsim::{
+    run_clocked_batch, run_clocked_batch_with_core, violation_mask, BitClockedCore, BitSimCore,
+};
 pub use clocked::{run_adder_trace, ClockedCore, ClockedSim, CycleRecord};
-pub use power::{measure as measure_energy, EnergyReport};
+pub use power::{measure as measure_energy, measure_activity, EnergyReport};
 pub use razor::{run_razor_trace, RazorConfig, RazorCycle, RazorReport};
 pub use sim::{ps_to_fs, GateLevelSim, SettleError, SimCore, FS_PER_PS};
 pub use waveform::{Transition, Waveform};

@@ -57,7 +57,24 @@ impl EnergyReport {
 /// time x [`LEAKAGE_NW_PER_AREA`].
 #[must_use]
 pub fn measure(sim: &GateLevelSim<'_>, netlist: &Netlist, lib: &CellLibrary) -> EnergyReport {
-    let counts = sim.net_commit_counts();
+    measure_activity(sim.net_commit_counts(), sim.now_fs(), netlist, lib)
+}
+
+/// Estimates energy from an explicit activity profile: per-net committed
+/// transition counts plus the wall-clock span to charge leakage over.
+///
+/// This is the common core behind [`measure`] and the bit-sliced 64-lane
+/// simulator, whose [`net_commit_counts`](crate::BitSimCore::net_commit_counts)
+/// already sum transitions over lanes; pass the *sequential-equivalent*
+/// span (`ops x period`) so leakage stays comparable with a scalar run of
+/// the same operation count on one circuit.
+#[must_use]
+pub fn measure_activity(
+    counts: &[u64],
+    span_fs: u64,
+    netlist: &Netlist,
+    lib: &CellLibrary,
+) -> EnergyReport {
     let mut dynamic_fj = 0.0f64;
     let mut transitions = 0u64;
     for (index, &count) in counts.iter().enumerate() {
@@ -72,7 +89,6 @@ pub fn measure(sim: &GateLevelSim<'_>, netlist: &Netlist, lib: &CellLibrary) -> 
         };
         dynamic_fj += per_switch * count as f64;
     }
-    let span_fs = sim.now_fs();
     // nW * fs = 1e-9 W * 1e-15 s = 1e-24 J = 1e-9 fJ.
     let leakage_fj = netlist.area(lib) * LEAKAGE_NW_PER_AREA * span_fs as f64 * 1e-9;
     EnergyReport {

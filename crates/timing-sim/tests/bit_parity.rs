@@ -1,0 +1,202 @@
+//! Lane-vs-scalar parity: every lane of a 64-lane bit-sliced simulation
+//! must equal the scalar `SimCore`/`ClockedCore` result bit-for-bit — at
+//! safe and overclocked settings, over random netlists, random delays and
+//! random input sequences. This is the contract that makes the batched
+//! backend a drop-in replacement for the scalar event queue.
+
+use isa_core::batch::{segment_len, LaneBatch, LANES};
+use isa_netlist::builders::{build_exact, isa, AdderTopology};
+use isa_netlist::cell::{CellKind, CellLibrary};
+use isa_netlist::graph::{Netlist, NetlistBuilder};
+use isa_netlist::sta::StaReport;
+use isa_netlist::timing::{DelayAnnotation, VariationModel};
+use isa_timing_sim::{run_clocked_batch, BitSimCore, ClockedSim, GateLevelSim};
+use proptest::prelude::*;
+
+/// Recipe for one random cell: kind selector plus input selectors.
+type CellRecipe = (u8, u16, u16, u16);
+
+/// Builds a random combinational netlist (same generator as the scalar
+/// simulator's property suite).
+fn build_random(n_inputs: usize, recipes: &[CellRecipe]) -> Netlist {
+    let kinds = [
+        CellKind::Inv,
+        CellKind::And2,
+        CellKind::Or2,
+        CellKind::Nand2,
+        CellKind::Nor2,
+        CellKind::Xor2,
+        CellKind::Xnor2,
+        CellKind::Mux2,
+        CellKind::Ao21,
+        CellKind::Oai21,
+        CellKind::Maj3,
+        CellKind::Xor3,
+    ];
+    let mut b = NetlistBuilder::new("random");
+    let mut nets: Vec<_> = (0..n_inputs).map(|i| b.input(format!("i{i}"))).collect();
+    for &(k, s0, s1, s2) in recipes {
+        let kind = kinds[k as usize % kinds.len()];
+        let pick = |sel: u16, nets: &[isa_netlist::graph::NetId]| nets[sel as usize % nets.len()];
+        let ins: Vec<_> = [s0, s1, s2][..kind.arity()]
+            .iter()
+            .map(|&s| pick(s, &nets))
+            .collect();
+        let out = b.cell(kind, &ins);
+        nets.push(out);
+    }
+    let n_out = nets.len().min(8);
+    for (i, &net) in nets[nets.len() - n_out..].iter().enumerate() {
+        b.mark_output(net, format!("o{i}"));
+    }
+    b.finish().expect("random netlist is well-formed")
+}
+
+/// Packs one bool vector per lane into per-input plane words.
+fn pack_input_words(vectors: &[Vec<bool>]) -> Vec<u64> {
+    let pins = vectors[0].len();
+    let mut words = vec![0u64; pins];
+    for (l, v) in vectors.iter().enumerate() {
+        for (p, &bit) in v.iter().enumerate() {
+            if bit {
+                words[p] |= 1u64 << l;
+            }
+        }
+    }
+    words
+}
+
+fn lane_vector(seed: u64, lane: usize, pins: usize) -> Vec<bool> {
+    let mut x = seed ^ (lane as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..pins)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x & 1 == 1
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random netlists, random delays, mid-flight sampling at an arbitrary
+    /// time: every lane of the word simulator equals its private scalar
+    /// run — including unsettled (timing-erroneous) intermediate states.
+    #[test]
+    fn random_netlist_lanes_match_scalar_mid_flight(
+        recipes in prop::collection::vec(any::<CellRecipe>(), 1..50),
+        seeds in prop::collection::vec(any::<u64>(), 1..5),
+        delay_seed in any::<u64>(),
+        sample_frac in 0.05f64..1.5,
+    ) {
+        let nl = build_random(5, &recipes);
+        let lib = CellLibrary::industrial_65nm();
+        let ann = DelayAnnotation::nominal(&nl, &lib)
+            .perturbed(&VariationModel::new(0.08, delay_seed));
+        let crit_fs = isa_timing_sim::ps_to_fs(
+            StaReport::analyze(&nl, &ann).critical_ps().max(1.0));
+        let step_fs = ((crit_fs as f64 * sample_frac) as u64).max(1);
+        let pins = nl.inputs().len();
+
+        let mut word = BitSimCore::new(&nl, &ann);
+        let mut scalars: Vec<GateLevelSim<'_>> =
+            (0..LANES).map(|_| GateLevelSim::new(&nl, &ann)).collect();
+
+        for (round, &seed) in seeds.iter().enumerate() {
+            let vectors: Vec<Vec<bool>> =
+                (0..LANES).map(|l| lane_vector(seed, l, pins)).collect();
+            word.set_input_words(&nl, &pack_input_words(&vectors));
+            let t = word.now_fs() + step_fs;
+            word.run_until(&nl, t);
+            for (l, scalar) in scalars.iter_mut().enumerate() {
+                scalar.set_inputs(&vectors[l]);
+                scalar.run_until(t);
+                for net_idx in 0..nl.net_count() {
+                    let net = isa_netlist::graph::NetId::from_index(net_idx);
+                    prop_assert_eq!(
+                        word.value_word(net) >> l & 1 == 1,
+                        scalar.value(net),
+                        "round {} lane {} net {}", round, l, net_idx
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The full batched stream runner vs scalar `ClockedCore` runs of each
+    /// contiguous segment, on real adder netlists at safe and overclocked
+    /// periods — the acceptance-criterion parity check.
+    #[test]
+    fn clocked_stream_lanes_match_scalar_at_safe_and_overclocked(
+        overclock in prop_oneof![Just(1.05f64), Just(0.7), Just(0.45), Just(0.3)],
+        seed in any::<u64>(),
+        n in 65usize..320,
+        is_isa in any::<bool>(),
+    ) {
+        let adder = if is_isa {
+            let cfg = isa_core::IsaConfig::new(32, 8, 0, 1, 4).unwrap();
+            isa::build(&cfg, AdderTopology::Ripple).unwrap()
+        } else {
+            build_exact(16, AdderTopology::Ripple)
+        };
+        let lib = CellLibrary::industrial_65nm();
+        let ann = DelayAnnotation::nominal(adder.netlist(), &lib)
+            .perturbed(&VariationModel::new(0.05, seed));
+        let crit = StaReport::analyze(adder.netlist(), &ann).critical_ps();
+        let period = crit * overclock;
+        let mask = (1u64 << adder.width()) - 1;
+        let mut x = seed | 1;
+        let inputs: Vec<(u64, u64)> = (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 32 & mask, x & mask)
+            })
+            .collect();
+
+        let sampled = run_clocked_batch(&adder, &ann, period, &inputs);
+        let seg = segment_len(n);
+        for l in 0..LANES {
+            let start = l * seg;
+            if start >= n {
+                break;
+            }
+            let end = (start + seg).min(n);
+            let mut scalar = ClockedSim::new(adder.netlist(), &ann, period);
+            for (off, &(a, b)) in inputs[start..end].iter().enumerate() {
+                let expect = scalar.step(&adder.input_values(a, b));
+                prop_assert_eq!(
+                    sampled[start + off], expect,
+                    "lane {} cycle {} at {:.2}x crit", l, off, overclock
+                );
+                if overclock > 1.0 {
+                    prop_assert_eq!(expect, (a + b) & (mask << 1 | 1));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_packing_round_trip_through_adder_planes() {
+    // Directed seam check: a stream one longer than a multiple of LANES
+    // exercises the ragged final segment.
+    let adder = build_exact(16, AdderTopology::Cla4);
+    let lib = CellLibrary::industrial_65nm();
+    let ann = DelayAnnotation::nominal(adder.netlist(), &lib);
+    let crit = StaReport::analyze(adder.netlist(), &ann).critical_ps();
+    let inputs: Vec<(u64, u64)> = (0..129u64)
+        .map(|i| ((i * 509) & 0xFFFF, (i * 263) & 0xFFFF))
+        .collect();
+    let sampled = run_clocked_batch(&adder, &ann, crit + 1.0, &inputs);
+    for (i, &(a, b)) in inputs.iter().enumerate() {
+        assert_eq!(sampled[i], a + b, "cycle {i}");
+    }
+    let batch = LaneBatch::pack(16, &inputs[..LANES]);
+    assert_eq!(batch.len(), LANES);
+}

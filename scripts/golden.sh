@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Golden-figures check: runs the experiment binaries at small fixed counts
+# (single-threaded, fixed seeds, default bit-sliced backend) and diffs the
+# CSVs against the checked-in goldens under tests/golden/, so simulation
+# refactors cannot silently change paper numbers.
+#
+# Usage:
+#   scripts/golden.sh           # verify against tests/golden/
+#   scripts/golden.sh --update  # regenerate tests/golden/ in place
+#   OUTDIR=path scripts/golden.sh  # also keep the produced CSVs
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GOLDEN_DIR=tests/golden
+OUTDIR="${OUTDIR:-$(mktemp -d)}"
+mkdir -p "$OUTDIR"
+
+echo "==> building release binaries"
+cargo build --release -q
+
+run() {
+  local name="$1"
+  shift
+  echo "==> $name"
+  "$@" --threads 1 --csv "$OUTDIR/$name.csv" >/dev/null
+}
+
+run design_table ./target/release/design_table --samples 4000
+run fig9 ./target/release/fig9 --cycles 400
+run fig7_fig8 ./target/release/fig7 --train 400 --test 200
+run fig10 ./target/release/fig10 --cycles 600
+run energy ./target/release/energy_table --cycles 300
+run guardband ./target/release/guardband --cycles 400
+run workloads ./target/release/workloads --cycles 400
+
+if [[ "${1:-}" == "--update" ]]; then
+  mkdir -p "$GOLDEN_DIR"
+  cp "$OUTDIR"/*.csv "$GOLDEN_DIR"/
+  echo "golden: updated $GOLDEN_DIR"
+  exit 0
+fi
+
+status=0
+for f in "$OUTDIR"/*.csv; do
+  name="$(basename "$f")"
+  if ! diff -u "$GOLDEN_DIR/$name" "$f"; then
+    echo "golden: MISMATCH in $name"
+    status=1
+  fi
+done
+if [[ $status -eq 0 ]]; then
+  echo "golden: OK"
+else
+  echo "golden: FAILED — if the change is intentional, run scripts/golden.sh --update"
+fi
+exit $status
