@@ -1,0 +1,112 @@
+//! Deterministic synthetic inputs for the application kernels.
+//!
+//! Everything here is a pure function of its size/seed parameters —
+//! integer-only for the image (bit-identical on every platform), seeded
+//! shim-RNG plus `f64::sin` for the audio-style signal (the same
+//! primitives the existing `SineWorkload` golden figures rely on) — so
+//! kernel runs are reproducible and golden CSVs stay stable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An 8-bit synthetic test image: a diagonal gradient with a bright disc
+/// and a dark checkerboard patch, giving convolution kernels smooth areas,
+/// a curved high-contrast edge and high-frequency texture to act on.
+///
+/// Pixels are row-major, values in `0..=255`.
+///
+/// # Panics
+///
+/// Panics if either dimension is smaller than 8.
+#[must_use]
+pub fn test_image(width: usize, height: usize) -> Vec<u64> {
+    assert!(width >= 8 && height >= 8, "image must be at least 8x8");
+    let mut pixels = Vec::with_capacity(width * height);
+    let (cx, cy) = (width as i64 * 2 / 3, height as i64 / 3);
+    let radius = (width.min(height) as i64) / 4;
+    for y in 0..height {
+        for x in 0..width {
+            let gradient = (x * 255 / (width - 1) + y * 255 / (height - 1)) / 2;
+            let mut pixel = gradient as u64;
+            let (dx, dy) = (x as i64 - cx, y as i64 - cy);
+            if dx * dx + dy * dy <= radius * radius {
+                pixel = 235;
+            }
+            if x < width / 3 && y > height * 2 / 3 && (x / 2 + y / 2) % 2 == 0 {
+                pixel = pixel.saturating_sub(60);
+            }
+            pixels.push(pixel.min(255));
+        }
+    }
+    pixels
+}
+
+/// A 12-bit audio-style test signal: two detuned tones plus a little
+/// seeded noise, biased to mid-scale. Values in `0..4096`.
+#[must_use]
+pub fn test_signal(len: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let full = 4096.0f64;
+    (0..len)
+        .map(|i| {
+            let t = i as f64;
+            let tone = 0.30 * (0.02 * std::f64::consts::TAU * t).sin()
+                + 0.18 * (0.047 * std::f64::consts::TAU * t).sin();
+            let noise = rng.gen_range(-0.02..0.02);
+            let v = full * (0.5 + tone + noise);
+            (v.max(0.0) as u64).min(4095)
+        })
+        .collect()
+}
+
+/// A deterministic vector of `bits`-wide values for dot-product style
+/// kernels.
+#[must_use]
+pub fn test_vector(len: usize, bits: u32, seed: u64) -> Vec<u64> {
+    assert!(
+        (1..=32).contains(&bits),
+        "vector elements must be 1..=32 bits"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mask = (1u64 << bits) - 1;
+    (0..len).map(|_| rng.gen::<u64>() & mask).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_is_8bit_and_deterministic() {
+        let image = test_image(32, 24);
+        assert_eq!(image.len(), 32 * 24);
+        assert!(image.iter().all(|&p| p <= 255));
+        assert_eq!(image, test_image(32, 24));
+        // The disc and the checkerboard both made it into the frame.
+        assert!(image.contains(&235));
+        let min = image.iter().min().unwrap();
+        let max = image.iter().max().unwrap();
+        assert!(max - min > 100, "image should span a wide range");
+    }
+
+    #[test]
+    fn signal_is_12bit_and_oscillates() {
+        let signal = test_signal(500, 9);
+        assert!(signal.iter().all(|&s| s < 4096));
+        let max = signal.iter().max().unwrap();
+        let min = signal.iter().min().unwrap();
+        assert!(
+            max > &3000 && min < &1100,
+            "tones should swing: {min}..{max}"
+        );
+        assert_eq!(signal, test_signal(500, 9));
+        assert_ne!(signal, test_signal(500, 10));
+    }
+
+    #[test]
+    fn vectors_respect_their_width() {
+        let v = test_vector(300, 8, 3);
+        assert!(v.iter().all(|&x| x < 256));
+        assert_ne!(test_vector(300, 8, 3), test_vector(300, 8, 4));
+    }
+}

@@ -1,0 +1,400 @@
+//! The standard application kernels: FIR filtering, 2-D image
+//! convolution, blocked dot products and histogram accumulation.
+//!
+//! Each kernel follows the same lowering recipe: constant scalings
+//! (filter taps, stencil weights) are applied exactly — hardware would
+//! implement them as wiring/shift-and-add — and every *accumulation* is a
+//! balanced [`tree_reduce`] whose additions all go through the kernel's
+//! [`BatchAdder`], i.e. through the inexact, possibly overclocked adder
+//! under test. Operand widths are sized so exact intermediate values fit
+//! a 32-bit adder with headroom; only adder errors can push values around.
+
+use crate::data::{test_image, test_signal, test_vector};
+use crate::reduce::tree_reduce;
+use crate::{BatchAdder, Kernel};
+
+/// Operand width shared by all standard kernels (the paper's adders).
+pub const KERNEL_WIDTH: u32 = 32;
+
+/// A low-pass FIR filter over the synthetic two-tone signal: output `n` is
+/// `Σ_k taps[k]·x[n-k]`, each output's products reduced through the adder.
+#[derive(Debug, Clone)]
+pub struct FirKernel {
+    signal: Vec<u64>,
+    taps: Vec<u64>,
+}
+
+impl FirKernel {
+    /// The 8-tap symmetric low-pass taps used by [`standard_kernels`].
+    pub const LOWPASS_TAPS: [u64; 8] = [1, 3, 8, 12, 12, 8, 3, 1];
+
+    /// Creates the kernel over `len` samples of the seeded test signal.
+    #[must_use]
+    pub fn new(len: usize, seed: u64) -> Self {
+        Self {
+            signal: test_signal(len, seed),
+            taps: Self::LOWPASS_TAPS.to_vec(),
+        }
+    }
+}
+
+impl Kernel for FirKernel {
+    fn name(&self) -> &'static str {
+        "fir"
+    }
+
+    fn width(&self) -> u32 {
+        KERNEL_WIDTH
+    }
+
+    fn run(&self, adds: &mut BatchAdder<'_>) -> Vec<u64> {
+        let groups = (0..self.signal.len())
+            .map(|n| {
+                self.taps
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(k, &tap)| n.checked_sub(k).map(|i| tap * self.signal[i]))
+                    .collect()
+            })
+            .collect();
+        tree_reduce(groups, adds)
+    }
+}
+
+/// Which 3x3 stencil a [`Conv2dKernel`] applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StencilOp {
+    /// Gaussian blur `[1 2 1; 2 4 2; 1 2 1]` — all-positive, one
+    /// reduction tree per pixel.
+    Blur,
+    /// Horizontal Sobel `[-1 0 1; -2 0 2; -1 0 1]`, reported as
+    /// `|Σ⁺ − Σ⁻|`: the positive and negative taps accumulate through the
+    /// (unsigned) adder separately and the final signed subtraction is
+    /// exact.
+    SobelX,
+}
+
+/// Fixed-point fraction bits of the convolution pipeline: stencil weights
+/// are pre-scaled by `2^CONV_FRAC_BITS` (a Q8.8-style integer pipeline),
+/// so accumulations run through the adder's mid-range carry chains
+/// instead of only its lowest bits.
+pub const CONV_FRAC_BITS: u32 = 8;
+
+/// 2-D 3x3 convolution over the synthetic test image with clamp-to-edge
+/// borders; the output is one (fixed-point) value per pixel.
+#[derive(Debug, Clone)]
+pub struct Conv2dKernel {
+    image: Vec<u64>,
+    cols: usize,
+    rows: usize,
+    op: StencilOp,
+}
+
+impl Conv2dKernel {
+    /// Creates the kernel over a `cols` x `rows` test image.
+    #[must_use]
+    pub fn new(cols: usize, rows: usize, op: StencilOp) -> Self {
+        Self {
+            image: test_image(cols, rows),
+            cols,
+            rows,
+            op,
+        }
+    }
+
+    /// The clamped pixel at (possibly out-of-range) coordinates.
+    fn pixel(&self, x: isize, y: isize) -> u64 {
+        let x = x.clamp(0, self.cols as isize - 1) as usize;
+        let y = y.clamp(0, self.rows as isize - 1) as usize;
+        self.image[y * self.cols + x]
+    }
+
+    /// The weighted 3x3 neighbourhood products of one pixel for one sign
+    /// of the stencil (`weights` indexed `[dy+1][dx+1]`, pre-scaled by
+    /// [`CONV_FRAC_BITS`]).
+    fn products(&self, x: usize, y: usize, weights: &[[u64; 3]; 3]) -> Vec<u64> {
+        let mut products = Vec::with_capacity(9);
+        for dy in -1isize..=1 {
+            for dx in -1isize..=1 {
+                let w = weights[(dy + 1) as usize][(dx + 1) as usize];
+                if w != 0 {
+                    products
+                        .push((w << CONV_FRAC_BITS) * self.pixel(x as isize + dx, y as isize + dy));
+                }
+            }
+        }
+        products
+    }
+}
+
+impl Kernel for Conv2dKernel {
+    fn name(&self) -> &'static str {
+        match self.op {
+            StencilOp::Blur => "conv2d-blur",
+            StencilOp::SobelX => "conv2d-sobel",
+        }
+    }
+
+    fn width(&self) -> u32 {
+        KERNEL_WIDTH
+    }
+
+    fn run(&self, adds: &mut BatchAdder<'_>) -> Vec<u64> {
+        match self.op {
+            StencilOp::Blur => {
+                const BLUR: [[u64; 3]; 3] = [[1, 2, 1], [2, 4, 2], [1, 2, 1]];
+                let groups = (0..self.rows)
+                    .flat_map(|y| (0..self.cols).map(move |x| (x, y)))
+                    .map(|(x, y)| self.products(x, y, &BLUR))
+                    .collect();
+                tree_reduce(groups, adds)
+            }
+            StencilOp::SobelX => {
+                const PLUS: [[u64; 3]; 3] = [[0, 0, 1], [0, 0, 2], [0, 0, 1]];
+                const MINUS: [[u64; 3]; 3] = [[1, 0, 0], [2, 0, 0], [1, 0, 0]];
+                // Both half-stencils of every pixel share the same passes.
+                let groups = (0..self.rows)
+                    .flat_map(|y| (0..self.cols).map(move |x| (x, y)))
+                    .flat_map(|(x, y)| [self.products(x, y, &PLUS), self.products(x, y, &MINUS)])
+                    .collect();
+                let sums = tree_reduce(groups, adds);
+                sums.chunks_exact(2).map(|s| s[0].abs_diff(s[1])).collect()
+            }
+        }
+    }
+}
+
+/// A blocked dot product (matrix-vector row style): the two operand
+/// vectors are split into fixed-size blocks and each block's
+/// `Σ a[i]·b[i]` reduces through the adder, giving one partial dot per
+/// block.
+#[derive(Debug, Clone)]
+pub struct DotProductKernel {
+    a: Vec<u64>,
+    b: Vec<u64>,
+    block: usize,
+}
+
+impl DotProductKernel {
+    /// Creates the kernel over seeded 12-bit x 8-bit vectors of length
+    /// `len`, reduced in blocks of `block` products.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is zero or `len` is not a multiple of `block`.
+    #[must_use]
+    pub fn new(len: usize, block: usize, seed: u64) -> Self {
+        assert!(block > 0, "block must be positive");
+        assert_eq!(len % block, 0, "len must be a multiple of the block size");
+        Self {
+            a: test_vector(len, 12, seed),
+            b: test_vector(len, 8, seed ^ 0xD07),
+            block,
+        }
+    }
+}
+
+impl Kernel for DotProductKernel {
+    fn name(&self) -> &'static str {
+        "dot"
+    }
+
+    fn width(&self) -> u32 {
+        KERNEL_WIDTH
+    }
+
+    fn run(&self, adds: &mut BatchAdder<'_>) -> Vec<u64> {
+        let groups = self
+            .a
+            .chunks_exact(self.block)
+            .zip(self.b.chunks_exact(self.block))
+            .map(|(xs, ys)| xs.iter().zip(ys).map(|(&x, &y)| x * y).collect())
+            .collect();
+        tree_reduce(groups, adds)
+    }
+}
+
+/// Histogram accumulation: 12-bit samples are binned by their top bits and
+/// each bin's sample *values* are summed through the adder (a
+/// luminance-sum histogram — larger operands exercise more carry chains
+/// than unit counts would).
+#[derive(Debug, Clone)]
+pub struct HistogramKernel {
+    samples: Vec<u64>,
+    bins: usize,
+}
+
+impl HistogramKernel {
+    /// Creates the kernel over `len` seeded samples and `bins` bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is not a power of two in `2..=4096`.
+    #[must_use]
+    pub fn new(len: usize, bins: usize, seed: u64) -> Self {
+        assert!(
+            bins.is_power_of_two() && (2..=4096).contains(&bins),
+            "bins must be a power of two in 2..=4096"
+        );
+        Self {
+            samples: test_signal(len, seed),
+            bins,
+        }
+    }
+}
+
+impl Kernel for HistogramKernel {
+    fn name(&self) -> &'static str {
+        "histogram"
+    }
+
+    fn width(&self) -> u32 {
+        KERNEL_WIDTH
+    }
+
+    fn run(&self, adds: &mut BatchAdder<'_>) -> Vec<u64> {
+        let shift = 12 - self.bins.trailing_zeros();
+        let mut groups: Vec<Vec<u64>> = vec![Vec::new(); self.bins];
+        for &sample in &self.samples {
+            groups[(sample >> shift) as usize].push(sample);
+        }
+        tree_reduce(groups, adds)
+    }
+}
+
+/// Report names of the standard kernel suite, in sweep order.
+pub const KERNEL_NAMES: [&str; 5] = ["fir", "conv2d-blur", "conv2d-sobel", "dot", "histogram"];
+
+/// The standard kernel suite at a given scale: FIR, blur and Sobel
+/// convolutions, blocked dot product and histogram. `scale` multiplies
+/// every kernel's input size (image side, signal/vector lengths); `seed`
+/// varies the generated inputs.
+#[must_use]
+pub fn standard_kernels(scale: usize, seed: u64) -> Vec<Box<dyn Kernel>> {
+    KERNEL_NAMES
+        .iter()
+        .map(|name| kernel_by_name(name, scale, seed).expect("standard kernel name"))
+        .collect()
+}
+
+/// Constructs one standard kernel by its report name (and only that one —
+/// sweep evaluators call this per unit).
+#[must_use]
+pub fn kernel_by_name(name: &str, scale: usize, seed: u64) -> Option<Box<dyn Kernel>> {
+    let scale = scale.max(1);
+    let side = 16 * scale;
+    Some(match name {
+        "fir" => Box::new(FirKernel::new(128 * scale, seed ^ 0xF14)) as Box<dyn Kernel>,
+        "conv2d-blur" => Box::new(Conv2dKernel::new(side, side, StencilOp::Blur)),
+        "conv2d-sobel" => Box::new(Conv2dKernel::new(side, side, StencilOp::SobelX)),
+        "dot" => Box::new(DotProductKernel::new(128 * scale, 16, seed ^ 0xD00)),
+        "histogram" => Box::new(HistogramKernel::new(512 * scale, 16, seed ^ 0x415)),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_exact, width_mask};
+
+    #[test]
+    fn fir_exact_matches_direct_convolution() {
+        let kernel = FirKernel::new(64, 1);
+        let run = run_exact(&kernel);
+        assert_eq!(run.output.len(), 64);
+        let direct: Vec<u64> = (0..64usize)
+            .map(|n| {
+                FirKernel::LOWPASS_TAPS
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(k, &t)| n.checked_sub(k).map(|i| t * kernel.signal[i]))
+                    .sum()
+            })
+            .collect();
+        assert_eq!(run.output, direct);
+    }
+
+    #[test]
+    fn blur_exact_matches_direct_stencil() {
+        let kernel = Conv2dKernel::new(16, 16, StencilOp::Blur);
+        let run = run_exact(&kernel);
+        assert_eq!(run.output.len(), 256);
+        // Interior pixel (5, 7): the weighted sum of its neighbourhood in
+        // the Q8-scaled fixed-point pipeline.
+        let expect: u64 = (0..3)
+            .flat_map(|dy| (0..3).map(move |dx| (dx, dy)))
+            .map(|(dx, dy): (usize, usize)| {
+                let w = [[1u64, 2, 1], [2, 4, 2], [1, 2, 1]][dy][dx];
+                (w << CONV_FRAC_BITS) * kernel.image[(7 + dy - 1) * 16 + (5 + dx - 1)]
+            })
+            .sum();
+        assert_eq!(run.output[7 * 16 + 5], expect);
+        // Blur of an 8-bit image stays within 16x the scaled peak.
+        assert!(run
+            .output
+            .iter()
+            .all(|&p| p <= (255 << CONV_FRAC_BITS) * 16));
+    }
+
+    #[test]
+    fn sobel_is_quiet_on_gradients_loud_on_edges() {
+        let kernel = Conv2dKernel::new(32, 32, StencilOp::SobelX);
+        let run = run_exact(&kernel);
+        let max = *run.output.iter().max().unwrap();
+        assert!(
+            max > 200 << CONV_FRAC_BITS,
+            "disc edge should respond strongly: {max}"
+        );
+        // Smooth gradient regions respond weakly (top-left corner area).
+        assert!(
+            run.output[1] < 40 << CONV_FRAC_BITS,
+            "gradient response {}",
+            run.output[1]
+        );
+    }
+
+    #[test]
+    fn dot_exact_matches_blockwise_sums() {
+        let kernel = DotProductKernel::new(64, 16, 5);
+        let run = run_exact(&kernel);
+        assert_eq!(run.output.len(), 4);
+        let expect: u64 = kernel.a[16..32]
+            .iter()
+            .zip(&kernel.b[16..32])
+            .map(|(&x, &y)| x * y)
+            .sum();
+        assert_eq!(run.output[1], expect);
+    }
+
+    #[test]
+    fn histogram_exact_partitions_the_sample_sum() {
+        let kernel = HistogramKernel::new(512, 16, 11);
+        let run = run_exact(&kernel);
+        assert_eq!(run.output.len(), 16);
+        let total: u64 = run.output.iter().sum();
+        assert_eq!(total, kernel.samples.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn standard_suite_is_named_and_width_consistent() {
+        let suite = standard_kernels(1, 42);
+        let names: Vec<_> = suite.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec!["fir", "conv2d-blur", "conv2d-sobel", "dot", "histogram"]
+        );
+        for kernel in &suite {
+            assert_eq!(kernel.width(), KERNEL_WIDTH);
+            let run = run_exact(kernel.as_ref());
+            assert!(!run.output.is_empty());
+            assert!(run.adds > 0, "{} must use the adder", kernel.name());
+            // Exact outputs must fit the adder width with headroom (no
+            // silent wraparound in the reference).
+            let mask = width_mask(KERNEL_WIDTH);
+            assert!(run.output.iter().all(|&v| v <= mask >> 4));
+        }
+        assert!(kernel_by_name("fir", 1, 42).is_some());
+        assert!(kernel_by_name("nope", 1, 42).is_none());
+    }
+}

@@ -1,0 +1,99 @@
+//! Breadth-first balanced tree reduction over batched adder passes.
+//!
+//! Every kernel that sums groups of terms (taps of a FIR output, stencil
+//! products of a pixel, block elements of a dot product, samples of a
+//! histogram bin) reduces them with [`tree_reduce`]: per pass, *every*
+//! group contributes its current pairs to one operand stream, so a whole
+//! image's worth of independent additions rides a single
+//! `Substrate::run_batch` call while data-dependent levels stay ordered.
+//! The pairing is deterministic (adjacent elements, odd tail carried
+//! unchanged), so an exact backend reproduces the exact group sums and an
+//! inexact backend propagates its errors up the same tree shape.
+
+use crate::BatchAdder;
+
+/// Reduces each group of terms to a single sum, breadth first: pass `p`
+/// adds the adjacent pairs of every group's level-`p` values in one
+/// [`BatchAdder::add_all`] call. Empty groups reduce to `0`; the number of
+/// passes is `ceil(log2(max group len))`.
+#[must_use]
+pub fn tree_reduce(mut groups: Vec<Vec<u64>>, adds: &mut BatchAdder<'_>) -> Vec<u64> {
+    loop {
+        let mut ops = Vec::new();
+        for group in &groups {
+            for pair in group.chunks_exact(2) {
+                ops.push((pair[0], pair[1]));
+            }
+        }
+        if ops.is_empty() {
+            break;
+        }
+        let sums = adds.add_all(&ops);
+        let mut cursor = 0;
+        for group in &mut groups {
+            let pairs = group.len() / 2;
+            let mut next = sums[cursor..cursor + pairs].to_vec();
+            cursor += pairs;
+            if group.len() % 2 == 1 {
+                next.push(*group.last().expect("odd group is non-empty"));
+            }
+            *group = next;
+        }
+    }
+    groups
+        .into_iter()
+        .map(|group| group.first().copied().unwrap_or(0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact(groups: Vec<Vec<u64>>) -> (Vec<u64>, u64, u64) {
+        let mut add = |ops: &[(u64, u64)]| ops.iter().map(|&(a, b)| a + b).collect();
+        let mut adder = BatchAdder::new(&mut add);
+        let sums = tree_reduce(groups, &mut adder);
+        (sums, adder.adds(), adder.passes())
+    }
+
+    #[test]
+    fn reduces_to_exact_sums_on_exact_adder() {
+        let groups = vec![vec![1, 2, 3, 4, 5], vec![], vec![10], vec![7, 8]];
+        let (sums, adds, _) = exact(groups);
+        assert_eq!(sums, vec![15, 0, 10, 15]);
+        // 5 terms need 4 adds, 1 term none, 2 terms one.
+        assert_eq!(adds, 5);
+    }
+
+    #[test]
+    fn pass_count_is_logarithmic_in_group_size() {
+        let (sums, adds, passes) = exact(vec![(1..=64u64).collect()]);
+        assert_eq!(sums, vec![64 * 65 / 2]);
+        assert_eq!(adds, 63);
+        assert_eq!(passes, 6, "64 terms reduce in log2(64) passes");
+    }
+
+    #[test]
+    fn groups_share_passes() {
+        // 256 groups of 9 terms: 9 -> 5 -> 3 -> 2 -> 1 is 4 passes total,
+        // not 4 per group.
+        let groups: Vec<Vec<u64>> = (0..256u64).map(|g| (g..g + 9).collect()).collect();
+        let (sums, adds, passes) = exact(groups);
+        assert_eq!(passes, 4);
+        assert_eq!(adds, 256 * 8);
+        assert_eq!(sums[3], (3..12u64).sum::<u64>());
+    }
+
+    #[test]
+    fn inexact_adder_errors_feed_higher_levels() {
+        // Saturating at 6 corrupts inner sums and the corruption must
+        // propagate: exact 1+2+3+4 = 10, saturated (1+2)+(3+4)->3+4(sat) ->
+        // min(3+4,6) = 6... level0: (1,2)->3, (3,4)->6(sat); level1: 3+6 ->
+        // 6 (sat).
+        let mut add = |ops: &[(u64, u64)]| ops.iter().map(|&(a, b)| (a + b).min(6)).collect();
+        let mut adder = BatchAdder::new(&mut add);
+        let sums = tree_reduce(vec![vec![1, 2, 3, 4]], &mut adder);
+        assert_eq!(sums, vec![6]);
+    }
+}

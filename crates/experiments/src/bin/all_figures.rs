@@ -12,8 +12,8 @@ use std::time::Instant;
 
 use isa_core::{paper_designs, Design, IsaConfig};
 use isa_experiments::{
-    arg_value, config_from_args, design_table, energy, engine_from_args, fig10, fig9, guardband,
-    prediction, workload_sensitivity,
+    apps_quality, arg_value, config_from_args, design_table, energy, engine_from_args, fig10, fig9,
+    guardband, prediction, workload_sensitivity,
 };
 
 fn main() {
@@ -73,6 +73,23 @@ fn main() {
     let ws = workload_sensitivity::run_on(&engine, &config, &designs, 0.10, extension_cycles);
     print!("{}", ws.render());
     std::fs::write(format!("{outdir}/workload_sensitivity.csv"), ws.to_csv()).expect("write");
+
+    let apps_scale = (cycles / 12_500).max(1);
+    eprintln!("application quality (scale {apps_scale}, extension)...");
+    let apps_designs = [
+        isa_8004,
+        Design::Isa(IsaConfig::new(32, 16, 2, 1, 6).expect("valid design")),
+        Design::Exact { width: 32 },
+    ];
+    let aq = apps_quality::run_on(
+        &engine,
+        &config,
+        &apps_designs,
+        &apps_quality::APP_CPRS,
+        apps_scale,
+    );
+    print!("{}", aq.render());
+    std::fs::write(format!("{outdir}/apps_quality.csv"), aq.to_csv()).expect("write");
 
     eprintln!(
         "done in {:.1}s ({} workers); CSVs in {outdir}/",

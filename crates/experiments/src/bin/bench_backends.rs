@@ -1,16 +1,27 @@
 //! Scalar-vs-bit-sliced backend benchmark — the CI perf-regression gate.
 //!
-//! Runs the `all_figures` pipeline suite (design table, Figs. 7–10, and
-//! the three extensions) twice at identical sample counts: once on the
-//! scalar event-driven backend and once on the bit-sliced 64-lane backend.
-//! Each run gets its own engine, so both pay synthesis once, exactly like
-//! a standalone `all_figures` invocation. Results go to a `BENCH_*.json`
-//! report (see `BENCHMARKS.md` for the format); the process exits non-zero
-//! if the bit-sliced path is not at least `--min-speedup` times faster,
+//! Runs the timed pipeline suite (design table, Figs. 7–10, and the
+//! energy/guardband/workloads extensions) at identical sample counts on
+//! the scalar event-driven backend and on the bit-sliced 64-lane
+//! backend. Each suite run gets its own engine, so every run pays
+//! synthesis once, exactly like a standalone `all_figures` invocation.
+//! The `apps_quality` stage of `all_figures` is deliberately *not* timed
+//! here — it gates correctness via goldens and parity tests, and keeping
+//! it out preserves the comparability of `BENCH_*.json` suite totals
+//! (see BENCHMARKS.md, "The apps pipeline and the backends").
+//!
+//! A single measurement on a loaded shared runner is noise, not signal,
+//! so each backend is measured as **best of `--repeats` timed runs**
+//! (default 3) after `--warmup` untimed quarter-count passes (default 1)
+//! that populate code, allocator and CPU caches. The speedup gate
+//! compares the two best times. Results go to a `BENCH_*.json` report
+//! (see `BENCHMARKS.md` for the format); the process exits non-zero if
+//! the bit-sliced path is not at least `--min-speedup` times faster,
 //! which is how CI keeps the speedup non-regressable.
 //!
 //! Usage: `bench_backends [--cycles N] [--train N] [--test N]
-//! [--samples N] [--min-speedup X] [--json PATH] [--threads N]`
+//! [--samples N] [--min-speedup X] [--repeats N] [--warmup N]
+//! [--json PATH] [--threads N]`
 
 use std::time::Instant;
 
@@ -30,6 +41,17 @@ struct Counts {
 impl Counts {
     fn extension_cycles(&self) -> usize {
         (self.cycles / 5).max(200)
+    }
+
+    /// Reduced counts for untimed warmup passes: a quarter of every axis,
+    /// floored so each pipeline still executes its real code path.
+    fn warmup_counts(&self) -> Counts {
+        Counts {
+            cycles: (self.cycles / 4).max(200),
+            train: (self.train / 4).max(100),
+            test: (self.test / 4).max(50),
+            samples: (self.samples / 4).max(2_000),
+        }
     }
 }
 
@@ -82,6 +104,39 @@ fn run_suite(
     (components, started.elapsed().as_secs_f64())
 }
 
+/// Warms a backend up, then times `repeats` full suite runs and keeps the
+/// fastest (its component breakdown, its total, and every run's total for
+/// the report). Best-of-N damps scheduler noise on loaded shared runners.
+fn best_suite_run(
+    config: &ExperimentConfig,
+    threads: usize,
+    counts: &Counts,
+    warmup: usize,
+    repeats: usize,
+) -> (Vec<(String, f64)>, f64, Vec<f64>) {
+    for i in 0..warmup {
+        eprintln!("  warmup {}/{warmup} (quarter counts)...", i + 1);
+        let _ = run_suite(config, threads, &counts.warmup_counts());
+    }
+    let mut best: Option<(Vec<(String, f64)>, f64)> = None;
+    let mut totals = Vec::with_capacity(repeats);
+    for i in 0..repeats {
+        let (parts, total) = run_suite(config, threads, counts);
+        eprintln!("  run {}/{repeats}: {total:.2}s", i + 1);
+        totals.push(total);
+        if best.as_ref().is_none_or(|(_, t)| total < *t) {
+            best = Some((parts, total));
+        }
+    }
+    let (parts, total) = best.expect("at least one timed run");
+    (parts, total, totals)
+}
+
+fn json_seconds_list(totals: &[f64]) -> String {
+    let items: Vec<String> = totals.iter().map(|t| format!("{t:.3}")).collect();
+    format!("[{}]", items.join(", "))
+}
+
 fn json_components(components: &[(String, f64)]) -> String {
     components
         .iter()
@@ -101,19 +156,22 @@ fn main() {
     let min_speedup: f64 = arg_value(&args, "min-speedup").unwrap_or(1.0);
     let json_path: Option<String> = arg_value(&args, "json");
     let threads = arg_value(&args, "threads").unwrap_or(1);
+    let repeats = arg_value::<usize>(&args, "repeats").unwrap_or(3).max(1);
+    let warmup = arg_value::<usize>(&args, "warmup").unwrap_or(1);
 
     let mut config = ExperimentConfig {
         backend: SimBackend::Scalar,
         ..ExperimentConfig::default()
     };
-    eprintln!("scalar backend: running the pipeline suite...");
-    let (scalar_parts, scalar_s) = run_suite(&config, threads, &counts);
-    eprintln!("scalar backend: {scalar_s:.2}s");
+    eprintln!("scalar backend: best of {repeats} suite runs ({warmup} warmup)...");
+    let (scalar_parts, scalar_s, scalar_runs) =
+        best_suite_run(&config, threads, &counts, warmup, repeats);
+    eprintln!("scalar backend: best {scalar_s:.2}s");
 
     config.backend = SimBackend::BitSliced;
-    eprintln!("bit-sliced backend: running the pipeline suite...");
-    let (bit_parts, bit_s) = run_suite(&config, threads, &counts);
-    eprintln!("bit-sliced backend: {bit_s:.2}s");
+    eprintln!("bit-sliced backend: best of {repeats} suite runs ({warmup} warmup)...");
+    let (bit_parts, bit_s, bit_runs) = best_suite_run(&config, threads, &counts, warmup, repeats);
+    eprintln!("bit-sliced backend: best {bit_s:.2}s");
 
     let speedup = scalar_s / bit_s.max(1e-9);
     let pass = speedup >= min_speedup;
@@ -121,8 +179,10 @@ fn main() {
         "{{\n  \"schema\": \"isa-bench/v1\",\n  \"bench\": \"all_figures\",\n  \
          \"threads\": {threads},\n  \"counts\": {{\n    \"cycles\": {},\n    \
          \"train\": {},\n    \"test\": {},\n    \"samples\": {},\n    \
-         \"extension_cycles\": {}\n  }},\n  \"scalar_seconds\": {scalar_s:.3},\n  \
-         \"bitsliced_seconds\": {bit_s:.3},\n  \"speedup\": {speedup:.2},\n  \
+         \"extension_cycles\": {}\n  }},\n  \"warmup\": {warmup},\n  \
+         \"repeats\": {repeats},\n  \"scalar_seconds\": {scalar_s:.3},\n  \
+         \"bitsliced_seconds\": {bit_s:.3},\n  \"scalar_runs_seconds\": {},\n  \
+         \"bitsliced_runs_seconds\": {},\n  \"speedup\": {speedup:.2},\n  \
          \"min_speedup\": {min_speedup},\n  \"pass\": {pass},\n  \
          \"scalar_components_seconds\": {{\n{}\n  }},\n  \
          \"bitsliced_components_seconds\": {{\n{}\n  }}\n}}\n",
@@ -131,6 +191,8 @@ fn main() {
         counts.test,
         counts.samples,
         counts.extension_cycles(),
+        json_seconds_list(&scalar_runs),
+        json_seconds_list(&bit_runs),
         json_components(&scalar_parts),
         json_components(&bit_parts),
     );

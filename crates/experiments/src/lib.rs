@@ -14,8 +14,11 @@
 //!
 //! Beyond the paper, [`energy`] reproduces the energy-efficiency
 //! comparison style of the paper's reference \[17\] from simulated switching
-//! activity, and [`guardband`] quantifies the paper's positioning against
-//! Razor-style detect-and-recover schemes (reference \[10\]).
+//! activity, [`guardband`] quantifies the paper's positioning against
+//! Razor-style detect-and-recover schemes (reference \[10\]), and
+//! [`apps_quality`] scores real application kernels (FIR, 2-D convolution,
+//! dot product, histogram) in PSNR/SNR dB across the clock sweep — the
+//! units the paper's RMS-RE argument appeals to.
 //!
 //! Each module exposes a `run(...)` entry point (fresh engine) plus a
 //! `run_on(&Engine, ...)` variant for sharing one engine — and hence one
@@ -33,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod apps_quality;
 pub mod design_table;
 pub mod energy;
 pub mod fig10;

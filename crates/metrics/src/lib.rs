@@ -9,16 +9,21 @@
 //! * [`floor`] — the paper's 10⁻⁶ display floor for error-free points on
 //!   logarithmic axes;
 //! * [`snr_db`] — signal-to-noise helper relating RMS relative error to SNR
-//!   (the paper's motivation for using RMS RE).
+//!   (the paper's motivation for using RMS RE);
+//! * [`quality`](mod@quality) — application-level quality
+//!   ([`QualityStats`]: MSE, SNR/PSNR in dB, max absolute error) for
+//!   kernels executed through inexact overclocked adders.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod abper;
 pub mod avpe;
+pub mod quality;
 
 pub use abper::{abper, AbperAccumulator};
 pub use avpe::{avpe, AvpeAccumulator};
+pub use quality::QualityStats;
 
 /// The paper's display floor: zero-valued metrics are plotted as 10⁻⁶
 /// ("We use 10⁻⁶ as ABPER in this case").

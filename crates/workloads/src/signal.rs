@@ -26,7 +26,8 @@ pub struct SineWorkload {
 
 impl SineWorkload {
     /// Creates a sine workload: two tones at `freq_a`/`freq_b` cycles per
-    /// sample with relative noise `noise` (fraction of full scale).
+    /// sample with relative noise `noise` (fraction of full scale), driven
+    /// well inside full scale (amplitude 0.24, offset 0.25).
     ///
     /// # Panics
     ///
@@ -34,19 +35,51 @@ impl SineWorkload {
     /// `[0, 1)`.
     #[must_use]
     pub fn new(width: u32, freq_a: f64, freq_b: f64, noise: f64, seed: u64) -> Self {
-        assert!((2..=63).contains(&width), "width must be in 2..=63");
         assert!((0.0..1.0).contains(&noise), "noise must be in [0, 1)");
+        Self::with_drive(width, freq_a, freq_b, 0.24, 0.25, noise * 0.25, seed)
+    }
+
+    /// Creates a sine workload with explicit drive levels: `amplitude`,
+    /// `offset` and `noise` are fractions of full scale and *may* push
+    /// samples past it — overdriven samples clip (saturate) at full scale
+    /// and negative excursions clamp at zero, like a real sampling chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not in `2..=63` or any drive level is negative
+    /// or non-finite.
+    #[must_use]
+    pub fn with_drive(
+        width: u32,
+        freq_a: f64,
+        freq_b: f64,
+        amplitude: f64,
+        offset: f64,
+        noise: f64,
+        seed: u64,
+    ) -> Self {
+        assert!((2..=63).contains(&width), "width must be in 2..=63");
+        for (name, level) in [
+            ("amplitude", amplitude),
+            ("offset", offset),
+            ("noise", noise),
+        ] {
+            assert!(
+                level.is_finite() && level >= 0.0,
+                "{name} must be a non-negative finite fraction of full scale"
+            );
+        }
         let full = (1u64 << width) as f64;
         Self {
             rng: StdRng::seed_from_u64(seed),
             width,
-            amplitude: full * 0.24,
-            offset: full * 0.25,
+            amplitude: full * amplitude,
+            offset: full * offset,
             phase_a: 0.0,
             phase_b: 0.0,
             step_a: std::f64::consts::TAU * freq_a,
             step_b: std::f64::consts::TAU * freq_b,
-            noise: noise * full * 0.25,
+            noise: noise * full,
         }
     }
 
@@ -58,7 +91,10 @@ impl SineWorkload {
         };
         let v = self.offset + self.amplitude * phase.sin() + noise;
         let mask = (1u64 << self.width) - 1;
-        (v.max(0.0) as u64) & mask
+        // The `as` cast saturates at u64::MAX, but masking that would
+        // *wrap* an overdriven sample down to a small code; clamp to full
+        // scale instead so out-of-range samples clip like a real ADC.
+        (v.max(0.0) as u64).min(mask)
     }
 }
 
@@ -166,6 +202,34 @@ mod tests {
             .take(50)
             .collect();
         assert_eq!(a, b, "noise-free streams ignore the seed");
+    }
+
+    #[test]
+    fn overdriven_sine_clips_instead_of_wrapping() {
+        // amplitude 1.2 + offset 0.5 swings to 1.7x full scale and -0.7x:
+        // peaks must saturate at the all-ones code (the old masking wrapped
+        // them to small values) and troughs clamp at zero.
+        let w = SineWorkload::with_drive(16, 0.01, 0.0123, 1.2, 0.5, 0.0, 1);
+        let mask = (1u64 << 16) - 1;
+        let samples: Vec<_> = w.take(400).collect();
+        assert!(samples.iter().all(|&(a, b)| a <= mask && b <= mask));
+        assert!(
+            samples.iter().any(|&(a, _)| a == mask),
+            "peaks must clip at full scale"
+        );
+        assert!(
+            samples.iter().any(|&(a, _)| a == 0),
+            "troughs must clamp at zero"
+        );
+        // Clipped peaks are *plateaus*: at these tone frequencies adjacent
+        // samples move by well under mask/10, so the sample after a clipped
+        // one must still be near the top — wrapping would leave it tiny.
+        for w in samples.windows(2) {
+            let (prev, cur) = (w[0].0, w[1].0);
+            if prev == mask {
+                assert!(cur > mask / 2, "wrap artefact after a peak: {cur}");
+            }
+        }
     }
 
     #[test]

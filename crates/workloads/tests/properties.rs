@@ -28,6 +28,36 @@ proptest! {
         }
     }
 
+    /// Extreme drive levels — overdriven amplitude/offset, heavy noise —
+    /// always saturate at full scale instead of wrapping (regression for
+    /// the masking bug that folded clipped samples down to small codes),
+    /// and a guaranteed-overdriven stream really reaches the clip rail.
+    #[test]
+    fn sine_extreme_drive_saturates_never_wraps(
+        width in 2u32..34,
+        amplitude in 0.0f64..4.0,
+        offset in 0.0f64..2.0,
+        noise in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let mask = (1u64 << width) - 1;
+        let stream =
+            SineWorkload::with_drive(width, 0.013, 0.029, amplitude, offset, noise, seed);
+        let samples = take_pairs(stream, 300);
+        for &(a, b) in &samples {
+            prop_assert!(a <= mask && b <= mask, "({a}, {b}) out of range");
+        }
+        // 300 samples cover several tone periods, so the peak comes within
+        // 5% of `offset + amplitude`; when even a maximally unlucky noise
+        // draw keeps that above full scale, the rail must be hit exactly.
+        if offset + 0.95 * amplitude - noise > 1.05 {
+            prop_assert!(
+                samples.iter().any(|&(a, _)| a == mask),
+                "overdriven peak must clip at {mask}"
+            );
+        }
+    }
+
     /// Generators are pure functions of their seed.
     #[test]
     fn workloads_are_deterministic(width in 2u32..33, seed in any::<u64>()) {

@@ -16,7 +16,9 @@ OUTDIR="${OUTDIR:-$(mktemp -d)}"
 mkdir -p "$OUTDIR"
 
 echo "==> building release binaries"
-cargo build --release -q
+# -p isa-experiments: the experiment binaries live there, and a plain
+# root-package build does not produce dependency crates' binaries.
+cargo build --release -q -p isa-experiments
 
 run() {
   local name="$1"
@@ -32,6 +34,7 @@ run fig10 ./target/release/fig10 --cycles 600
 run energy ./target/release/energy_table --cycles 300
 run guardband ./target/release/guardband --cycles 400
 run workloads ./target/release/workloads --cycles 400
+run apps ./target/release/apps --scale 1
 
 if [[ "${1:-}" == "--update" ]]; then
   mkdir -p "$GOLDEN_DIR"

@@ -44,7 +44,7 @@ else
 fi
 rm -f "$bench_log"
 
-echo "==> backend speedup gate (bench_backends, reduced counts)"
+echo "==> backend speedup gate (bench_backends, reduced counts, warmup + best-of-3)"
 cargo run --release -q -p isa-experiments --bin bench_backends -- \
   --cycles 2000 --train 600 --test 300 --samples 20000 --min-speedup 1.0 >/dev/null
 

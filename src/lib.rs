@@ -15,8 +15,13 @@
 //!   simulation (the ModelSim substitute);
 //! * [`learn`] — decision trees / random forests and the
 //!   per-bit timing-error predictor (the scikit-learn substitute);
-//! * [`metrics`] — ABPER, AVPE, display floor, SNR;
+//! * [`metrics`] — ABPER, AVPE, display floor, SNR, and
+//!   application quality ([`QualityStats`](metrics::QualityStats):
+//!   PSNR/SNR in dB);
 //! * [`workloads`] — input-vector generators;
+//! * [`apps`] — application kernels (FIR, 2-D convolution, dot
+//!   product, histogram) lowered to adder-operation streams and scored by
+//!   PSNR/SNR against their exact reference;
 //! * [`engine`] — the unified execution layer:
 //!   [`ExperimentPlan`](engine::ExperimentPlan) +
 //!   [`Engine`](engine::Engine) with memoized synthesis artifacts and
@@ -61,6 +66,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use isa_apps as apps;
 pub use isa_core as core;
 pub use isa_engine as engine;
 pub use isa_experiments as experiments;

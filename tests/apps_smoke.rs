@@ -1,0 +1,45 @@
+//! End-to-end smoke test of the application-quality pipeline at reduced
+//! scale: the apps sweep must cover every (kernel, design, clock) point,
+//! export well-formed CSV, and show quality degrading once the clock
+//! tightens past the safe point.
+
+use overclocked_isa::core::{Design, IsaConfig};
+use overclocked_isa::engine::Engine;
+use overclocked_isa::experiments::{apps_quality, ExperimentConfig};
+
+#[test]
+fn apps_sweep_covers_the_matrix_and_degrades_past_safe() {
+    let config = ExperimentConfig {
+        variation_sigma: 0.0,
+        ..ExperimentConfig::default()
+    };
+    let designs = [
+        Design::Isa(IsaConfig::new(32, 8, 0, 0, 4).unwrap()),
+        Design::Exact { width: 32 },
+    ];
+    let cprs = [0.0, 0.15];
+    let report = apps_quality::run_on(&Engine::new(), &config, &designs, &cprs, 1);
+
+    // Full matrix: 2 designs x 2 clocks x 5 kernels, one CSV row each.
+    assert_eq!(report.points.len(), 2 * 2 * 5);
+    let csv = report.to_csv();
+    assert_eq!(csv.lines().count(), 1 + report.points.len());
+    assert!(csv.starts_with("kernel,design,cpr,"));
+
+    for p in &report.points {
+        // PSNR can only degrade when timing errors join structural ones.
+        assert!(
+            p.psnr_db <= p.structural_psnr_db,
+            "{}: joint > ceiling",
+            p.kernel
+        );
+        assert!(p.adds > 0 && p.outputs > 0);
+    }
+    // The exact adder: perfect at the safe clock, measurably degraded at
+    // 15% overclock on at least the wide-operand kernels.
+    let safe = report.point("fir", "exact", 0.0).unwrap();
+    let tight = report.point("fir", "exact", 0.15).unwrap();
+    assert_eq!(safe.max_abs_error, 0);
+    assert_eq!(safe.psnr_db, f64::INFINITY);
+    assert!(tight.psnr_db.is_finite() && tight.psnr_db < 200.0);
+}
