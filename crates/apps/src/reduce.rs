@@ -18,8 +18,12 @@ use crate::BatchAdder;
 /// passes is `ceil(log2(max group len))`.
 #[must_use]
 pub fn tree_reduce(mut groups: Vec<Vec<u64>>, adds: &mut BatchAdder<'_>) -> Vec<u64> {
+    // One operand buffer reused across passes; group levels shrink in
+    // place (write the pair sums over the front, carry the odd tail, then
+    // truncate) — no per-level allocations on an image-sized reduction.
+    let mut ops: Vec<(u64, u64)> = Vec::new();
     loop {
-        let mut ops = Vec::new();
+        ops.clear();
         for group in &groups {
             for pair in group.chunks_exact(2) {
                 ops.push((pair[0], pair[1]));
@@ -32,12 +36,13 @@ pub fn tree_reduce(mut groups: Vec<Vec<u64>>, adds: &mut BatchAdder<'_>) -> Vec<
         let mut cursor = 0;
         for group in &mut groups {
             let pairs = group.len() / 2;
-            let mut next = sums[cursor..cursor + pairs].to_vec();
-            cursor += pairs;
-            if group.len() % 2 == 1 {
-                next.push(*group.last().expect("odd group is non-empty"));
+            let odd = group.len() % 2 == 1;
+            if odd {
+                group[pairs] = *group.last().expect("odd group is non-empty");
             }
-            *group = next;
+            group[..pairs].copy_from_slice(&sums[cursor..cursor + pairs]);
+            cursor += pairs;
+            group.truncate(pairs + usize::from(odd));
         }
     }
     groups

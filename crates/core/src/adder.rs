@@ -53,6 +53,18 @@ pub trait Adder: Debug + Send + Sync {
 
     /// Human-readable design label (e.g. `"exact"` or `"(8,0,1,4)"`).
     fn label(&self) -> String;
+
+    /// Adds a whole stream of operand pairs, one result per pair in order.
+    ///
+    /// Bit-for-bit equal to mapping [`add`](Adder::add) over `pairs`; the
+    /// default does exactly that. Models with a bit-sliced (64-lane)
+    /// word-level evaluation override this to advance 64 independent
+    /// additions per operation — [`SpeculativeAdder`](crate::isa) does, so
+    /// behavioural Monte-Carlo inner loops batch the same way the
+    /// gate-level backends do.
+    fn add_batch(&self, pairs: &[(u64, u64)]) -> Vec<u64> {
+        pairs.iter().map(|&(a, b)| self.add(a, b)).collect()
+    }
 }
 
 /// The exact (conventional) adder: the paper's `ydiamond` reference.

@@ -64,27 +64,14 @@ impl LaneBatch {
     /// is zero or exceeds [`MAX_WIDTH`].
     #[must_use]
     pub fn pack(width: u32, pairs: &[(u64, u64)]) -> Self {
-        assert!(
-            (1..=MAX_WIDTH).contains(&width),
-            "batch width must be in 1..={MAX_WIDTH}, got {width}"
-        );
-        assert!(
-            !pairs.is_empty() && pairs.len() <= LANES,
-            "a batch holds 1..={LANES} pairs, got {}",
-            pairs.len()
-        );
+        let mut a_planes = Vec::new();
+        let mut b_planes = Vec::new();
+        // Validates width and pair count; the one masking implementation.
+        pack_planes_into(width, pairs, &mut a_planes, &mut b_planes);
         let value_mask = (1u64 << width) - 1;
         let mut lanes = [(0u64, 0u64); LANES];
         for (lane, &(a, b)) in lanes.iter_mut().zip(pairs) {
             *lane = (a & value_mask, b & value_mask);
-        }
-        let mut a_planes = vec![0u64; width as usize];
-        let mut b_planes = vec![0u64; width as usize];
-        for (l, &(a, b)) in lanes.iter().enumerate().take(pairs.len()) {
-            for w in 0..width as usize {
-                a_planes[w] |= ((a >> w) & 1) << l;
-                b_planes[w] |= ((b >> w) & 1) << l;
-            }
         }
         Self {
             width,
@@ -153,21 +140,149 @@ impl LaneBatch {
     pub fn unpack_lanes(planes: &[u64], lanes: usize) -> Vec<u64> {
         assert!(lanes <= LANES, "at most {LANES} lanes per batch");
         assert!(planes.len() <= 64, "at most 64 planes fit a u64 value");
-        let mut out = vec![0u64; lanes];
-        for (w, &plane) in planes.iter().enumerate() {
-            let mut remaining = if lanes == LANES {
-                plane
-            } else {
-                plane & ((1u64 << lanes) - 1)
-            };
-            while remaining != 0 {
-                let l = remaining.trailing_zeros() as usize;
-                out[l] |= 1u64 << w;
-                remaining &= remaining - 1;
-            }
-        }
-        out
+        let mut padded = [0u64; LANES];
+        padded[..planes.len()].copy_from_slice(planes);
+        lanes_to_planes(&padded)[..lanes].to_vec()
     }
+}
+
+/// In-place 64x64 bit-matrix transpose (Hacker's Delight, fig. 7-3):
+/// swaps progressively smaller off-diagonal blocks, `O(64 log 64)` word
+/// operations instead of the 4096 bit probes of a naive transpose.
+fn transpose64_inplace(a: &mut [u64; 64]) {
+    let mut j = 32usize;
+    let mut m = 0x0000_0000_FFFF_FFFFu64;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            let t = (a[k] ^ (a[k + j] >> j)) & m;
+            a[k] ^= t;
+            a[k + j] ^= t << j;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
+/// Transposes lane values to bit planes (`out[w]` bit `l` = `values[l]`
+/// bit `w`) — an involution, so it also transposes planes back to lane
+/// values. The block transpose works on the anti-diagonal convention,
+/// hence the index reversals on the way in and out.
+fn lanes_to_planes(values: &[u64; LANES]) -> [u64; LANES] {
+    let mut m = [0u64; LANES];
+    for (i, &v) in values.iter().enumerate() {
+        m[63 - i] = v;
+    }
+    transpose64_inplace(&mut m);
+    m.reverse();
+    m
+}
+
+/// Transposes up to [`LANES`] operand pairs into bit planes held in
+/// caller-provided slices of exactly `width` words each. Operands are
+/// masked to `width` bits; unused lanes hold zeros. This is
+/// [`LaneBatch::pack`] without the per-call `Vec` allocations — the
+/// hot-loop form for batched substrates and simulators that pack one
+/// batch per stream step.
+///
+/// # Panics
+///
+/// Panics if `pairs` is empty or longer than [`LANES`], if `width` is
+/// zero or exceeds [`MAX_WIDTH`], or if an output slice is not `width`
+/// words long.
+pub fn pack_planes_into_slices(
+    width: u32,
+    pairs: &[(u64, u64)],
+    a_planes: &mut [u64],
+    b_planes: &mut [u64],
+) {
+    assert!(
+        (1..=MAX_WIDTH).contains(&width),
+        "batch width must be in 1..={MAX_WIDTH}, got {width}"
+    );
+    assert!(
+        !pairs.is_empty() && pairs.len() <= LANES,
+        "a batch holds 1..={LANES} pairs, got {}",
+        pairs.len()
+    );
+    let w = width as usize;
+    assert_eq!(a_planes.len(), w, "a-plane buffer must hold {w} words");
+    assert_eq!(b_planes.len(), w, "b-plane buffer must hold {w} words");
+    let value_mask = (1u64 << width) - 1;
+    let mut a_vals = [0u64; LANES];
+    let mut b_vals = [0u64; LANES];
+    for (l, &(a, b)) in pairs.iter().enumerate() {
+        a_vals[l] = a & value_mask;
+        b_vals[l] = b & value_mask;
+    }
+    a_planes.copy_from_slice(&lanes_to_planes(&a_vals)[..w]);
+    b_planes.copy_from_slice(&lanes_to_planes(&b_vals)[..w]);
+}
+
+/// [`pack_planes_into_slices`] with reusable `Vec` buffers (cleared and
+/// resized to `width` on every call, keeping their allocations).
+///
+/// # Panics
+///
+/// Panics like [`pack_planes_into_slices`].
+pub fn pack_planes_into(
+    width: u32,
+    pairs: &[(u64, u64)],
+    a_planes: &mut Vec<u64>,
+    b_planes: &mut Vec<u64>,
+) {
+    a_planes.clear();
+    b_planes.clear();
+    a_planes.resize(width as usize, 0);
+    b_planes.resize(width as usize, 0);
+    pack_planes_into_slices(width, pairs, a_planes, b_planes);
+}
+
+/// Mask of lanes whose plane column contains a run of at least `k`
+/// consecutive set bits: bit `l` of the result is set iff, reading bit `l`
+/// of `planes[0..]` as lane `l`'s bit-vector (LSB plane first), some
+/// window of `k` adjacent positions is all ones.
+///
+/// This is the plane-transposed run-length detector behind the
+/// operand-adaptive timing classifier: with `planes` holding the per-bit
+/// carry-propagate signals `p[i] = a[i] ^ b[i]`, the result flags every
+/// lane whose operands sensitize a carry chain of `k` or more stages —
+/// for all 64 lanes at once, in `O(width · log k)` word operations
+/// (sliding-window AND by doubling).
+///
+/// `k == 0` matches every lane; `k > planes.len()` matches none.
+///
+/// Allocation-free (stack scratch): classification passes call this once
+/// per analysis region per countdown level per stream step.
+///
+/// # Panics
+///
+/// Panics if more than 64 planes are given (bit-vectors fit a `u64`
+/// position axis, like [`LaneBatch::unpack_lanes`]).
+#[must_use]
+pub fn lanes_with_run_at_least(planes: &[u64], k: usize) -> u64 {
+    assert!(planes.len() <= 64, "at most 64 planes per column");
+    if k == 0 {
+        return u64::MAX;
+    }
+    if k > planes.len() {
+        return 0;
+    }
+    // windows[i] = AND of planes[i..i + m); grow m by doubling until m == k.
+    let mut windows = [0u64; 64];
+    windows[..planes.len()].copy_from_slice(planes);
+    let mut len = planes.len();
+    let mut m = 1usize;
+    while m < k {
+        let step = m.min(k - m);
+        len -= step;
+        for i in 0..len {
+            windows[i] &= windows[i + step];
+        }
+        m += step;
+    }
+    windows[..len].iter().fold(0u64, |acc, &w| acc | w)
 }
 
 #[cfg(test)]
@@ -219,6 +334,70 @@ mod tests {
         for n in [1usize, 63, 64, 65, 1000, 4097] {
             assert!(segment_len(n) * LANES >= n, "n={n}");
         }
+    }
+
+    /// Scalar reference: longest run of set bits in the low `n` bits.
+    fn longest_run(value: u64, n: usize) -> usize {
+        let mut best = 0;
+        let mut cur = 0;
+        for i in 0..n {
+            if (value >> i) & 1 == 1 {
+                cur += 1;
+                best = best.max(cur);
+            } else {
+                cur = 0;
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn run_detector_matches_scalar_reference() {
+        // 64 lanes of pseudo-random 20-bit columns, every window size.
+        let n = 20usize;
+        let mut planes = vec![0u64; n];
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        for plane in &mut planes {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *plane = x;
+        }
+        // Transpose back per lane for the reference.
+        let lanes = LaneBatch::unpack_lanes(&planes, LANES);
+        for k in 0..=n + 1 {
+            let mask = lanes_with_run_at_least(&planes, k);
+            for (l, &v) in lanes.iter().enumerate() {
+                assert_eq!(
+                    mask >> l & 1 == 1,
+                    longest_run(v, n) >= k,
+                    "lane {l} k {k} value {v:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_detector_edges() {
+        assert_eq!(lanes_with_run_at_least(&[], 0), u64::MAX);
+        assert_eq!(lanes_with_run_at_least(&[], 1), 0);
+        assert_eq!(lanes_with_run_at_least(&[0b101], 1), 0b101);
+        assert_eq!(lanes_with_run_at_least(&[0b101], 2), 0);
+    }
+
+    #[test]
+    fn pack_planes_into_reuses_buffers_and_matches_pack() {
+        let pairs: Vec<(u64, u64)> = (0..10u64).map(|i| (i * 31, i * 77)).collect();
+        let batch = LaneBatch::pack(12, &pairs);
+        let mut a = vec![0xFFu64; 40]; // stale content must be cleared
+        let mut b = Vec::new();
+        pack_planes_into(12, &pairs, &mut a, &mut b);
+        assert_eq!(a, batch.a_planes());
+        assert_eq!(b, batch.b_planes());
+        // Second call with different width reshapes in place.
+        pack_planes_into(4, &[(0xF, 0x3)], &mut a, &mut b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[0], 1);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! deterministic structural errors and no timing errors.
 
 use crate::adder::{mask, Adder};
+use crate::batch::{pack_planes_into, LaneBatch, LANES};
 use crate::config::{IsaConfig, SpecGuess};
 
 /// Compensation outcome for one speculative path (Fig. 2's arithmetic).
@@ -249,6 +250,133 @@ impl SpeculativeAdder {
     }
 }
 
+impl SpeculativeAdder {
+    /// Evaluates 64 independent ISA additions at once on bit planes: bit
+    /// `l` of `a_planes[i]` / `b_planes[i]` is lane `l`'s operand bit `i`,
+    /// and bit `l` of result plane `i` is lane `l`'s sum bit `i` (`width +
+    /// 1` planes, carry-out last). Lane `l` of the result is bit-for-bit
+    /// [`Adder::add`] of lane `l`'s operands — the word-level
+    /// (SIMD-within-a-register) form of the behavioural model, mirroring
+    /// the gate-level backend's plane evaluation: SPEC carry look-ahead,
+    /// sub-ADD ripple, and COMP correction/reduction all become bitwise
+    /// recurrences over planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane counts differ from the operand width.
+    #[must_use]
+    pub fn add_planes(&self, a_planes: &[u64], b_planes: &[u64]) -> Vec<u64> {
+        let cfg = &self.config;
+        let n = cfg.width() as usize;
+        assert_eq!(a_planes.len(), n, "expected {n} a-planes");
+        assert_eq!(b_planes.len(), n, "expected {n} b-planes");
+        let bsz = cfg.block_size() as usize;
+        let paths = cfg.num_paths() as usize;
+        let s = cfg.spec_size() as usize;
+        let c = cfg.correction() as usize;
+        let r = cfg.reduction() as usize;
+
+        let g: Vec<u64> = a_planes
+            .iter()
+            .zip(b_planes)
+            .map(|(&x, &y)| x & y)
+            .collect();
+        let p: Vec<u64> = a_planes
+            .iter()
+            .zip(b_planes)
+            .map(|(&x, &y)| x ^ y)
+            .collect();
+
+        // Phase 1: SPEC + ADD per path (plane ripple per block; the carry
+        // recurrence c' = g | (p & c) is the plane form of MAJ3).
+        let mut sum = vec![0u64; n + 1];
+        let mut spec_in = vec![0u64; paths];
+        let mut cout = vec![0u64; paths];
+        for k in 0..paths {
+            let lo = k * bsz;
+            let cin = if k == 0 {
+                0
+            } else if s == 0 {
+                match cfg.guess() {
+                    SpecGuess::Zero => 0,
+                    SpecGuess::One => u64::MAX,
+                }
+            } else {
+                let mut generate = 0u64;
+                let mut propagate = u64::MAX;
+                for i in lo - s..lo {
+                    generate = g[i] | (p[i] & generate);
+                    propagate &= p[i];
+                }
+                match cfg.guess() {
+                    SpecGuess::Zero => generate,
+                    SpecGuess::One => generate | propagate,
+                }
+            };
+            spec_in[k] = cin;
+            let mut carry = cin;
+            for i in lo..lo + bsz {
+                sum[i] = p[i] ^ carry;
+                carry = g[i] | (p[i] & carry);
+            }
+            cout[k] = carry;
+        }
+
+        // Phase 2: COMP fault detection + C-bit LSB correction per
+        // boundary (each boundary k touches only block k's low bits, so
+        // boundaries are independent).
+        let mut red_pos = vec![0u64; paths];
+        let mut red_neg = vec![0u64; paths];
+        for k in 1..paths {
+            let prev_cout = cout[k - 1];
+            let spec = spec_in[k];
+            let needed_pos = prev_cout & !spec; // missed carry: +1
+            let needed_neg = spec & !prev_cout; // spurious carry: -1
+            let (rem_pos, rem_neg) = if c > 0 {
+                let lo = k * bsz;
+                let group_and = sum[lo..lo + c].iter().fold(u64::MAX, |acc, &x| acc & x);
+                let group_or = sum[lo..lo + c].iter().fold(0u64, |acc, &x| acc | x);
+                // Increment absorbs iff the group is not all ones,
+                // decrement iff not all zeros (Fig. 2's internal-overflow
+                // rule).
+                let corr_pos = needed_pos & !group_and;
+                let corr_neg = needed_neg & group_or;
+                let mut inc = corr_pos;
+                let mut dec = corr_neg;
+                for slot in sum.iter_mut().skip(lo).take(c) {
+                    let bit = *slot;
+                    *slot = bit ^ (inc | dec);
+                    inc &= bit;
+                    dec &= !bit;
+                }
+                debug_assert_eq!(inc, 0, "correction stays inside the group");
+                debug_assert_eq!(dec, 0, "correction stays inside the group");
+                (needed_pos & !corr_pos, needed_neg & !corr_neg)
+            } else {
+                (needed_pos, needed_neg)
+            };
+            if r > 0 {
+                red_pos[k] = rem_pos;
+                red_neg[k] = rem_neg;
+            }
+        }
+
+        // Phase 3: reduction forced by boundary k onto the R MSBs of the
+        // *preceding* block's (already corrected) sum.
+        if r > 0 {
+            for k in 1..paths {
+                let lo = (k - 1) * bsz;
+                for slot in sum.iter_mut().skip(lo + bsz - r).take(r) {
+                    *slot = (*slot | red_pos[k]) & !red_neg[k];
+                }
+            }
+        }
+
+        sum[n] = cout[paths - 1];
+        sum
+    }
+}
+
 impl Adder for SpeculativeAdder {
     fn width(&self) -> u32 {
         self.config.width()
@@ -260,6 +388,22 @@ impl Adder for SpeculativeAdder {
 
     fn label(&self) -> String {
         self.config.to_string()
+    }
+
+    /// Bit-sliced stream evaluation: 64 additions per plane pass through
+    /// [`SpeculativeAdder::add_planes`], with plane buffers reused across
+    /// chunks.
+    fn add_batch(&self, pairs: &[(u64, u64)]) -> Vec<u64> {
+        let width = self.config.width();
+        let mut out = Vec::with_capacity(pairs.len());
+        let mut a_planes = Vec::new();
+        let mut b_planes = Vec::new();
+        for chunk in pairs.chunks(LANES) {
+            pack_planes_into(width, chunk, &mut a_planes, &mut b_planes);
+            let planes = self.add_planes(&a_planes, &b_planes);
+            out.extend(LaneBatch::unpack_lanes(&planes, chunk.len()));
+        }
+        out
     }
 }
 
@@ -512,6 +656,65 @@ mod tests {
     #[test]
     fn label_is_quadruple() {
         assert_eq!(isa(32, 16, 7, 0, 8).label(), "(16,7,0,8)");
+    }
+
+    #[test]
+    fn add_planes_exhaustive_8bit_both_guesses() {
+        // Every (block, spec, corr, red) shape class over all 65536 operand
+        // pairs: plane evaluation must be bit-for-bit the scalar model.
+        let shapes = [(4, 0, 0, 0), (4, 2, 1, 2), (4, 4, 0, 2), (2, 1, 1, 1)];
+        let pairs: Vec<(u64, u64)> = (0..1u64 << 16).map(|v| (v & 0xFF, v >> 8)).collect();
+        for &(b, s, c, r) in &shapes {
+            for guess in [SpecGuess::Zero, SpecGuess::One] {
+                let cfg = IsaConfig::with_guess(8, b, s, c, r, guess).unwrap();
+                let adder = SpeculativeAdder::new(cfg);
+                let batched = adder.add_batch(&pairs);
+                for (&(a, x), &got) in pairs.iter().zip(&batched) {
+                    assert_eq!(
+                        got,
+                        adder.add(a, x),
+                        "({b},{s},{c},{r}) guess {guess:?} a={a:#x} b={x:#x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_batch_matches_scalar_for_paper_designs() {
+        let mut seed = 0xDA7E_2017u64;
+        let mut pairs = Vec::with_capacity(500);
+        for _ in 0..500 {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            pairs.push((seed & 0xFFFF_FFFF, seed >> 32));
+        }
+        // Directed carry-chain corners on top of the random sweep.
+        pairs.extend([
+            (0, 0),
+            (u64::MAX, 1),
+            (0xFFFF_FFFF, 0xFFFF_FFFF),
+            (0x7FFF_FFFF, 1),
+            (0x5555_5555, 0xAAAA_AAAA),
+        ]);
+        for cfg in crate::designs::paper_isa_configs() {
+            let adder = SpeculativeAdder::new(cfg);
+            let batched = adder.add_batch(&pairs);
+            for (&(a, b), &got) in pairs.iter().zip(&batched) {
+                assert_eq!(got, adder.add(a, b), "{cfg} a={a:#x} b={b:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_batch_handles_ragged_tail_and_empty() {
+        let adder = isa(32, 8, 2, 1, 4);
+        assert!(adder.add_batch(&[]).is_empty());
+        let pairs: Vec<(u64, u64)> = (0..67u64).map(|i| (i * 0xFFFF, i)).collect();
+        let batched = adder.add_batch(&pairs);
+        assert_eq!(batched.len(), 67);
+        assert_eq!(batched[66], adder.add(66 * 0xFFFF, 66));
     }
 
     #[test]

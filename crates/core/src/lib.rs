@@ -54,7 +54,10 @@ pub mod substrate;
 
 pub use adder::{Adder, ExactAdder, MAX_WIDTH};
 pub use analysis::{BoundaryStats, DesignAnalysis};
-pub use batch::{segment_len, LaneBatch, LANES};
+pub use batch::{
+    lanes_with_run_at_least, pack_planes_into, pack_planes_into_slices, segment_len, LaneBatch,
+    LANES,
+};
 pub use bitdist::BitErrorDistribution;
 pub use combine::{combine_errors, CombinedErrorStats, SilverSource};
 pub use config::{ConfigError, IsaConfig, ParseQuadrupleError, SpecGuess};

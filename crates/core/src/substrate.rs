@@ -137,6 +137,16 @@ impl Substrate for BehaviouralSubstrate {
     fn is_stateless(&self) -> bool {
         true
     }
+
+    /// Bit-sliced behavioural evaluation: the silver stream is the golden
+    /// model itself, and the golden ISA model has a 64-lane plane
+    /// evaluation ([`Adder::add_batch`]) — so behavioural Monte-Carlo
+    /// sweeps (the design-characterization table) batch exactly like the
+    /// gate-level backends instead of paying one `add_traced` allocation
+    /// per cycle.
+    fn run_batch(&self, design: &Design, _clock_ps: f64, inputs: &[(u64, u64)]) -> Vec<u64> {
+        design.behavioural().add_batch(inputs)
+    }
 }
 
 #[cfg(test)]

@@ -11,16 +11,19 @@
 //! constrained at 0.3 ns") and recovered to the slack wall like any
 //! commercial flow would.
 
+use std::sync::OnceLock;
+
 use isa_core::{paper_designs, Adder, Design};
 use isa_netlist::cell::CellLibrary;
+use isa_netlist::classify::LaneClassifier;
 use isa_netlist::synth::{synthesize_exact, synthesize_isa, SynthesisOptions, Synthesized};
 use isa_netlist::timing::{DelayAnnotation, VariationModel};
 use isa_timing_sim::{run_adder_trace, CycleRecord};
 
 /// Which gate-level evaluation engine the experiments run on.
 ///
-/// Both backends simulate the same delay-annotated netlists with the same
-/// event semantics; they differ in how a run's input stream is dealt out:
+/// All backends simulate the same delay-annotated netlists with the same
+/// event semantics; they differ in how a run's input stream is evaluated:
 ///
 /// * [`Scalar`](SimBackend::Scalar) feeds one event-driven
 ///   [`ClockedCore`](isa_timing_sim::ClockedCore) cycle by cycle — the
@@ -31,14 +34,25 @@ use isa_timing_sim::{run_adder_trace, CycleRecord};
 ///   per gate pass. Each lane is bit-for-bit a scalar run of its segment
 ///   (property-tested), so aggregate statistics are Monte-Carlo-equivalent;
 ///   individual runs differ from scalar runs only in which cycle precedes
-///   which (the at-most-63 segment seams restart from reset).
+///   which (the at-most-63 segment seams restart from reset);
+/// * [`Filtered`](SimBackend::Filtered) (the default) deals lanes exactly
+///   like the bit-sliced backend, but first proves — per lane per cycle,
+///   with word operations over the operands' carry-propagate structure
+///   ([`isa_netlist::classify`]) — which lanes cannot violate timing;
+///   those take one functional plane evaluation, and only the unsafe
+///   minority is compacted into dense batches of event simulation.
+///   Results are **bit-identical** to the bit-sliced backend on every
+///   stream (conservatism and parity are test-enforced), so the paper's
+///   numbers do not depend on the choice; only the speed does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SimBackend {
     /// One cycle per event-queue pass (the seed path).
     Scalar,
-    /// 64 lanes per event-queue pass (the fast path, default).
-    #[default]
+    /// 64 lanes per event-queue pass.
     BitSliced,
+    /// Bit-sliced with the operand-adaptive timing fast path (default).
+    #[default]
+    Filtered,
 }
 
 impl SimBackend {
@@ -48,6 +62,7 @@ impl SimBackend {
         match value {
             "scalar" => Some(Self::Scalar),
             "bitsliced" | "bit-sliced" | "batched" => Some(Self::BitSliced),
+            "filtered" => Some(Self::Filtered),
             _ => None,
         }
     }
@@ -58,6 +73,7 @@ impl SimBackend {
         match self {
             Self::Scalar => "scalar",
             Self::BitSliced => "bitsliced",
+            Self::Filtered => "filtered",
         }
     }
 }
@@ -66,7 +82,7 @@ impl std::str::FromStr for SimBackend {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        Self::parse(s).ok_or_else(|| format!("unknown backend {s:?} (scalar|bitsliced)"))
+        Self::parse(s).ok_or_else(|| format!("unknown backend {s:?} (scalar|bitsliced|filtered)"))
     }
 }
 
@@ -128,6 +144,9 @@ pub struct DesignContext {
     pub annotation: DelayAnnotation,
     /// Behavioural golden model (structural errors only).
     pub gold: Box<dyn Adder>,
+    /// Lazily built timing-safety classifier for the filtered backend
+    /// (period independent — see [`DesignContext::classifier`]).
+    classifier: OnceLock<LaneClassifier>,
 }
 
 impl DesignContext {
@@ -165,7 +184,18 @@ impl DesignContext {
             design,
             synthesized,
             annotation,
+            classifier: OnceLock::new(),
         }
+    }
+
+    /// The design's operand-adaptive timing classifier (for
+    /// [`SimBackend::Filtered`]), built on first use against this die's
+    /// annotation and shared by every clock period — the exposure, chain
+    /// and run-bound tables are period independent.
+    #[must_use]
+    pub fn classifier(&self) -> &LaneClassifier {
+        self.classifier
+            .get_or_init(|| LaneClassifier::build(&self.synthesized.adder, &self.annotation))
     }
 
     /// Builds contexts for all twelve paper designs, in figure order.

@@ -332,11 +332,14 @@ impl RunUnit<'_> {
 /// Evaluates one shard of one run: the Fig. 6 inner loop plus the Fig. 10
 /// bit-position translations.
 ///
-/// The silver stream comes from the substrate's
-/// [`run_batch`](Substrate::run_batch) — the bit-sliced 64-lane fast path
-/// for the gate-level substrate, a plain scalar session otherwise — and
-/// statistics are accumulated in stream order, so shard results are
-/// independent of how the backend batches its lanes.
+/// Both streams are batched: the silver stream comes from the substrate's
+/// [`run_batch`](Substrate::run_batch) (the gate-level substrate's
+/// bit-sliced/filtered fast paths, the behavioural substrate's 64-lane
+/// plane evaluation), and the golden stream from the model's
+/// [`Adder::add_batch`] — so the behavioural Monte-Carlo inner loop (the
+/// design-characterization table's hot path) advances 64 cycles per plane
+/// pass on both sides. Statistics are accumulated in stream order, so
+/// shard results are independent of how the backends batch their lanes.
 fn run_shard(
     substrate: &dyn Substrate,
     design: &Design,
@@ -348,11 +351,11 @@ fn run_shard(
     let positions = design.width() + 1;
     let silvers = substrate.run_batch(design, clock_ps, inputs);
     debug_assert_eq!(silvers.len(), inputs.len());
+    let golds = gold.add_batch(inputs);
     let mut stats = CombinedErrorStats::new();
     let mut structural_bits = BitErrorDistribution::new(positions);
     let mut timing_bits = BitErrorDistribution::new(positions);
-    for (&(a, b), &silver) in inputs.iter().zip(&silvers) {
-        let gold_y = gold.add(a, b);
+    for ((&(a, b), &silver), &gold_y) in inputs.iter().zip(&silvers).zip(&golds) {
         let triple = OutputTriple::new(exact.add(a, b), gold_y, silver);
         stats.push(&triple);
         structural_bits.record_arithmetic(triple.e_struct());

@@ -24,7 +24,7 @@ use isa_core::segment_len;
 use isa_core::substrate::{CostClass, Substrate};
 use isa_core::{Adder, Design};
 use isa_learn::{CyclePair, PredictorConfig, TimingErrorPredictor};
-use isa_timing_sim::{run_clocked_batch, ClockedCore};
+use isa_timing_sim::{run_clocked_batch, run_filtered_batch, ClockedCore};
 use isa_workloads::{take_pairs, UniformWorkload};
 
 use crate::cache::ArtifactCache;
@@ -87,10 +87,11 @@ impl Substrate for GateLevelSubstrate {
     }
 
     /// Full-stream evaluation on the configured [`SimBackend`]: the
-    /// bit-sliced 64-lane simulator by default (contiguous per-lane
-    /// segments, each lane bit-for-bit a scalar run of its segment), or
-    /// the scalar event queue when the configuration pins
-    /// [`SimBackend::Scalar`] (the parity/benchmark reference).
+    /// filtered operand-adaptive path by default (classifier-proven-safe
+    /// lanes take one functional plane evaluation, the unsafe minority a
+    /// compacted 64-lane event simulation — bit-identical to the
+    /// bit-sliced backend), the plain bit-sliced 64-lane simulator, or the
+    /// scalar event queue (the parity/benchmark reference).
     fn run_batch(&self, design: &Design, clock_ps: f64, inputs: &[(u64, u64)]) -> Vec<u64> {
         match self.config.backend {
             SimBackend::Scalar => {
@@ -103,6 +104,16 @@ impl Substrate for GateLevelSubstrate {
             SimBackend::BitSliced => {
                 let ctx = self.context(design);
                 run_clocked_batch(&ctx.synthesized.adder, &ctx.annotation, clock_ps, inputs)
+            }
+            SimBackend::Filtered => {
+                let ctx = self.context(design);
+                run_filtered_batch(
+                    &ctx.synthesized.adder,
+                    &ctx.annotation,
+                    ctx.classifier(),
+                    clock_ps,
+                    inputs,
+                )
             }
         }
     }
@@ -211,8 +222,20 @@ impl PredictedSubstrate {
                     .collect();
                 CyclePair::from_stream(&raw)
             }
-            SimBackend::BitSliced => {
-                let sampled = run_clocked_batch(adder, &ctx.annotation, clock_ps, &inputs);
+            // The filtered backend samples bit-identically to the
+            // bit-sliced one (same segment dealing, same values), so the
+            // training trace and its seam handling are shared.
+            SimBackend::BitSliced | SimBackend::Filtered => {
+                let sampled = match self.config.backend {
+                    SimBackend::Filtered => run_filtered_batch(
+                        adder,
+                        &ctx.annotation,
+                        ctx.classifier(),
+                        clock_ps,
+                        &inputs,
+                    ),
+                    _ => run_clocked_batch(adder, &ctx.annotation, clock_ps, &inputs),
+                };
                 let settled = adder.add_batch(&inputs);
                 let raw: Vec<(u64, u64, u64, u64)> = inputs
                     .iter()

@@ -58,7 +58,7 @@ pub struct AppsReport {
     pub points: Vec<AppQualityPoint>,
     /// Kernel input scale factor.
     pub scale: usize,
-    /// Gate-level backend label (`scalar` / `bitsliced`).
+    /// Gate-level backend label (`scalar` / `bitsliced` / `filtered`).
     pub backend: &'static str,
 }
 
@@ -306,7 +306,7 @@ mod tests {
         let report = run_on(&Engine::new(), &config, &designs, &[0.0, 0.05], 1);
         let csv = report.to_csv();
         assert_eq!(csv.lines().count(), 1 + 2 * 5);
-        assert!(csv.contains("bitsliced"));
+        assert!(csv.contains("filtered"));
         assert!(report.render().contains("conv2d-sobel"));
     }
 }

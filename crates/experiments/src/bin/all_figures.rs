@@ -6,7 +6,7 @@
 //! across the machine.
 //!
 //! Usage: `all_figures [--cycles N] [--train N] [--test N] [--samples N]
-//! [--outdir DIR] [--threads N] [--backend scalar|bitsliced]`
+//! [--outdir DIR] [--threads N] [--backend scalar|bitsliced|filtered]`
 
 use std::time::Instant;
 

@@ -3,7 +3,7 @@
 //! (extension).
 //!
 //! Usage: `apps [--scale N] [--csv PATH] [--threads N]
-//! [--backend scalar|bitsliced]`
+//! [--backend scalar|bitsliced|filtered]`
 
 use isa_core::{Design, IsaConfig};
 use isa_experiments::{apps_quality, arg_value, config_from_args, engine_from_args};

@@ -1,8 +1,9 @@
-//! Scalar-vs-bit-sliced backend benchmark — the CI perf-regression gate.
+//! Backend benchmark — the CI perf-regression gate (schema `isa-bench/v2`).
 //!
 //! Runs the timed pipeline suite (design table, Figs. 7–10, and the
 //! energy/guardband/workloads extensions) at identical sample counts on
-//! the scalar event-driven backend and on the bit-sliced 64-lane
+//! all three gate-level evaluation engines: the scalar event queue, the
+//! bit-sliced 64-lane simulator, and the filtered operand-adaptive
 //! backend. Each suite run gets its own engine, so every run pays
 //! synthesis once, exactly like a standalone `all_figures` invocation.
 //! The `apps_quality` stage of `all_figures` is deliberately *not* timed
@@ -13,15 +14,23 @@
 //! A single measurement on a loaded shared runner is noise, not signal,
 //! so each backend is measured as **best of `--repeats` timed runs**
 //! (default 3) after `--warmup` untimed quarter-count passes (default 1)
-//! that populate code, allocator and CPU caches. The speedup gate
-//! compares the two best times. Results go to a `BENCH_*.json` report
-//! (see `BENCHMARKS.md` for the format); the process exits non-zero if
-//! the bit-sliced path is not at least `--min-speedup` times faster,
-//! which is how CI keeps the speedup non-regressable.
+//! that populate code, allocator and CPU caches. For the filtered
+//! backend the report additionally records, per pipeline component, the
+//! fraction of gate-level cycles served by the classifier's functional
+//! fast path (`safe_lane_fractions`, from the best run).
+//!
+//! Two speedups gate the build:
+//!
+//! * `filtered` vs `bitsliced` — the operand-adaptive fast path must pay
+//!   for itself; `--min-speedup X` (CI gates this one) fails the process
+//!   below `X`;
+//! * `bitsliced` vs `scalar` — the PR 2 regression gate, kept at
+//!   `--min-bitsliced-speedup` (default 1.0: bit-slicing must never
+//!   regress below the scalar baseline).
 //!
 //! Usage: `bench_backends [--cycles N] [--train N] [--test N]
-//! [--samples N] [--min-speedup X] [--repeats N] [--warmup N]
-//! [--json PATH] [--threads N]`
+//! [--samples N] [--min-speedup X] [--min-bitsliced-speedup X]
+//! [--repeats N] [--warmup N] [--json PATH] [--threads N]`
 
 use std::time::Instant;
 
@@ -30,6 +39,7 @@ use isa_experiments::{
     arg_value, design_table, energy, fig10, fig9, guardband, prediction, workload_sensitivity,
     Engine, ExperimentConfig, SimBackend,
 };
+use isa_timing_sim::filtered as filter_counters;
 
 struct Counts {
     cycles: usize,
@@ -39,8 +49,13 @@ struct Counts {
 }
 
 impl Counts {
+    /// Cycle count for the extension pipelines (energy, guardband,
+    /// workloads): a fifth of the main axis, floored so every code path
+    /// runs, and capped because the extensions converge long before the
+    /// primary figures do — letting `--cycles` scale fig9/fig10 without
+    /// the (inherently scalar) Razor trace swallowing the suite.
     fn extension_cycles(&self) -> usize {
-        (self.cycles / 5).max(200)
+        (self.cycles / 5).clamp(200, 10_000)
     }
 
     /// Reduced counts for untimed warmup passes: a quarter of every axis,
@@ -55,13 +70,18 @@ impl Counts {
     }
 }
 
-/// Times one full pipeline-suite run on a fresh engine; returns
-/// per-component seconds in a fixed order plus the total.
-fn run_suite(
-    config: &ExperimentConfig,
-    threads: usize,
-    counts: &Counts,
-) -> (Vec<(String, f64)>, f64) {
+/// One timed component: name, seconds, and the filtered backend's
+/// fast-path fraction over the gate-level cycles it ran (0 on the other
+/// backends, where the filtered runner never executes).
+struct Component {
+    name: String,
+    seconds: f64,
+    safe_fraction: f64,
+}
+
+/// Times one full pipeline-suite run on a fresh engine; returns the
+/// per-component breakdown in a fixed order plus the total.
+fn run_suite(config: &ExperimentConfig, threads: usize, counts: &Counts) -> (Vec<Component>, f64) {
     let engine = Engine::with_threads(threads);
     let designs = paper_designs();
     let isa_8004 = IsaConfig::new(32, 8, 0, 0, 4).expect("paper design is valid");
@@ -70,9 +90,20 @@ fn run_suite(
     engine.prewarm(&designs, config);
     let mut components = Vec::new();
     let mut timed = |name: &str, f: &mut dyn FnMut()| {
+        filter_counters::reset_counters();
         let t = Instant::now();
         f();
-        components.push((name.to_owned(), t.elapsed().as_secs_f64()));
+        let seconds = t.elapsed().as_secs_f64();
+        let (fast, total) = filter_counters::counters();
+        components.push(Component {
+            name: name.to_owned(),
+            seconds,
+            safe_fraction: if total == 0 {
+                0.0
+            } else {
+                fast as f64 / total as f64
+            },
+        });
     };
     timed("design_table", &mut || {
         let _ = design_table::run_on(&engine, config, &designs, counts.samples);
@@ -113,16 +144,17 @@ fn best_suite_run(
     counts: &Counts,
     warmup: usize,
     repeats: usize,
-) -> (Vec<(String, f64)>, f64, Vec<f64>) {
+) -> (Vec<Component>, f64, Vec<f64>) {
+    let label = config.backend.label();
     for i in 0..warmup {
-        eprintln!("  warmup {}/{warmup} (quarter counts)...", i + 1);
+        eprintln!("  [{label}] warmup {}/{warmup} (quarter counts)...", i + 1);
         let _ = run_suite(config, threads, &counts.warmup_counts());
     }
-    let mut best: Option<(Vec<(String, f64)>, f64)> = None;
+    let mut best: Option<(Vec<Component>, f64)> = None;
     let mut totals = Vec::with_capacity(repeats);
     for i in 0..repeats {
         let (parts, total) = run_suite(config, threads, counts);
-        eprintln!("  run {}/{repeats}: {total:.2}s", i + 1);
+        eprintln!("  [{label}] run {}/{repeats}: {total:.2}s", i + 1);
         totals.push(total);
         if best.as_ref().is_none_or(|(_, t)| total < *t) {
             best = Some((parts, total));
@@ -137,12 +169,30 @@ fn json_seconds_list(totals: &[f64]) -> String {
     format!("[{}]", items.join(", "))
 }
 
-fn json_components(components: &[(String, f64)]) -> String {
+fn json_map<F: Fn(&Component) -> String>(components: &[Component], value: F) -> String {
     components
         .iter()
-        .map(|(name, secs)| format!("    \"{name}\": {secs:.3}"))
+        .map(|c| format!("      \"{}\": {}", c.name, value(c)))
         .collect::<Vec<_>>()
         .join(",\n")
+}
+
+/// One backend's full JSON object body.
+fn json_backend(parts: &[Component], total: f64, runs: &[f64], with_fractions: bool) -> String {
+    let fractions = if with_fractions {
+        format!(
+            ",\n    \"safe_lane_fractions\": {{\n{}\n    }}",
+            json_map(parts, |c| format!("{:.4}", c.safe_fraction))
+        )
+    } else {
+        String::new()
+    };
+    format!(
+        "{{\n    \"seconds\": {total:.3},\n    \"runs_seconds\": {},\n    \
+         \"components_seconds\": {{\n{}\n    }}{fractions}\n  }}",
+        json_seconds_list(runs),
+        json_map(parts, |c| format!("{:.3}", c.seconds)),
+    )
 }
 
 fn main() {
@@ -154,6 +204,7 @@ fn main() {
         samples: arg_value(&args, "samples").unwrap_or(100_000),
     };
     let min_speedup: f64 = arg_value(&args, "min-speedup").unwrap_or(1.0);
+    let min_bitsliced: f64 = arg_value(&args, "min-bitsliced-speedup").unwrap_or(1.0);
     let json_path: Option<String> = arg_value(&args, "json");
     let threads = arg_value(&args, "threads").unwrap_or(1);
     let repeats = arg_value::<usize>(&args, "repeats").unwrap_or(3).max(1);
@@ -166,44 +217,49 @@ fn main() {
     eprintln!("scalar backend: best of {repeats} suite runs ({warmup} warmup)...");
     let (scalar_parts, scalar_s, scalar_runs) =
         best_suite_run(&config, threads, &counts, warmup, repeats);
-    eprintln!("scalar backend: best {scalar_s:.2}s");
 
     config.backend = SimBackend::BitSliced;
     eprintln!("bit-sliced backend: best of {repeats} suite runs ({warmup} warmup)...");
     let (bit_parts, bit_s, bit_runs) = best_suite_run(&config, threads, &counts, warmup, repeats);
-    eprintln!("bit-sliced backend: best {bit_s:.2}s");
 
-    let speedup = scalar_s / bit_s.max(1e-9);
-    let pass = speedup >= min_speedup;
+    config.backend = SimBackend::Filtered;
+    eprintln!("filtered backend: best of {repeats} suite runs ({warmup} warmup)...");
+    let (fil_parts, fil_s, fil_runs) = best_suite_run(&config, threads, &counts, warmup, repeats);
+
+    let bitsliced_speedup = scalar_s / bit_s.max(1e-9);
+    let filtered_speedup = bit_s / fil_s.max(1e-9);
+    let pass = filtered_speedup >= min_speedup && bitsliced_speedup >= min_bitsliced;
     let json = format!(
-        "{{\n  \"schema\": \"isa-bench/v1\",\n  \"bench\": \"all_figures\",\n  \
+        "{{\n  \"schema\": \"isa-bench/v2\",\n  \"bench\": \"all_figures\",\n  \
          \"threads\": {threads},\n  \"counts\": {{\n    \"cycles\": {},\n    \
          \"train\": {},\n    \"test\": {},\n    \"samples\": {},\n    \
          \"extension_cycles\": {}\n  }},\n  \"warmup\": {warmup},\n  \
-         \"repeats\": {repeats},\n  \"scalar_seconds\": {scalar_s:.3},\n  \
-         \"bitsliced_seconds\": {bit_s:.3},\n  \"scalar_runs_seconds\": {},\n  \
-         \"bitsliced_runs_seconds\": {},\n  \"speedup\": {speedup:.2},\n  \
-         \"min_speedup\": {min_speedup},\n  \"pass\": {pass},\n  \
-         \"scalar_components_seconds\": {{\n{}\n  }},\n  \
-         \"bitsliced_components_seconds\": {{\n{}\n  }}\n}}\n",
+         \"repeats\": {repeats},\n  \"backends\": {{\n  \"scalar\": {},\n  \
+         \"bitsliced\": {},\n  \"filtered\": {}\n  }},\n  \
+         \"bitsliced_vs_scalar_speedup\": {bitsliced_speedup:.2},\n  \
+         \"filtered_vs_bitsliced_speedup\": {filtered_speedup:.2},\n  \
+         \"min_speedup\": {min_speedup},\n  \
+         \"min_bitsliced_speedup\": {min_bitsliced},\n  \"pass\": {pass}\n}}\n",
         counts.cycles,
         counts.train,
         counts.test,
         counts.samples,
         counts.extension_cycles(),
-        json_seconds_list(&scalar_runs),
-        json_seconds_list(&bit_runs),
-        json_components(&scalar_parts),
-        json_components(&bit_parts),
+        json_backend(&scalar_parts, scalar_s, &scalar_runs, false),
+        json_backend(&bit_parts, bit_s, &bit_runs, false),
+        json_backend(&fil_parts, fil_s, &fil_runs, true),
     );
     if let Some(path) = &json_path {
         std::fs::write(path, &json).expect("write bench json");
         eprintln!("wrote {path}");
     }
     println!("{json}");
-    eprintln!("speedup: {speedup:.2}x (gate: >= {min_speedup}x)");
+    eprintln!(
+        "bitsliced vs scalar: {bitsliced_speedup:.2}x (gate: >= {min_bitsliced}x); \
+         filtered vs bitsliced: {filtered_speedup:.2}x (gate: >= {min_speedup}x)"
+    );
     if !pass {
-        eprintln!("FAIL: bit-sliced backend is not fast enough");
+        eprintln!("FAIL: backend speedup gate not met");
         std::process::exit(1);
     }
 }

@@ -1,6 +1,6 @@
 //! Regenerates the Section V.A design characterization table.
 //!
-//! Usage: `design_table [--samples N] [--csv PATH] [--threads N] [--backend scalar|bitsliced]`
+//! Usage: `design_table [--samples N] [--csv PATH] [--threads N] [--backend scalar|bitsliced|filtered]`
 
 use isa_experiments::{arg_value, config_from_args, design_table, engine_from_args};
 

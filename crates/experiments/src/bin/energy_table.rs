@@ -1,7 +1,7 @@
 //! Regenerates the energy-efficiency characterization (extension: the
 //! paper's reference \[17\] comparison style, from simulated activity).
 //!
-//! Usage: `energy_table [--cycles N] [--csv PATH] [--threads N] [--backend scalar|bitsliced]`
+//! Usage: `energy_table [--cycles N] [--csv PATH] [--threads N] [--backend scalar|bitsliced|filtered]`
 
 use isa_experiments::{arg_value, config_from_args, energy, engine_from_args};
 

@@ -1,7 +1,7 @@
 //! Regenerates Fig. 10 (bit-level error distribution of ISA (8,0,0,4) at
 //! 15% CPR).
 //!
-//! Usage: `fig10 [--cycles N] [--csv PATH] [--threads N] [--backend scalar|bitsliced]`
+//! Usage: `fig10 [--cycles N] [--csv PATH] [--threads N] [--backend scalar|bitsliced|filtered]`
 
 use isa_core::{Design, IsaConfig};
 use isa_experiments::{arg_value, config_from_args, engine_from_args, fig10};

@@ -1,6 +1,6 @@
 //! Regenerates Fig. 8 (AVPE per design at 5/10/15% CPR).
 //!
-//! Usage: `fig8 [--train N] [--test N] [--csv PATH] [--threads N] [--backend scalar|bitsliced]`
+//! Usage: `fig8 [--train N] [--test N] [--csv PATH] [--threads N] [--backend scalar|bitsliced|filtered]`
 
 use isa_experiments::{arg_value, config_from_args, engine_from_args, prediction};
 

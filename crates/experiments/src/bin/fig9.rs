@@ -1,6 +1,6 @@
 //! Regenerates Figs. 9a/b/c (structural/timing/joint relative-error RMS).
 //!
-//! Usage: `fig9 [--cycles N] [--csv PATH] [--threads N] [--backend scalar|bitsliced]`
+//! Usage: `fig9 [--cycles N] [--csv PATH] [--threads N] [--backend scalar|bitsliced|filtered]`
 
 use isa_experiments::{arg_value, config_from_args, engine_from_args, fig9};
 

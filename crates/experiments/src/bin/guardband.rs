@@ -1,7 +1,7 @@
 //! Compares guardband-reduction strategies: exact+Razor recovery, raw
 //! overclocked ISA, and ISA with predictor-guided replay (extension).
 //!
-//! Usage: `guardband [--cycles N] [--csv PATH] [--threads N] [--backend scalar|bitsliced]`
+//! Usage: `guardband [--cycles N] [--csv PATH] [--threads N] [--backend scalar|bitsliced|filtered]`
 
 use isa_core::IsaConfig;
 use isa_experiments::{arg_value, config_from_args, engine_from_args, guardband};

@@ -1,7 +1,7 @@
 //! Workload-sensitivity study: timing errors under uniform, correlated,
 //! DSP-tone and accumulation input streams (extension).
 //!
-//! Usage: `workloads [--cycles N] [--cpr PCT] [--csv PATH] [--threads N] [--backend scalar|bitsliced]`
+//! Usage: `workloads [--cycles N] [--cpr PCT] [--csv PATH] [--threads N] [--backend scalar|bitsliced|filtered]`
 
 use isa_core::{Design, IsaConfig};
 use isa_experiments::{arg_value, config_from_args, engine_from_args, workload_sensitivity};

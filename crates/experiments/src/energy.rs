@@ -79,7 +79,10 @@ pub fn run_on(
         // Switching-activity simulation at the safe clock: scalar cycle
         // loop or the 64-lane bit-sliced core, whose per-net commit counts
         // already sum transitions over lanes. Leakage is charged over the
-        // sequential-equivalent span (n x period) on both backends.
+        // sequential-equivalent span (n x period) on both backends. The
+        // filtered backend deliberately shares the bit-sliced path here:
+        // energy needs the *full* per-net switching activity, which the
+        // filtered fast path never materializes for timing-safe lanes.
         let report = match unit.config.backend {
             SimBackend::Scalar => {
                 let mut sim = GateLevelSim::new(netlist, &ctx.annotation);
@@ -90,7 +93,7 @@ pub fn run_on(
                 }
                 measure_activity(sim.net_commit_counts(), n as u64 * period_fs, netlist, &lib)
             }
-            SimBackend::BitSliced => {
+            SimBackend::BitSliced | SimBackend::Filtered => {
                 let (_, clocked) = run_clocked_batch_with_core(
                     adder,
                     &ctx.annotation,

@@ -168,12 +168,12 @@ pub fn run_on(
             let mut guided_re = ErrorStats::new();
             let mut guided_wrong = 0usize;
             let mut flagged = 0usize;
-            // On the bit-sliced backend the circuit restarted from reset
-            // at every lane-segment seam: reset the predictor's x[t-1]
-            // features at the same positions.
+            // On the bit-sliced and filtered backends the circuit
+            // restarted from reset at every lane-segment seam: reset the
+            // predictor's x[t-1] features at the same positions.
             let seam = match unit.config.backend {
                 SimBackend::Scalar => None,
-                SimBackend::BitSliced => Some(segment_len(trace.len())),
+                SimBackend::BitSliced | SimBackend::Filtered => Some(segment_len(trace.len())),
             };
             let mut prev = (0u64, 0u64, 0u64);
             for (i, &(a, b, gold_y, silver)) in trace.iter().enumerate() {

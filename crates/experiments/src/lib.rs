@@ -71,7 +71,8 @@ pub fn engine_from_args(args: &[String]) -> Engine {
 
 /// Builds the shared experiment configuration every binary uses: the
 /// paper defaults, with the gate-level evaluation engine overridable via
-/// `--backend scalar|bitsliced` (bit-sliced 64-lane is the default).
+/// `--backend scalar|bitsliced|filtered` (the operand-adaptive filtered
+/// backend — bit-identical to bit-sliced — is the default).
 ///
 /// # Panics
 ///
@@ -81,7 +82,7 @@ pub fn config_from_args(args: &[String]) -> ExperimentConfig {
     let mut config = ExperimentConfig::default();
     if let Some(backend) = arg_value::<String>(args, "backend") {
         config.backend = SimBackend::parse(&backend)
-            .unwrap_or_else(|| panic!("unknown --backend {backend:?} (scalar|bitsliced)"));
+            .unwrap_or_else(|| panic!("unknown --backend {backend:?} (scalar|bitsliced|filtered)"));
     }
     config
 }

@@ -109,12 +109,13 @@ pub fn run_on(
         // the bit-sliced 64-lane simulator by default, the scalar event
         // queue when the configuration pins it.
         let real_silvers = gate.run_batch(&unit.design, unit.clock_ps, unit.inputs);
-        // On the bit-sliced backend the circuit restarts from reset at
-        // every lane-segment seam; the model's x[t-1] features must follow
-        // the *physical* predecessor, so reset them at the same positions.
+        // On the bit-sliced and filtered backends the circuit restarts
+        // from reset at every lane-segment seam; the model's x[t-1]
+        // features must follow the *physical* predecessor, so reset them
+        // at the same positions.
         let seam = match unit.config.backend {
             SimBackend::Scalar => None,
-            SimBackend::BitSliced => Some(segment_len(unit.inputs.len())),
+            SimBackend::BitSliced | SimBackend::Filtered => Some(segment_len(unit.inputs.len())),
         };
         let mut abper = AbperAccumulator::new(unit.design.width() + 1);
         let mut avpe = AvpeAccumulator::new();

@@ -231,15 +231,24 @@ impl AdderNetlist {
 
     /// Zero-delay functional addition of a whole operand stream, 64 lanes
     /// per topological sweep. Bit-for-bit equal to mapping [`Self::add`]
-    /// over `pairs`, at roughly 1/64th of the gate evaluations.
+    /// over `pairs`, at roughly 1/64th of the gate evaluations. All plane
+    /// and net-value buffers are reused across the stream's chunks.
     #[must_use]
     pub fn add_batch(&self, pairs: &[(u64, u64)]) -> Vec<u64> {
+        let w = self.width as usize;
         let mut out = Vec::with_capacity(pairs.len());
+        let mut a_planes = Vec::new();
+        let mut b_planes = Vec::new();
+        let mut input_planes = Vec::with_capacity(2 * w);
+        let mut values = Vec::new();
+        let mut planes = Vec::new();
         for chunk in pairs.chunks(isa_core::LANES) {
-            let batch = LaneBatch::pack(self.width, chunk);
-            let planes = self
-                .netlist
-                .evaluate_output_planes(&self.input_planes(&batch));
+            isa_core::pack_planes_into(self.width, chunk, &mut a_planes, &mut b_planes);
+            input_planes.clear();
+            input_planes.extend_from_slice(&a_planes);
+            input_planes.extend_from_slice(&b_planes);
+            self.netlist
+                .evaluate_output_planes_into(&input_planes, &mut values, &mut planes);
             out.extend(LaneBatch::unpack_lanes(&planes, chunk.len()));
         }
         out

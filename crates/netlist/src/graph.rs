@@ -322,6 +322,19 @@ impl Netlist {
     /// inputs.
     #[must_use]
     pub fn evaluate_words(&self, input_words: &[u64]) -> Vec<u64> {
+        let mut values = Vec::new();
+        self.evaluate_words_into(input_words, &mut values);
+        values
+    }
+
+    /// [`Self::evaluate_words`] into a reusable buffer (cleared and
+    /// resized to the net count, keeping its allocation) — the hot-loop
+    /// form for per-step functional evaluation in batched simulators.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Self::evaluate_words`].
+    pub fn evaluate_words_into(&self, input_words: &[u64], values: &mut Vec<u64>) {
         assert_eq!(
             input_words.len(),
             self.inputs.len(),
@@ -329,7 +342,8 @@ impl Netlist {
             self.inputs.len(),
             input_words.len()
         );
-        let mut values = vec![0u64; self.net_count()];
+        values.clear();
+        values.resize(self.net_count(), 0);
         for (net, &w) in self.inputs.iter().zip(input_words) {
             values[net.index()] = w;
         }
@@ -340,7 +354,6 @@ impl Netlist {
             }
             values[cell.output.index()] = cell.kind.eval_word(&pins[..cell.inputs.len()]);
         }
-        values
     }
 
     /// Bit-sliced evaluation of the primary outputs: returns one plane per
@@ -355,6 +368,23 @@ impl Netlist {
     pub fn evaluate_output_planes(&self, input_words: &[u64]) -> Vec<u64> {
         let values = self.evaluate_words(input_words);
         self.outputs.iter().map(|n| values[n.index()]).collect()
+    }
+
+    /// [`Self::evaluate_output_planes`] with reusable buffers: `values`
+    /// is the all-nets scratch, `planes` receives one plane per output.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Self::evaluate_words`].
+    pub fn evaluate_output_planes_into(
+        &self,
+        input_words: &[u64],
+        values: &mut Vec<u64>,
+        planes: &mut Vec<u64>,
+    ) {
+        self.evaluate_words_into(input_words, values);
+        planes.clear();
+        planes.extend(self.outputs.iter().map(|n| values[n.index()]));
     }
 }
 

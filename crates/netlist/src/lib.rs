@@ -29,6 +29,7 @@
 
 pub mod builders;
 pub mod cell;
+pub mod classify;
 pub mod graph;
 pub mod sdf;
 pub mod sta;
@@ -39,6 +40,7 @@ pub mod verilog;
 
 pub use builders::{build_exact, AdderNetlist, AdderTopology, CANDIDATE_TOPOLOGIES};
 pub use cell::{CellKind, CellLibrary, CellTiming};
+pub use classify::{LaneClassifier, StreamClassifier};
 pub use graph::{Cell, CellId, NetDriver, NetId, Netlist, NetlistBuilder, NetlistError};
 pub use sta::StaReport;
 pub use synth::{synthesize_exact, synthesize_isa, SynthesisError, SynthesisOptions, Synthesized};

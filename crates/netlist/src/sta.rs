@@ -93,6 +93,38 @@ impl StaReport {
             .collect()
     }
 
+    /// Worst-case *downstream* delay of every net: the longest path (sum of
+    /// cell delays) from the net to any primary output, indexed by net.
+    ///
+    /// This is the dual of the arrival times — `arrival + downstream` along
+    /// a net is the worst full path through it. It doubles as a sound bound
+    /// on how long after a net changes the circuit can still be switching
+    /// because of that change (every event chain follows a topological
+    /// path), which is what the lane classifier's per-pin exposure and the
+    /// area-recovery derating both consume.
+    #[must_use]
+    pub fn downstream_ps(netlist: &Netlist, delays: &DelayAnnotation) -> Vec<f64> {
+        assert_eq!(
+            delays.len(),
+            netlist.cell_count(),
+            "annotation covers {} cells, netlist has {}",
+            delays.len(),
+            netlist.cell_count()
+        );
+        let mut downstream = vec![0.0f64; netlist.net_count()];
+        for index in (0..netlist.cell_count()).rev() {
+            let id = CellId::from_index(index);
+            let cell = netlist.cell(id);
+            let through = delays.delay_ps(id) + downstream[cell.output.index()];
+            for input in &cell.inputs {
+                if through > downstream[input.index()] {
+                    downstream[input.index()] = through;
+                }
+            }
+        }
+        downstream
+    }
+
     /// Slack of the design against a clock period (positive = meets timing).
     #[must_use]
     pub fn slack_ps(&self, period_ps: f64) -> f64 {

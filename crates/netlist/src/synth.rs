@@ -84,17 +84,7 @@ pub fn area_recovery(
     for _pass in 0..12 {
         let sta = StaReport::analyze(netlist, &current);
         // Backward pass: worst remaining delay from each net to any output.
-        let mut downstream = vec![0.0f64; netlist.net_count()];
-        for index in (0..netlist.cell_count()).rev() {
-            let id = crate::graph::CellId::from_index(index);
-            let cell = netlist.cell(id);
-            let through = current.delay_ps(id) + downstream[cell.output.index()];
-            for input in &cell.inputs {
-                if through > downstream[input.index()] {
-                    downstream[input.index()] = through;
-                }
-            }
-        }
+        let downstream = StaReport::downstream_ps(netlist, &current);
         let mut changed = false;
         let delays: Vec<f64> = netlist
             .cells()

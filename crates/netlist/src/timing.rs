@@ -13,6 +13,23 @@ use rand::{Rng, SeedableRng};
 use crate::cell::CellLibrary;
 use crate::graph::{CellId, Netlist};
 
+/// Femtoseconds per picosecond — the resolution both the event-driven
+/// simulators and the timing classifier keep time in.
+pub const FS_PER_PS: f64 = 1000.0;
+
+/// Converts picoseconds to integer femtoseconds (rounded).
+///
+/// Every consumer that compares against simulated event times (the event
+/// queues in `isa-timing-sim`, the lane classifier in
+/// [`classify`](crate::classify)) must quantize delays through this one
+/// function, so that analytically summed path delays are bit-identical to
+/// the simulator's accumulated event times.
+#[must_use]
+pub fn ps_to_fs(ps: f64) -> u64 {
+    debug_assert!(ps.is_finite() && ps >= 0.0);
+    (ps * FS_PER_PS).round() as u64
+}
+
 /// Multiplicative Gaussian process-variation model.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VariationModel {

@@ -268,6 +268,40 @@ impl BitClockedCore {
         self.sim.output_planes(netlist)
     }
 
+    /// Creates clocked 64-lane state already settled at the given input
+    /// planes: every net holds its functional value and the event queue
+    /// is empty — the state an event-driven run reaches after driving
+    /// those inputs to quiescence, obtained here with a single
+    /// functional plane pass instead of an event cascade.
+    ///
+    /// This is how the filtered runner seeds a compacted core mid-stream:
+    /// a lane entering the slow path from a proven-settled step is in
+    /// exactly the state "previous operands, fully settled, nothing in
+    /// flight".
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Self::new`], or if `input_planes.len()` differs from
+    /// the netlist's input count.
+    #[must_use]
+    pub fn with_settled_planes(
+        netlist: &Netlist,
+        annotation: &DelayAnnotation,
+        period_ps: f64,
+        input_planes: &[u64],
+    ) -> Self {
+        assert!(
+            period_ps.is_finite() && period_ps > 0.0,
+            "period must be positive"
+        );
+        let mut core = Self {
+            sim: BitSimCore::new(netlist, annotation),
+            period_fs: ps_to_fs(period_ps),
+        };
+        core.sim.values = netlist.evaluate_words(input_planes);
+        core
+    }
+
     /// Committed *word* events so far (see
     /// [`BitSimCore::events_processed`]).
     #[must_use]

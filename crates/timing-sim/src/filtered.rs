@@ -1,0 +1,458 @@
+//! The operand-adaptive **filtered** backend: classify, fast-path, and
+//! simulate only the unsafe minority.
+//!
+//! The bit-sliced backend ([`run_clocked_batch`]) still pays full
+//! event-driven simulation for all 64 lanes of every cycle, although
+//! overclocking errors are rare events — most operand pairs do not
+//! sensitize a carry chain longer than the clock period. This runner
+//! exploits that:
+//!
+//! 1. **Classify** (word ops only): a
+//!    [`LaneClassifier`](isa_netlist::classify::LaneClassifier) proves,
+//!    per lane per cycle, that the sampled outputs will equal the settled
+//!    (functional) outputs — see `isa_netlist::classify` for the
+//!    conservative bounds. The safe/unsafe schedule depends only on the
+//!    input stream, so it is computed in one simulation-free pass.
+//! 2. **Fast path**: safe cycles take a single functional plane
+//!    evaluation ([`Netlist::evaluate_output_planes`]) — identical by
+//!    construction to the settled event-simulation result.
+//! 3. **Compacted slow path**: the remaining unsafe cycles form, per
+//!    lane, maximal *runs* of consecutive cycles. Each run starts from a
+//!    proven-settled state (its predecessor cycle was safe, or the lane's
+//!    segment reset), so runs are independent simulation tasks: seed a
+//!    fresh [`BitClockedCore`] lane already settled at the predecessor
+//!    operands ([`BitClockedCore::with_settled_planes`]), then clock the
+//!    run's cycles.
+//!    Runs from all lanes are packed dense, longest first, into waves of
+//!    up to 64 — the event simulator only ever runs on compacted batches
+//!    of genuinely at-risk lanes.
+//!
+//! The composition is **bit-identical** to [`run_clocked_batch`] on every
+//! stream (enforced by parity tests at every figure clock point and an
+//! exhaustive 8-bit conservatism test). Two shortcuts preserve that
+//! contract trivially: when the period exceeds the die's critical delay
+//! no lane can ever violate and the whole stream is one functional
+//! evaluation (tier-0); when the classifier proves too few lanes safe to
+//! amortize the classification, the runner falls back to the plain
+//! bit-sliced event run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use isa_core::batch::{pack_planes_into_slices, segment_len, LaneBatch, LANES};
+use isa_netlist::builders::AdderNetlist;
+use isa_netlist::classify::LaneClassifier;
+use isa_netlist::timing::{ps_to_fs, DelayAnnotation};
+
+use crate::bitsim::{run_clocked_batch, BitClockedCore};
+
+/// Below this fraction of classifier-proven safe cycles the filtered
+/// two-pass evaluation would only add overhead on top of the event
+/// simulation it cannot avoid; the runner then takes the plain bit-sliced
+/// path (identical results either way).
+const MIN_SAFE_FRACTION: f64 = 0.25;
+
+/// What one filtered run did — the observability half of the backend's
+/// contract (the results half is bit-identity, which needs no reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FilterStats {
+    /// Stream cycles evaluated.
+    pub cycles: u64,
+    /// Cycles the classifier proved safe (settled at the sampling edge).
+    pub classified_safe: u64,
+    /// Cycles actually served by the functional fast path (equals
+    /// `classified_safe` unless the runner fell back).
+    pub fast_path: u64,
+    /// Whole stream proven safe statically (period above critical delay).
+    pub tier0: bool,
+    /// Classifier yield too low — plain bit-sliced run used instead.
+    pub fell_back: bool,
+    /// Compacted slow-path waves simulated.
+    pub waves: u64,
+}
+
+impl FilterStats {
+    /// Fraction of cycles served by the functional fast path.
+    #[must_use]
+    pub fn safe_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.fast_path as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Process-wide accumulation of [`FilterStats`], for benchmark harnesses
+/// that observe pipelines through several layers of engine plumbing
+/// (`bench_backends` resets around each timed component and reports the
+/// safe-lane fraction per pipeline).
+static TOTAL_CYCLES: AtomicU64 = AtomicU64::new(0);
+static FAST_PATH_CYCLES: AtomicU64 = AtomicU64::new(0);
+
+/// Resets the process-wide filtered-backend counters.
+pub fn reset_counters() {
+    TOTAL_CYCLES.store(0, Ordering::Relaxed);
+    FAST_PATH_CYCLES.store(0, Ordering::Relaxed);
+}
+
+/// Snapshot of the process-wide counters: `(fast-path cycles, total
+/// cycles)` accumulated by every filtered run since the last reset.
+#[must_use]
+pub fn counters() -> (u64, u64) {
+    (
+        FAST_PATH_CYCLES.load(Ordering::Relaxed),
+        TOTAL_CYCLES.load(Ordering::Relaxed),
+    )
+}
+
+fn record(stats: &FilterStats) {
+    TOTAL_CYCLES.fetch_add(stats.cycles, Ordering::Relaxed);
+    FAST_PATH_CYCLES.fetch_add(stats.fast_path, Ordering::Relaxed);
+}
+
+/// Runs an adder's operand stream on the filtered backend, returning the
+/// sampled (`ysilver`) outputs in stream order — bit-identical to
+/// [`run_clocked_batch`] with the same arguments.
+///
+/// The classifier must have been built for this `(adder, annotation)`
+/// pair (it is period independent, so callers memoize it per design).
+///
+/// # Panics
+///
+/// Panics if the period is not positive/finite or the annotation does not
+/// cover the netlist.
+#[must_use]
+pub fn run_filtered_batch(
+    adder: &AdderNetlist,
+    annotation: &DelayAnnotation,
+    classifier: &LaneClassifier,
+    period_ps: f64,
+    inputs: &[(u64, u64)],
+) -> Vec<u64> {
+    run_filtered_batch_with_stats(adder, annotation, classifier, period_ps, inputs).0
+}
+
+/// Like [`run_filtered_batch`], but also reports what the run did.
+#[must_use]
+pub fn run_filtered_batch_with_stats(
+    adder: &AdderNetlist,
+    annotation: &DelayAnnotation,
+    classifier: &LaneClassifier,
+    period_ps: f64,
+    inputs: &[(u64, u64)],
+) -> (Vec<u64>, FilterStats) {
+    let n = inputs.len();
+    let mut stats = FilterStats {
+        cycles: n as u64,
+        ..FilterStats::default()
+    };
+    if n == 0 {
+        return (Vec::new(), stats);
+    }
+
+    // Tier-0: the period covers the die's critical delay, so every cycle
+    // of every lane settles before its sampling edge — the stream is one
+    // functional (bit-sliced) evaluation.
+    if classifier.critical_fs() < ps_to_fs(period_ps).max(1) {
+        stats.tier0 = true;
+        stats.classified_safe = n as u64;
+        stats.fast_path = n as u64;
+        record(&stats);
+        return (adder.add_batch(inputs), stats);
+    }
+
+    let netlist = adder.netlist();
+    let width = adder.width();
+    let w = width as usize;
+    let seg = segment_len(n);
+
+    // Pass 1 — classification only. The schedule is a pure function of
+    // the input stream; lanes deal the stream in the same contiguous
+    // segments as the bit-sliced backend, exhausted lanes holding their
+    // last operands (no input change, hence no activity).
+    let mut stream_cls = classifier.stream_classifier(period_ps);
+    let mut lane_pairs = [(0u64, 0u64); LANES];
+    let mut a_planes = vec![0u64; seg * w];
+    let mut b_planes = vec![0u64; seg * w];
+    let mut safe_masks = vec![0u64; seg];
+    let mut active_masks = vec![0u64; seg];
+    for t in 0..seg {
+        let mut active = 0u64;
+        for (l, lane) in lane_pairs.iter_mut().enumerate() {
+            let idx = l * seg + t;
+            if idx < n {
+                *lane = inputs[idx];
+                active |= 1u64 << l;
+            }
+        }
+        let (a_t, b_t) = (
+            &mut a_planes[t * w..(t + 1) * w],
+            &mut b_planes[t * w..(t + 1) * w],
+        );
+        pack_planes_into_slices(width, &lane_pairs, a_t, b_t);
+        let (a_t, b_t) = (&a_planes[t * w..(t + 1) * w], &b_planes[t * w..(t + 1) * w]);
+        safe_masks[t] = stream_cls.step(a_t, b_t);
+        active_masks[t] = active;
+        stats.classified_safe += u64::from((safe_masks[t] & active).count_ones());
+    }
+
+    // Adaptive fallback: identical results, without the two-pass overhead,
+    // when the classifier yield is too low to pay for itself.
+    if (stats.classified_safe as f64) < MIN_SAFE_FRACTION * n as f64 {
+        stats.fell_back = true;
+        record(&stats);
+        return (
+            run_clocked_batch(adder, annotation, period_ps, inputs),
+            stats,
+        );
+    }
+    stats.fast_path = stats.classified_safe;
+
+    // Pass 2a — functional fast path for every safe cycle (scratch
+    // buffers reused across steps).
+    let mut out = vec![0u64; n];
+    let mut planes_buf = Vec::with_capacity(2 * w);
+    let mut values_scratch = Vec::new();
+    let mut settled = Vec::new();
+    for t in 0..seg {
+        let served = safe_masks[t] & active_masks[t];
+        if served == 0 {
+            continue;
+        }
+        planes_buf.clear();
+        planes_buf.extend_from_slice(&a_planes[t * w..(t + 1) * w]);
+        planes_buf.extend_from_slice(&b_planes[t * w..(t + 1) * w]);
+        netlist.evaluate_output_planes_into(&planes_buf, &mut values_scratch, &mut settled);
+        let lanes = LaneBatch::unpack_lanes(&settled, LANES);
+        let mut m = served;
+        while m != 0 {
+            let l = m.trailing_zeros() as usize;
+            out[l * seg + t] = lanes[l];
+            m &= m - 1;
+        }
+    }
+
+    // Pass 2b — compact the unsafe cycles into dense waves. Per lane,
+    // maximal runs of consecutive unsafe cycles; each run's predecessor
+    // cycle is proven settled (or is the segment reset), so its start
+    // state is exactly "previous operands, settled, nothing in flight".
+    struct RunTask {
+        lane: usize,
+        start: usize,
+        len: usize,
+    }
+    let mut tasks: Vec<RunTask> = Vec::new();
+    for lane in 0..LANES {
+        let lane_len = n.saturating_sub(lane * seg).min(seg);
+        let safe_at = |t: usize| safe_masks[t] >> lane & 1 == 1;
+        let mut t = 0;
+        while t < lane_len {
+            if safe_at(t) {
+                t += 1;
+                continue;
+            }
+            let start = t;
+            while t < lane_len && !safe_at(t) {
+                t += 1;
+            }
+            tasks.push(RunTask {
+                lane,
+                start,
+                len: t - start,
+            });
+        }
+    }
+    tasks.sort_by_key(|task| std::cmp::Reverse(task.len));
+
+    for wave in tasks.chunks(LANES) {
+        stats.waves += 1;
+        let mut wave_pairs: Vec<(u64, u64)> = wave
+            .iter()
+            .map(|task| {
+                if task.start == 0 {
+                    (0, 0) // segment reset: the all-zero settled state
+                } else {
+                    inputs[task.lane * seg + task.start - 1]
+                }
+            })
+            .collect();
+        let seeds = LaneBatch::pack(width, &wave_pairs);
+        // Seeding costs one functional pass, not an event cascade: the
+        // settled predecessor state is a pure function of the seed pairs.
+        let mut core = BitClockedCore::with_settled_planes(
+            netlist,
+            annotation,
+            period_ps,
+            &adder.input_planes(&seeds),
+        );
+        let longest = wave[0].len; // sorted longest-first
+        for j in 0..longest {
+            for (wl, task) in wave.iter().enumerate() {
+                if j < task.len {
+                    wave_pairs[wl] = inputs[task.lane * seg + task.start + j];
+                }
+                // else: hold the run's last operands (no activity).
+            }
+            let batch = LaneBatch::pack(width, &wave_pairs);
+            let sampled = core.step_planes(netlist, &adder.input_planes(&batch));
+            let lanes = LaneBatch::unpack_lanes(&sampled, wave.len());
+            for (wl, task) in wave.iter().enumerate() {
+                if j < task.len {
+                    out[task.lane * seg + task.start + j] = lanes[wl];
+                }
+            }
+        }
+    }
+
+    record(&stats);
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isa_netlist::builders::{build_exact, AdderTopology};
+    use isa_netlist::cell::CellLibrary;
+    use isa_netlist::sta::StaReport;
+
+    fn ripple16() -> (AdderNetlist, DelayAnnotation, f64) {
+        let adder = build_exact(16, AdderTopology::Ripple);
+        let lib = CellLibrary::industrial_65nm();
+        let ann = DelayAnnotation::nominal(adder.netlist(), &lib);
+        let crit = StaReport::analyze(adder.netlist(), &ann).critical_ps();
+        (adder, ann, crit)
+    }
+
+    fn pairs(n: usize, seed: u64) -> Vec<(u64, u64)> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x & 0xFFFF, (x >> 20) & 0xFFFF)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tier0_safe_clock_matches_bitsliced() {
+        let (adder, ann, crit) = ripple16();
+        let cls = LaneClassifier::build(&adder, &ann);
+        let inputs = pairs(300, 0xF11);
+        let (got, stats) = run_filtered_batch_with_stats(&adder, &ann, &cls, crit + 1.0, &inputs);
+        assert!(stats.tier0);
+        assert_eq!(stats.fast_path, 300);
+        assert_eq!(got, run_clocked_batch(&adder, &ann, crit + 1.0, &inputs));
+    }
+
+    #[test]
+    fn mild_overclock_is_bit_identical_with_real_filtering() {
+        let (adder, ann, crit) = ripple16();
+        let cls = LaneClassifier::build(&adder, &ann);
+        // Between bound[3] and critical: long runs violate, short ones not.
+        let period = crit * 0.75;
+        let inputs = pairs(2000, 0xBEE);
+        let (got, stats) = run_filtered_batch_with_stats(&adder, &ann, &cls, period, &inputs);
+        let reference = run_clocked_batch(&adder, &ann, period, &inputs);
+        assert_eq!(got, reference);
+        assert!(!stats.tier0);
+        assert!(!stats.fell_back, "yield should be high at mild overclock");
+        assert!(stats.fast_path > 0 && stats.fast_path < 2000);
+        assert!(stats.waves > 0, "some lanes must need event simulation");
+        // The overclock must actually produce timing errors for the test
+        // to mean anything.
+        let errors = inputs
+            .iter()
+            .zip(&reference)
+            .filter(|(&(a, b), &y)| y != a + b)
+            .count();
+        assert!(errors > 0, "no violations at period {period}");
+    }
+
+    #[test]
+    fn prefix_adder_mixed_regime_is_bit_identical() {
+        // A group-PG (Kogge-Stone) netlist driven through the *mixed*
+        // fast/slow regime — no tier-0, no fallback, real compacted
+        // waves — so the span-pinning bounds and the wave seeding are
+        // exercised together on a prefix topology. Uniform random
+        // operands would fall back (log-depth adders leave little slack);
+        // propagate-sparse operands (isolated p bits, max run 1) keep
+        // most lanes provably safe while periodic full-propagate pairs
+        // force genuine event simulation.
+        let adder = build_exact(16, AdderTopology::KoggeStone);
+        let lib = CellLibrary::industrial_65nm();
+        let ann = DelayAnnotation::nominal(adder.netlist(), &lib);
+        let cls = LaneClassifier::build(&adder, &ann);
+        assert!(
+            cls.bound_fs(2) < cls.critical_fs(),
+            "span pinning must tighten the prefix bound for this test to bite"
+        );
+        let period_fs = (cls.bound_fs(2) + cls.critical_fs()) / 2;
+        let period = period_fs as f64 / 1000.0;
+        let mut x = 0x1357_9BDFu64;
+        let inputs: Vec<(u64, u64)> = (0..2000)
+            .map(|i| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                if i % 5 == 0 {
+                    (0xFFFF, 1) // full propagate run: must go slow-path
+                } else {
+                    let a = x & 0xFFFF;
+                    (a, a ^ (0x2492 >> (i % 3))) // p runs of length 1
+                }
+            })
+            .collect();
+        let (got, stats) = run_filtered_batch_with_stats(&adder, &ann, &cls, period, &inputs);
+        assert_eq!(got, run_clocked_batch(&adder, &ann, period, &inputs));
+        assert!(!stats.tier0 && !stats.fell_back, "{stats:?}");
+        assert!(stats.waves > 0, "violating pairs must be simulated");
+        assert!(
+            stats.fast_path > 500,
+            "sparse pairs must take the fast path: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn deep_overclock_falls_back_and_stays_identical() {
+        let (adder, ann, crit) = ripple16();
+        let cls = LaneClassifier::build(&adder, &ann);
+        let period = crit * 0.25;
+        let inputs = pairs(500, 0xD0E);
+        let (got, stats) = run_filtered_batch_with_stats(&adder, &ann, &cls, period, &inputs);
+        assert!(stats.fell_back, "hardly anything is safe at 4x overclock");
+        assert_eq!(stats.fast_path, 0);
+        assert_eq!(got, run_clocked_batch(&adder, &ann, period, &inputs));
+    }
+
+    #[test]
+    fn ragged_tail_and_tiny_streams_match() {
+        let (adder, ann, crit) = ripple16();
+        let cls = LaneClassifier::build(&adder, &ann);
+        for n in [1usize, 3, 63, 64, 65, 333] {
+            let inputs = pairs(n, 0xA11 + n as u64);
+            for period in [crit * 0.75, crit * 0.9, crit + 1.0] {
+                let got = run_filtered_batch(&adder, &ann, &cls, period, &inputs);
+                assert_eq!(
+                    got,
+                    run_clocked_batch(&adder, &ann, period, &inputs),
+                    "n={n} period={period}"
+                );
+            }
+        }
+        assert!(run_filtered_batch(&adder, &ann, &cls, crit, &[]).is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_across_runs() {
+        let (adder, ann, crit) = ripple16();
+        let cls = LaneClassifier::build(&adder, &ann);
+        reset_counters();
+        let inputs = pairs(128, 0xC0);
+        let _ = run_filtered_batch(&adder, &ann, &cls, crit + 1.0, &inputs);
+        let (fast, total) = counters();
+        assert_eq!(total, 128);
+        assert_eq!(fast, 128);
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod bitsim;
 pub mod clocked;
+pub mod filtered;
 pub mod power;
 pub mod razor;
 pub mod sim;
@@ -39,6 +40,7 @@ pub use bitsim::{
     run_clocked_batch, run_clocked_batch_with_core, violation_mask, BitClockedCore, BitSimCore,
 };
 pub use clocked::{run_adder_trace, ClockedCore, ClockedSim, CycleRecord};
+pub use filtered::{run_filtered_batch, run_filtered_batch_with_stats, FilterStats};
 pub use power::{measure as measure_energy, measure_activity, EnergyReport};
 pub use razor::{run_razor_trace, RazorConfig, RazorCycle, RazorReport};
 pub use sim::{ps_to_fs, GateLevelSim, SettleError, SimCore, FS_PER_PS};

@@ -17,15 +17,7 @@ use std::fmt;
 use isa_netlist::graph::{NetId, Netlist};
 use isa_netlist::timing::DelayAnnotation;
 
-/// Femtoseconds per picosecond.
-pub const FS_PER_PS: f64 = 1000.0;
-
-/// Converts picoseconds to integer femtoseconds (rounded).
-#[must_use]
-pub fn ps_to_fs(ps: f64) -> u64 {
-    debug_assert!(ps.is_finite() && ps >= 0.0);
-    (ps * FS_PER_PS).round() as u64
-}
+pub use isa_netlist::timing::{ps_to_fs, FS_PER_PS};
 
 /// Simulation failed to reach quiescence within the event budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

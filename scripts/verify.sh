@@ -44,8 +44,15 @@ else
 fi
 rm -f "$bench_log"
 
-echo "==> backend speedup gate (bench_backends, reduced counts, warmup + best-of-3)"
+echo "==> backend speedup gates (bench_backends, reduced counts, warmup + best-of-3)"
+# Same dual gates as CI's bench job — filtered vs bit-sliced and
+# bit-sliced vs scalar — but at reduced counts so a speedup-destroying
+# change fails in seconds locally. The thresholds are lower than CI's
+# because forest fitting and synthesis (backend-common) dominate small
+# suites; CI enforces 1.5x at the BENCH_PR4.json reference counts
+# (--cycles 100000), where gate-level simulation dominates.
 cargo run --release -q -p isa-experiments --bin bench_backends -- \
-  --cycles 2000 --train 600 --test 300 --samples 20000 --min-speedup 1.0 >/dev/null
+  --cycles 20000 --train 2000 --test 1000 --samples 100000 \
+  --min-speedup 1.1 >/dev/null
 
 echo "verify: OK"
