@@ -109,6 +109,63 @@ pub fn paper_designs() -> Vec<Design> {
     designs
 }
 
+/// Every valid ISA configuration on the cross product of the given
+/// parameter axes, in deterministic lexicographic `(B, S, C, R)` order.
+///
+/// Combinations that fail [`IsaConfig`] validation (block not dividing the
+/// width, SPEC/correction/reduction wider than a block) are skipped, as are
+/// configurations with *overlapping compensation* (`C + R > B`) — the
+/// paper's designs never overlap and the analytical error model
+/// ([`crate::analysis::DesignAnalysis`]) only covers the non-overlapping
+/// subspace, so design-space iteration stays inside it.
+///
+/// # Examples
+///
+/// ```
+/// use isa_core::designs::quadruple_grid;
+///
+/// let grid = quadruple_grid(32, &[8, 16], &[0, 2], &[0, 1], &[0, 4]);
+/// assert!(grid.iter().all(|c| c.width() == 32));
+/// // 2 blocks x 2 specs x 2 corrections x 2 reductions, all valid here.
+/// assert_eq!(grid.len(), 16);
+/// ```
+#[must_use]
+pub fn quadruple_grid(
+    width: u32,
+    blocks: &[u32],
+    specs: &[u32],
+    corrections: &[u32],
+    reductions: &[u32],
+) -> Vec<IsaConfig> {
+    let mut out = Vec::new();
+    for &b in blocks {
+        for &s in specs {
+            for &c in corrections {
+                for &r in reductions {
+                    if c + r > b {
+                        continue;
+                    }
+                    if let Ok(cfg) = IsaConfig::new(width, b, s, c, r) {
+                        out.push(cfg);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Every valid non-overlapping ISA configuration for `width`: all block
+/// sizes dividing the width, all SPEC windows `0..=B`, and all
+/// correction/reduction pairs with `C + R <= B`, lexicographic in
+/// `(B, S, C, R)`. This is the explorer's "full" structural space.
+#[must_use]
+pub fn enumerate_quadruples(width: u32) -> Vec<IsaConfig> {
+    let blocks: Vec<u32> = (1..=width).filter(|b| width.is_multiple_of(*b)).collect();
+    let axis: Vec<u32> = (0..=width).collect();
+    quadruple_grid(width, &blocks, &axis, &axis, &axis)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +209,48 @@ mod tests {
         let designs = paper_designs();
         assert!(designs[0].isa_config().is_some());
         assert!(designs[11].isa_config().is_none());
+    }
+
+    #[test]
+    fn quadruple_grid_skips_invalid_and_overlapping() {
+        // Block 12 does not divide 32; S=9 > B=8; C+R > B combinations are
+        // excluded even when individually valid.
+        let grid = quadruple_grid(32, &[8, 12], &[0, 9], &[0, 4], &[0, 6]);
+        assert!(grid.iter().all(|c| c.block_size() == 8));
+        assert!(grid.iter().all(|c| c.spec_size() == 0));
+        assert!(grid
+            .iter()
+            .all(|c| c.correction() + c.reduction() <= c.block_size()));
+        // (8,0,0,0), (8,0,0,6), (8,0,4,0) — but not (8,0,4,6).
+        assert_eq!(grid.len(), 3);
+    }
+
+    #[test]
+    fn quadruple_grid_is_lexicographic_and_deterministic() {
+        let grid = quadruple_grid(32, &[16, 8], &[0, 1], &[0], &[0]);
+        let quads: Vec<_> = grid.iter().map(IsaConfig::quadruple).collect();
+        // Axis order is preserved exactly as given (deterministic).
+        assert_eq!(
+            quads,
+            vec![(16, 0, 0, 0), (16, 1, 0, 0), (8, 0, 0, 0), (8, 1, 0, 0)]
+        );
+    }
+
+    #[test]
+    fn enumerate_quadruples_covers_the_paper_designs() {
+        let all = enumerate_quadruples(32);
+        for quad in PAPER_QUADRUPLES {
+            assert!(
+                all.iter().any(|c| c.quadruple() == quad),
+                "{quad:?} missing from the full space"
+            );
+        }
+        // Every entry is valid and non-overlapping by construction.
+        assert!(all
+            .iter()
+            .all(|c| c.correction() + c.reduction() <= c.block_size()));
+        // The space is substantial but bounded.
+        assert!(all.len() > 500);
     }
 
     #[test]

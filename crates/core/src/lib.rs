@@ -61,7 +61,10 @@ pub use batch::{
 pub use bitdist::BitErrorDistribution;
 pub use combine::{combine_errors, CombinedErrorStats, SilverSource};
 pub use config::{ConfigError, IsaConfig, ParseQuadrupleError, SpecGuess};
-pub use designs::{paper_designs, paper_isa_configs, Design, PAPER_QUADRUPLES, PAPER_WIDTH};
+pub use designs::{
+    enumerate_quadruples, paper_designs, paper_isa_configs, quadruple_grid, Design,
+    PAPER_QUADRUPLES, PAPER_WIDTH,
+};
 pub use error::OutputTriple;
 pub use isa::{Compensation, IsaAddition, PathOutcome, SpeculativeAdder};
 pub use multiplier::{ExactMultiplier, Multiplier, SpeculativeMultiplier};

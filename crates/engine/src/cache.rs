@@ -71,6 +71,35 @@ impl ArtifactCache {
         Arc::clone(slot.get_or_init(|| Arc::new(DesignContext::build(*design, config))))
     }
 
+    /// Fallible variant of [`ArtifactCache::context`] for designs that may
+    /// not meet the timing constraint: a cache hit returns the shared
+    /// context, a miss synthesizes exactly once on success, and a failure
+    /// is returned (not memoized — infeasibility is cheap to re-discover
+    /// and callers typically memoize it themselves).
+    ///
+    /// # Errors
+    ///
+    /// Returns the synthesis error message when the design cannot meet the
+    /// configuration's clock period.
+    pub fn try_context(
+        &self,
+        design: &Design,
+        config: &ExperimentConfig,
+    ) -> Result<Arc<DesignContext>, String> {
+        let key = ArtifactKey::new(design, config);
+        let slot = {
+            let mut slots = self.slots.lock().expect("artifact cache poisoned");
+            Arc::clone(slots.entry(key).or_default())
+        };
+        if let Some(ctx) = slot.get() {
+            return Ok(Arc::clone(ctx));
+        }
+        let built = DesignContext::try_build(*design, config).map_err(|e| e.to_string())?;
+        // A concurrent racer may have filled the slot meanwhile; the
+        // winner's context is the shared one either way.
+        Ok(Arc::clone(slot.get_or_init(|| Arc::new(built))))
+    }
+
     /// Number of contexts built so far.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -159,9 +159,28 @@ impl DesignContext {
     /// # Panics
     ///
     /// Panics if the design cannot meet the timing constraint — the twelve
-    /// paper designs always can under the default configuration.
+    /// paper designs always can under the default configuration. Arbitrary
+    /// design-space points should go through [`DesignContext::try_build`]
+    /// (or [`ArtifactCache::try_context`](crate::ArtifactCache::try_context))
+    /// instead.
     #[must_use]
     pub fn build(design: Design, config: &ExperimentConfig) -> Self {
+        Self::try_build(design, config)
+            .unwrap_or_else(|e| panic!("synthesis of {design} failed: {e}"))
+    }
+
+    /// Fallible variant of [`DesignContext::build`] for designs that may
+    /// not meet the timing constraint (the design-space explorer's
+    /// feasibility boundary).
+    ///
+    /// # Errors
+    ///
+    /// Returns the synthesis error when no feasible implementation exists
+    /// at the configuration's clock period.
+    pub fn try_build(
+        design: Design,
+        config: &ExperimentConfig,
+    ) -> Result<Self, isa_netlist::synth::SynthesisError> {
         let lib = CellLibrary::industrial_65nm();
         let synthesized = match &design {
             Design::Isa(cfg) => {
@@ -172,20 +191,19 @@ impl DesignContext {
                 // Constrained at the period: recovered to the slack wall.
                 synthesize_exact(*width, config.period_ps, &lib, &SynthesisOptions::paper())
             }
-        }
-        .unwrap_or_else(|e| panic!("synthesis of {design} failed: {e}"));
+        }?;
         let variation = VariationModel::new(
             config.variation_sigma,
             config.variation_seed ^ design_seed(&design),
         );
         let annotation = synthesized.annotation.perturbed(&variation);
-        Self {
+        Ok(Self {
             gold: design.behavioural(),
             design,
             synthesized,
             annotation,
             classifier: OnceLock::new(),
-        }
+        })
     }
 
     /// The design's operand-adaptive timing classifier (for
@@ -196,6 +214,16 @@ impl DesignContext {
     pub fn classifier(&self) -> &LaneClassifier {
         self.classifier
             .get_or_init(|| LaneClassifier::build(&self.synthesized.adder, &self.annotation))
+    }
+
+    /// The die's exact critical delay in picoseconds: the slowest
+    /// input-to-output path of *this* die sample (process variation
+    /// included), from the classifier's femtosecond STA. Any clock period
+    /// at or above this value cannot produce timing errors; the nominal
+    /// [`Synthesized::critical_ps`] is the pre-variation figure.
+    #[must_use]
+    pub fn die_critical_ps(&self) -> f64 {
+        self.classifier().critical_fs() as f64 / 1000.0
     }
 
     /// Builds contexts for all twelve paper designs, in figure order.
@@ -267,6 +295,26 @@ mod tests {
             assert_eq!(rec.sampled, rec.settled, "no timing error at safe clock");
             assert_eq!(rec.settled, ctx.gold.add(rec.a, rec.b), "settled == gold");
         }
+    }
+
+    #[test]
+    fn die_critical_delay_matches_the_classifier_and_variation() {
+        let design = Design::Isa(isa_core::IsaConfig::new(32, 8, 0, 0, 4).unwrap());
+        let varied = DesignContext::build(design, &ExperimentConfig::default());
+        assert_eq!(
+            varied.die_critical_ps(),
+            varied.classifier().critical_fs() as f64 / 1000.0
+        );
+        // Without process variation the die equals the nominal synthesis
+        // figure (STA and synthesis agree to the femtosecond grid).
+        let clean = DesignContext::build(
+            design,
+            &ExperimentConfig {
+                variation_sigma: 0.0,
+                ..ExperimentConfig::default()
+            },
+        );
+        assert!((clean.die_critical_ps() - clean.synthesized.critical_ps).abs() < 1e-3);
     }
 
     #[test]

@@ -125,6 +125,21 @@ impl Engine {
         self.cache.context(design, config)
     }
 
+    /// Fallible variant of [`Engine::context`] for designs that may not
+    /// meet the timing constraint (see
+    /// [`ArtifactCache::try_context`](crate::ArtifactCache::try_context)).
+    ///
+    /// # Errors
+    ///
+    /// Returns the synthesis error message for infeasible designs.
+    pub fn try_context(
+        &self,
+        design: &Design,
+        config: &ExperimentConfig,
+    ) -> Result<Arc<DesignContext>, String> {
+        self.cache.try_context(design, config)
+    }
+
     /// Builds (and memoizes) the contexts of many designs in parallel.
     pub fn prewarm(&self, designs: &[Design], config: &ExperimentConfig) {
         self.parallel_indexed(designs.len(), |i| {
@@ -273,6 +288,40 @@ impl Engine {
                 clock_ps: plan.config.clock_ps(cpr),
                 workload: &workloads[workload_idx].name,
                 inputs: &workloads[workload_idx].inputs,
+            })
+        })
+    }
+
+    /// Runs an evaluator over an explicit, possibly sparse list of
+    /// (design, clock-period-reduction) points sharing one workload, in
+    /// parallel across points, results in list order.
+    ///
+    /// [`Engine::map`] always evaluates a plan's *full* cross product;
+    /// this is the evaluation plumbing for callers that select their own
+    /// subset of the space — the design-space explorer scores only the
+    /// candidates that survive its analytical pre-filter. Points still
+    /// inherit the engine's memoized synthesis artifacts and worker pool.
+    pub fn map_points<T, F>(
+        &self,
+        config: &ExperimentConfig,
+        points: &[(Design, f64)],
+        workload: &WorkloadSpec,
+        f: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(RunUnit<'_>) -> T + Sync,
+    {
+        self.parallel_indexed(points.len(), |i| {
+            let (design, cpr) = points[i];
+            f(RunUnit {
+                engine: self,
+                config,
+                design,
+                cpr,
+                clock_ps: config.clock_ps(cpr),
+                workload: &workload.name,
+                inputs: &workload.inputs,
             })
         })
     }
@@ -487,6 +536,31 @@ mod tests {
         assert_eq!(results[2].cpr, 0.10);
         assert_eq!(results[0].design_label, "(8,0,0,4)");
         assert_eq!(results[4].design_label, "exact");
+    }
+
+    #[test]
+    fn map_points_evaluates_exactly_the_sparse_list() {
+        let engine = Engine::with_threads(4);
+        let config = ExperimentConfig::default();
+        let workload = crate::plan::WorkloadSpec {
+            name: "w".to_owned(),
+            inputs: std::sync::Arc::new(vec![(1, 2), (3, 4)]),
+        };
+        // A sparse, non-product subset (including a repeat).
+        let points = [
+            (one_design(), 0.15),
+            (Design::Exact { width: 32 }, 0.05),
+            (one_design(), 0.15),
+        ];
+        let labels = engine.map_points(&config, &points, &workload, |unit| {
+            assert_eq!(unit.inputs.len(), 2);
+            assert_eq!(unit.workload, "w");
+            format!("{}@{:.2}@{}", unit.design, unit.cpr, unit.clock_ps)
+        });
+        assert_eq!(
+            labels,
+            vec!["(8,0,0,4)@0.15@255", "exact@0.05@285", "(8,0,0,4)@0.15@255"]
+        );
     }
 
     #[test]

@@ -12,8 +12,8 @@ use std::time::Instant;
 
 use isa_core::{paper_designs, Design, IsaConfig};
 use isa_experiments::{
-    apps_quality, arg_value, config_from_args, design_table, energy, engine_from_args, fig10, fig9,
-    guardband, prediction, workload_sensitivity,
+    apps_quality, arg_value, config_from_args, design_table, energy, engine_from_args, explore,
+    fig10, fig9, guardband, prediction, workload_sensitivity,
 };
 
 fn main() {
@@ -90,6 +90,19 @@ fn main() {
     );
     print!("{}", aq.render());
     std::fs::write(format!("{outdir}/apps_quality.csv"), aq.to_csv()).expect("write");
+
+    let explore_cycles = (cycles / 5).max(1_000);
+    eprintln!("design-space exploration ({explore_cycles} cycles per survivor, extension)...");
+    let ex = explore::run_on(
+        &engine,
+        &config,
+        &explore::ExploreSettings {
+            cycles: explore_cycles,
+            ..explore::ExploreSettings::default()
+        },
+    );
+    print!("{}", ex.render());
+    std::fs::write(format!("{outdir}/explore.csv"), ex.to_csv()).expect("write");
 
     eprintln!(
         "done in {:.1}s ({} workers); CSVs in {outdir}/",

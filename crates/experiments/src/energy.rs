@@ -9,7 +9,7 @@
 use isa_core::Design;
 use isa_engine::{Engine, ExperimentConfig, ExperimentPlan, SimBackend};
 use isa_netlist::cell::CellLibrary;
-use isa_timing_sim::{measure_activity, run_clocked_batch_with_core, GateLevelSim};
+use isa_timing_sim::{measure_activity, measure_clocked_batch, GateLevelSim};
 use isa_workloads::{take_pairs, UniformWorkload};
 
 use crate::report::{sci, Table};
@@ -93,20 +93,13 @@ pub fn run_on(
                 }
                 measure_activity(sim.net_commit_counts(), n as u64 * period_fs, netlist, &lib)
             }
-            SimBackend::BitSliced | SimBackend::Filtered => {
-                let (_, clocked) = run_clocked_batch_with_core(
-                    adder,
-                    &ctx.annotation,
-                    unit.config.period_ps,
-                    unit.inputs,
-                );
-                measure_activity(
-                    clocked.net_commit_counts(),
-                    n as u64 * period_fs,
-                    netlist,
-                    &lib,
-                )
-            }
+            SimBackend::BitSliced | SimBackend::Filtered => measure_clocked_batch(
+                adder,
+                &ctx.annotation,
+                unit.config.period_ps,
+                unit.inputs,
+                &lib,
+            ),
         };
         let mut structural = isa_core::ErrorStats::new();
         for &(a, b) in unit.inputs {

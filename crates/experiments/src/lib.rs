@@ -15,10 +15,14 @@
 //! Beyond the paper, [`energy`] reproduces the energy-efficiency
 //! comparison style of the paper's reference \[17\] from simulated switching
 //! activity, [`guardband`] quantifies the paper's positioning against
-//! Razor-style detect-and-recover schemes (reference \[10\]), and
+//! Razor-style detect-and-recover schemes (reference \[10\]),
 //! [`apps_quality`] scores real application kernels (FIR, 2-D convolution,
 //! dot product, histogram) in PSNR/SNR dB across the clock sweep — the
-//! units the paper's RMS-RE argument appeals to.
+//! units the paper's RMS-RE argument appeals to — and
+//! [`explore`](mod@explore) *searches* the combined structural × timing
+//! space the figures only sample: a Pareto front over (error, delay,
+//! energy) via [`isa_explore`]'s two-tier analytical + gate-level
+//! evaluator.
 //!
 //! Each module exposes a `run(...)` entry point (fresh engine) plus a
 //! `run_on(&Engine, ...)` variant for sharing one engine — and hence one
@@ -39,6 +43,7 @@
 pub mod apps_quality;
 pub mod design_table;
 pub mod energy;
+pub mod explore;
 pub mod fig10;
 pub mod fig9;
 pub mod guardband;

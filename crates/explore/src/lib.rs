@@ -1,0 +1,67 @@
+//! # isa-explore
+//!
+//! Multi-objective design-space exploration over the *combined* structural
+//! × timing × workload space of overclocked inexact speculative adders.
+//!
+//! The paper samples that space at twelve hand-picked designs and three
+//! clock-period reductions; this crate *searches* it. A
+//! [`SpaceSpec`] materializes the candidate space (structural quadruples ×
+//! clock reductions), a two-tier [`Evaluator`] scores candidates — an
+//! analytical structural-error model and femtosecond STA prune
+//! provably-dominated configurations before the engine simulates the
+//! survivors on the filtered gate-level backend — and a search
+//! [`Strategy`] (exhaustive for small spaces, seeded NSGA-II-style
+//! evolutionary for large ones) assembles a deterministic
+//! [`ParetoFront`] over (error, delay, energy) [`ObjectiveVector`]s.
+//!
+//! Quality-constrained queries ("the cheapest design meeting ≥ 30 dB PSNR
+//! on Sobel at clock X") run against the outcome via
+//! [`SearchOutcome::cheapest`], and
+//! [`SearchOutcome::thesis_witness`] reproduces the paper's central claim
+//! as a search result: a combined (inexact **and** overclocked)
+//! configuration that strictly dominates every measured pure-structural
+//! and pure-overclocking configuration at its quality level.
+//!
+//! ```no_run
+//! use isa_engine::{Engine, ExperimentConfig};
+//! use isa_explore::{
+//!     explore, EvalMode, EvalSettings, SearchSettings, SpaceSpec, Strategy,
+//! };
+//!
+//! let engine = Engine::new();
+//! let config = ExperimentConfig::default();
+//! let mode = EvalMode::uniform_stream(32, 20_000, config.workload_seed);
+//! let outcome = explore(
+//!     &engine,
+//!     config,
+//!     &SpaceSpec::paper(),
+//!     mode,
+//!     EvalSettings::default(),
+//!     SearchSettings {
+//!         strategy: Strategy::Exhaustive,
+//!         ..SearchSettings::default()
+//!     },
+//! );
+//! for entry in outcome.front.entries() {
+//!     println!("{}: {:?}", entry.key, entry.objectives);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod evaluate;
+pub mod pareto;
+pub mod search;
+pub mod space;
+
+pub use evaluate::{
+    snr_db_of_rms_pct, CandidateEval, EvalMode, EvalSettings, Evaluator, MIN_CROSS_DESIGN_SAFETY,
+};
+pub use isa_metrics::ObjectiveVector;
+pub use pareto::{FrontEntry, ParetoFront};
+pub use search::{
+    explore, EvolutionSettings, Query, SearchOutcome, SearchSettings, SearchStats, Strategy,
+    ThesisWitness,
+};
+pub use space::{DesignPoint, SpaceSpec, DEFAULT_CPRS};

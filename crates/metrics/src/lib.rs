@@ -12,17 +12,23 @@
 //!   (the paper's motivation for using RMS RE);
 //! * [`quality`](mod@quality) — application-level quality
 //!   ([`QualityStats`]: MSE, SNR/PSNR in dB, max absolute error) for
-//!   kernels executed through inexact overclocked adders.
+//!   kernels executed through inexact overclocked adders;
+//! * [`objective`](mod@objective) — multi-objective
+//!   (error, delay, energy) vectors with Pareto dominance and a total
+//!   lexicographic order, the scoring currency of the design-space
+//!   explorer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod abper;
 pub mod avpe;
+pub mod objective;
 pub mod quality;
 
 pub use abper::{abper, AbperAccumulator};
 pub use avpe::{avpe, AvpeAccumulator};
+pub use objective::ObjectiveVector;
 pub use quality::QualityStats;
 
 /// The paper's display floor: zero-valued metrics are plotted as 10⁻⁶

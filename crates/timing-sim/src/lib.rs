@@ -41,7 +41,7 @@ pub use bitsim::{
 };
 pub use clocked::{run_adder_trace, ClockedCore, ClockedSim, CycleRecord};
 pub use filtered::{run_filtered_batch, run_filtered_batch_with_stats, FilterStats};
-pub use power::{measure as measure_energy, measure_activity, EnergyReport};
+pub use power::{measure as measure_energy, measure_activity, measure_clocked_batch, EnergyReport};
 pub use razor::{run_razor_trace, RazorConfig, RazorCycle, RazorReport};
 pub use sim::{ps_to_fs, GateLevelSim, SettleError, SimCore, FS_PER_PS};
 pub use waveform::{Transition, Waveform};

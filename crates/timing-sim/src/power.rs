@@ -8,9 +8,12 @@
 //! also drive the energy-efficiency comparison of the `energy_table`
 //! experiment.
 
+use isa_netlist::builders::AdderNetlist;
 use isa_netlist::cell::CellLibrary;
 use isa_netlist::graph::{NetDriver, NetId, Netlist};
+use isa_netlist::timing::DelayAnnotation;
 
+use crate::bitsim::run_clocked_batch_with_core;
 use crate::sim::GateLevelSim;
 
 /// Leakage power per NAND2-equivalent area unit, in nanowatts (65 nm-class
@@ -58,6 +61,33 @@ impl EnergyReport {
 #[must_use]
 pub fn measure(sim: &GateLevelSim<'_>, netlist: &Netlist, lib: &CellLibrary) -> EnergyReport {
     measure_activity(sim.net_commit_counts(), sim.now_fs(), netlist, lib)
+}
+
+/// Characterizes an adder's switching energy over an input stream: runs
+/// the whole stream through the bit-sliced clocked core at `period_ps`
+/// and charges leakage over the sequential-equivalent span
+/// (`inputs.len() × period`), so the figure is comparable with a scalar
+/// run of the same operation count on one circuit. This is the one
+/// energy-per-addition recipe shared by the `energy_table` experiment and
+/// the design-space explorer's energy objective.
+#[must_use]
+pub fn measure_clocked_batch(
+    adder: &AdderNetlist,
+    annotation: &DelayAnnotation,
+    period_ps: f64,
+    inputs: &[(u64, u64)],
+    lib: &CellLibrary,
+) -> EnergyReport {
+    let (_, clocked) = run_clocked_batch_with_core(adder, annotation, period_ps, inputs);
+    // Same femtosecond rounding as the simulated clock edge, so the
+    // leakage span and the activity it pairs with agree to the grid.
+    let period_fs = isa_netlist::timing::ps_to_fs(period_ps);
+    measure_activity(
+        clocked.net_commit_counts(),
+        inputs.len() as u64 * period_fs,
+        adder.netlist(),
+        lib,
+    )
 }
 
 /// Estimates energy from an explicit activity profile: per-net committed

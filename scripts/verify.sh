@@ -55,4 +55,13 @@ cargo run --release -q -p isa-experiments --bin bench_backends -- \
   --cycles 20000 --train 2000 --test 1000 --samples 100000 \
   --min-speedup 1.1 >/dev/null
 
+echo "==> explorer pre-filter gate (reduced counts; CI gates 1.3x at BENCH_PR5.json counts)"
+# Same dual checks as CI's explorer step — pre-filter speedup on the
+# bit-sliced backend plus front equality with and without pruning — at
+# reduced cycles so it finishes in seconds.
+cargo run --release -q -p isa-experiments --bin explore -- \
+  --space compact --strategy exhaustive --cycles 5000 --seed 7 \
+  --backend bitsliced --bench-json "$(mktemp)" --repeats 1 \
+  --min-prefilter-speedup 1.1 >/dev/null
+
 echo "verify: OK"

@@ -26,6 +26,10 @@
 //!   [`ExperimentPlan`](engine::ExperimentPlan) +
 //!   [`Engine`](engine::Engine) with memoized synthesis artifacts and
 //!   sharded multi-threaded runs over swappable substrates;
+//! * [`explore`] — multi-objective design-space exploration:
+//!   Pareto search over (error, delay, energy) with a two-tier
+//!   analytical + gate-level evaluator and exhaustive or NSGA-II-style
+//!   evolutionary strategies;
 //! * [`experiments`] — the per-figure reproduction
 //!   pipelines, all driving the engine.
 //!
@@ -70,6 +74,7 @@ pub use isa_apps as apps;
 pub use isa_core as core;
 pub use isa_engine as engine;
 pub use isa_experiments as experiments;
+pub use isa_explore as explore;
 pub use isa_learn as learn;
 pub use isa_metrics as metrics;
 pub use isa_netlist as netlist;
