@@ -11,14 +11,58 @@
 //! constrained at 0.3 ns") and recovered to the slack wall like any
 //! commercial flow would.
 
+use std::fmt;
 use std::sync::OnceLock;
 
 use isa_core::{paper_designs, Adder, Design};
+use isa_netlint::{lint_adder_with_classifier, LintOptions, LintReport};
 use isa_netlist::cell::CellLibrary;
 use isa_netlist::classify::LaneClassifier;
-use isa_netlist::synth::{synthesize_exact, synthesize_isa, SynthesisOptions, Synthesized};
+use isa_netlist::synth::{
+    synthesize_exact, synthesize_isa, SynthesisError, SynthesisOptions, Synthesized,
+};
 use isa_netlist::timing::{DelayAnnotation, VariationModel};
 use isa_timing_sim::{run_adder_trace, CycleRecord};
+
+/// Why [`DesignContext::try_build`] rejected a design: either synthesis
+/// found no feasible implementation, or the synthesized artifact failed
+/// the static-analysis gate ([`isa_netlint`]) that every design must pass
+/// before anything simulates it.
+#[derive(Debug)]
+pub enum BuildError {
+    /// No implementation meets the timing constraint.
+    Synthesis(SynthesisError),
+    /// The synthesized netlist/annotation failed lint with at least one
+    /// Error-severity finding (the full report is attached).
+    Lint(Box<LintReport>),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Synthesis(e) => write!(f, "{e}"),
+            BuildError::Lint(report) => {
+                let first = report
+                    .first_error()
+                    .map_or_else(|| "unknown lint failure".to_string(), ToString::to_string);
+                write!(
+                    f,
+                    "design {} failed static analysis with {} error(s); first: {first}",
+                    report.design,
+                    report.error_count()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<SynthesisError> for BuildError {
+    fn from(e: SynthesisError) -> Self {
+        BuildError::Synthesis(e)
+    }
+}
 
 /// Which gate-level evaluation engine the experiments run on.
 ///
@@ -144,6 +188,10 @@ pub struct DesignContext {
     pub annotation: DelayAnnotation,
     /// Behavioural golden model (structural errors only).
     pub gold: Box<dyn Adder>,
+    /// The static-analysis report from build time: zero errors (or the
+    /// context would not exist), possibly warnings, plus the verified
+    /// levelization IR and the lint wall-clock time.
+    pub lint: LintReport,
     /// Lazily built timing-safety classifier for the filtered backend
     /// (period independent — see [`DesignContext::classifier`]).
     classifier: OnceLock<LaneClassifier>,
@@ -173,14 +221,19 @@ impl DesignContext {
     /// not meet the timing constraint (the design-space explorer's
     /// feasibility boundary).
     ///
+    /// Every successfully synthesized design is statically analyzed
+    /// ([`isa_netlint`]) before the context is returned: structural
+    /// well-formedness, verified levelization, timing-graph sanity and the
+    /// classifier conservatism audit all must pass. A context therefore
+    /// never wraps a netlist the analyzer would reject.
+    ///
     /// # Errors
     ///
-    /// Returns the synthesis error when no feasible implementation exists
-    /// at the configuration's clock period.
-    pub fn try_build(
-        design: Design,
-        config: &ExperimentConfig,
-    ) -> Result<Self, isa_netlist::synth::SynthesisError> {
+    /// Returns [`BuildError::Synthesis`] when no feasible implementation
+    /// exists at the configuration's clock period, and
+    /// [`BuildError::Lint`] (with the full report) when the synthesized
+    /// artifact fails static analysis.
+    pub fn try_build(design: Design, config: &ExperimentConfig) -> Result<Self, BuildError> {
         let lib = CellLibrary::industrial_65nm();
         let synthesized = match &design {
             Design::Isa(cfg) => {
@@ -197,12 +250,35 @@ impl DesignContext {
             config.variation_seed ^ design_seed(&design),
         );
         let annotation = synthesized.annotation.perturbed(&variation);
-        Ok(Self {
+        let ctx = Self {
             gold: design.behavioural(),
             design,
             synthesized,
             annotation,
+            lint: LintReport {
+                design: String::new(),
+                diagnostics: Vec::new(),
+                levelization: None,
+                elapsed: std::time::Duration::ZERO,
+            },
             classifier: OnceLock::new(),
+        };
+        // The audit stage reuses the memoized classifier the filtered
+        // backend needs anyway, so its construction cost is not billed to
+        // the lint budget (and is paid at most once per context).
+        let report = lint_adder_with_classifier(
+            &ctx.synthesized.adder,
+            &ctx.annotation,
+            ctx.classifier(),
+            Some(ctx.gold.as_ref()),
+            &LintOptions::default(),
+        );
+        if report.has_errors() {
+            return Err(BuildError::Lint(Box::new(report)));
+        }
+        Ok(Self {
+            lint: report,
+            ..ctx
         })
     }
 

@@ -59,7 +59,7 @@ pub mod plan;
 pub mod substrates;
 
 pub use cache::ArtifactCache;
-pub use context::{DesignContext, ExperimentConfig, SimBackend};
+pub use context::{BuildError, DesignContext, ExperimentConfig, SimBackend};
 pub use engine::{Engine, RunResult, RunUnit};
 pub use plan::{ExperimentPlan, SubstrateChoice, WorkloadSpec};
 pub use substrates::{cycles_with_segment_resets, GateLevelSubstrate, PredictedSubstrate};

@@ -6,22 +6,27 @@
 //! [--backend scalar|bitsliced|filtered]`
 
 use isa_core::{Design, IsaConfig};
-use isa_experiments::{apps_quality, arg_value, config_from_args, engine_from_args};
+use isa_experiments::{
+    apps_quality, arg_value, cli_error, config_from_args, engine_from_args, write_output,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = arg_value(&args, "scale").unwrap_or(4);
     let config = config_from_args(&args);
     let engine = engine_from_args(&args);
-    let designs = [
-        Design::Isa(IsaConfig::new(32, 8, 0, 0, 4).expect("valid")),
-        Design::Isa(IsaConfig::new(32, 16, 2, 1, 6).expect("valid")),
-        Design::Exact { width: 32 },
-    ];
+    let quadruples = [(8, 0, 0, 4), (16, 2, 1, 6)];
+    let mut designs = Vec::new();
+    for (b, s, c, r) in quadruples {
+        match IsaConfig::new(32, b, s, c, r) {
+            Ok(cfg) => designs.push(Design::Isa(cfg)),
+            Err(e) => cli_error(format_args!("bad quadruple ({b},{s},{c},{r}): {e}")),
+        }
+    }
+    designs.push(Design::Exact { width: 32 });
     let report = apps_quality::run_on(&engine, &config, &designs, &apps_quality::APP_CPRS, scale);
     print!("{}", report.render());
     if let Some(path) = arg_value::<String>(&args, "csv") {
-        std::fs::write(&path, report.to_csv()).expect("write csv");
-        eprintln!("wrote {path}");
+        write_output(&path, &report.to_csv());
     }
 }

@@ -18,7 +18,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use isa_experiments::explore::{run_on, ExploreReport, ExploreSettings};
-use isa_experiments::{arg_value, config_from_args, engine_from_args};
+use isa_experiments::{arg_value, config_from_args, engine_from_args, write_output};
 
 fn settings_from_args(args: &[String]) -> ExploreSettings {
     let defaults = ExploreSettings::default();
@@ -81,8 +81,7 @@ fn main() {
         engine.threads()
     );
     if let Some(path) = arg_value::<String>(&args, "csv") {
-        std::fs::write(&path, report.to_csv()).expect("write csv");
-        eprintln!("wrote {path}");
+        write_output(&path, &report.to_csv());
     }
 }
 
@@ -169,7 +168,7 @@ fn bench(args: &[String], json_path: String, settings: &ExploreSettings) {
     );
     let _ = writeln!(json, "  \"fronts_identical\": {fronts_identical}");
     json.push_str("}\n");
-    std::fs::write(&json_path, &json).expect("write bench json");
+    write_output(&json_path, &json);
 
     eprintln!(
         "explore bench: {} candidates, {:.0}% pruned; {with_s:.2}s with pre-filter vs \
@@ -181,8 +180,7 @@ fn bench(args: &[String], json_path: String, settings: &ExploreSettings) {
     // `--csv` still works in bench mode: export the with-pre-filter run's
     // report rather than silently ignoring the flag.
     if let Some(path) = arg_value::<String>(args, "csv") {
-        std::fs::write(&path, with_report.to_csv()).expect("write csv");
-        eprintln!("wrote {path}");
+        write_output(&path, &with_report.to_csv());
     }
     assert!(
         fronts_identical,

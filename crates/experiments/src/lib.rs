@@ -56,15 +56,81 @@ pub use isa_engine::{
     PredictedSubstrate, RunResult, SimBackend, SubstrateChoice,
 };
 
-/// Parses `--name value` style options from a raw argument list, returning
-/// the value for `name` if present and parseable.
-#[must_use]
-pub fn arg_value<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+/// A malformed command-line option: the flag is present but its value is
+/// missing or does not parse. Carries the flag name so the user sees what
+/// to fix instead of a backtrace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError {
+    flag: String,
+    detail: String,
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.flag, self.detail)
+    }
+}
+
+/// Parses a `--name value` style option from a raw argument list.
+///
+/// Returns `Ok(None)` when the flag is absent.
+///
+/// # Errors
+///
+/// Returns an [`ArgError`] naming the flag when it is present but its
+/// value is missing or fails to parse.
+pub fn try_arg_value<T: std::str::FromStr>(
+    args: &[String],
+    name: &str,
+) -> Result<Option<T>, ArgError>
+where
+    T::Err: std::fmt::Display,
+{
     let flag = format!("--{name}");
-    args.iter()
-        .position(|a| a == &flag)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
+    let Some(i) = args.iter().position(|a| a == &flag) else {
+        return Ok(None);
+    };
+    let Some(raw) = args.get(i + 1) else {
+        return Err(ArgError {
+            flag,
+            detail: "missing a value".to_owned(),
+        });
+    };
+    raw.parse().map(Some).map_err(|e| ArgError {
+        flag,
+        detail: format!("invalid value {raw:?}: {e}"),
+    })
+}
+
+/// Parses `--name value` style options from a raw argument list, returning
+/// the value for `name` if present.
+///
+/// A present-but-malformed value exits the process with code 2 and a
+/// message naming the flag (use [`try_arg_value`] to handle the error
+/// yourself) — silently falling back to a default on a typo would run a
+/// different experiment than the one asked for.
+#[must_use]
+pub fn arg_value<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T>
+where
+    T::Err: std::fmt::Display,
+{
+    try_arg_value(args, name).unwrap_or_else(|e| cli_error(e))
+}
+
+/// Prints `error: {message}` to stderr and exits with code 2 (the
+/// conventional usage-error status).
+pub fn cli_error(message: impl std::fmt::Display) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}
+
+/// Writes a report artifact (CSV, JSON) to `path`, exiting with a message
+/// naming the path on I/O failure, and confirming on stderr on success.
+pub fn write_output(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        cli_error(format_args!("cannot write {path}: {e}"));
+    }
+    eprintln!("wrote {path}");
 }
 
 /// Builds the experiment engine every binary shares: machine-sized worker
@@ -79,15 +145,17 @@ pub fn engine_from_args(args: &[String]) -> Engine {
 /// `--backend scalar|bitsliced|filtered` (the operand-adaptive filtered
 /// backend — bit-identical to bit-sliced — is the default).
 ///
-/// # Panics
-///
-/// Panics with a usage message if `--backend` names an unknown backend.
+/// An unknown backend name exits with code 2 and a message listing the
+/// valid choices.
 #[must_use]
 pub fn config_from_args(args: &[String]) -> ExperimentConfig {
     let mut config = ExperimentConfig::default();
     if let Some(backend) = arg_value::<String>(args, "backend") {
-        config.backend = SimBackend::parse(&backend)
-            .unwrap_or_else(|| panic!("unknown --backend {backend:?} (scalar|bitsliced|filtered)"));
+        config.backend = SimBackend::parse(&backend).unwrap_or_else(|| {
+            cli_error(format_args!(
+                "--backend: unknown backend {backend:?} (scalar|bitsliced|filtered)"
+            ))
+        });
     }
     config
 }
@@ -105,6 +173,19 @@ mod tests {
         assert_eq!(arg_value::<usize>(&args, "cycles"), Some(500));
         assert_eq!(arg_value::<String>(&args, "out"), Some("x.csv".into()));
         assert_eq!(arg_value::<usize>(&args, "missing"), None);
-        assert_eq!(arg_value::<usize>(&args, "out"), None, "non-numeric");
+    }
+
+    #[test]
+    fn malformed_values_report_the_flag() {
+        let args: Vec<String> = ["--cycles", "many", "--tail"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let err = try_arg_value::<usize>(&args, "cycles").unwrap_err();
+        assert!(err.to_string().contains("--cycles"), "{err}");
+        assert!(err.to_string().contains("\"many\""), "{err}");
+        let err = try_arg_value::<usize>(&args, "tail").unwrap_err();
+        assert!(err.to_string().contains("missing a value"), "{err}");
+        assert_eq!(try_arg_value::<usize>(&args, "absent"), Ok(None));
     }
 }

@@ -1,0 +1,354 @@
+//! Static conservatism audit of the lane classifier.
+//!
+//! The filtered backend's correctness rests on the
+//! [`LaneClassifier`] settle table being an *upper* bound: a lane the
+//! classifier proves safe is never event-simulated, so an unsound bound
+//! would silently change results. This pass re-derives the cheap half of
+//! that proof independently:
+//!
+//! * `bound_fs[L]` must be monotone in `L` (a larger run class contains
+//!   the smaller one);
+//! * `bound_fs[width]` (no run restriction) must equal the critical
+//!   delay, recomputed here with an independent integer-femtosecond
+//!   forward pass;
+//! * for every `L`, `bound_fs[L]` must be **at least** the carry-chain
+//!   window bound: an `L`-run of `p = 1` across linked ripple MAJ3 cells
+//!   forces the carry through all of them, so the sum of any `L`
+//!   consecutive linked chain-cell delays is a lower bound on the true
+//!   worst settle time — the audit re-detects the chains itself rather
+//!   than trusting the classifier's own structures;
+//! * every net the classifier *typed* as a group propagate/generate over
+//!   a bit span must actually compute that function — verified
+//!   semantically by evaluating the whole netlist on pseudo-random
+//!   64-lane batteries and folding the reference group P/G from the
+//!   primary operand planes. The zero-group-P span pinning in the bound
+//!   DP presupposes exactly these typings.
+
+use isa_netlist::classify::LaneClassifier;
+use isa_netlist::timing::{ps_to_fs, DelayAnnotation};
+use isa_netlist::{AdderNetlist, CellKind, NetId};
+
+use crate::diag::{Diagnostic, Locus, Rule};
+use crate::Splitmix;
+
+/// Runs the full classifier audit.
+#[must_use]
+pub fn check_classifier(
+    adder: &AdderNetlist,
+    annotation: &DelayAnnotation,
+    classifier: &LaneClassifier,
+    batteries: usize,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let width = adder.width() as usize;
+    if classifier.width() != width {
+        out.push(Diagnostic::new(
+            Rule::ClassifierShape,
+            Locus::Design,
+            format!(
+                "classifier built for width {}, design has width {width}",
+                classifier.width()
+            ),
+        ));
+        return out; // every table below is indexed by width
+    }
+
+    check_bound_table(adder, annotation, classifier, &mut out);
+    check_span_shapes(classifier, width, &mut out);
+    if out.iter().all(|d| d.rule != Rule::ClassifierShape) {
+        check_pg_semantics(adder, classifier, batteries, &mut out);
+    }
+    out
+}
+
+/// Monotonicity, critical-delay recovery and the chain-window lower bound.
+fn check_bound_table(
+    adder: &AdderNetlist,
+    annotation: &DelayAnnotation,
+    classifier: &LaneClassifier,
+    out: &mut Vec<Diagnostic>,
+) {
+    let netlist = adder.netlist();
+    let width = adder.width() as usize;
+
+    for l in 1..=width {
+        if classifier.bound_fs(l - 1) > classifier.bound_fs(l) {
+            out.push(Diagnostic::new(
+                Rule::BoundMonotone,
+                Locus::Design,
+                format!(
+                    "bound_fs[{}] = {} exceeds bound_fs[{l}] = {} — a larger run class \
+                     cannot settle sooner",
+                    l - 1,
+                    classifier.bound_fs(l - 1),
+                    classifier.bound_fs(l)
+                ),
+            ));
+        }
+    }
+
+    // Independent integer-fs forward pass for the critical delay.
+    let delays_fs: Vec<u64> = annotation.as_slice().iter().map(|&d| ps_to_fs(d)).collect();
+    let mut arrival = vec![0u64; netlist.net_count()];
+    for (i, cell) in netlist.cells().iter().enumerate() {
+        let worst = cell
+            .inputs
+            .iter()
+            .map(|n| arrival[n.index()])
+            .max()
+            .unwrap_or(0);
+        arrival[cell.output.index()] = worst + delays_fs[i];
+    }
+    let crit_fs = netlist
+        .outputs()
+        .iter()
+        .map(|n| arrival[n.index()])
+        .max()
+        .unwrap_or(0);
+    if classifier.critical_fs() != crit_fs {
+        out.push(Diagnostic::new(
+            Rule::BoundCritical,
+            Locus::Design,
+            format!(
+                "classifier critical delay {} fs, independent recomputation {} fs",
+                classifier.critical_fs(),
+                crit_fs
+            ),
+        ));
+    }
+    if classifier.bound_fs(width) != crit_fs {
+        out.push(Diagnostic::new(
+            Rule::BoundCritical,
+            Locus::Design,
+            format!(
+                "bound_fs[{width}] = {} must recover the unrestricted critical delay {crit_fs} fs",
+                classifier.bound_fs(width)
+            ),
+        ));
+    }
+
+    // Chain-window lower bound, from an independent chain re-detection.
+    let chains = detect_chains(adder, &delays_fs);
+    for l in 0..=width {
+        let lower = chain_window_lower_fs(&chains, l);
+        if classifier.bound_fs(l) < lower {
+            out.push(Diagnostic::new(
+                Rule::BoundUnderChain,
+                Locus::Design,
+                format!(
+                    "bound_fs[{l}] = {} fs below the carry-chain window bound {lower} fs — \
+                     a run of {l} propagate bits can outlive the claimed settle time",
+                    classifier.bound_fs(l)
+                ),
+            ));
+        }
+    }
+}
+
+/// One detected ripple chain cell: its bit position, delay, and the chain
+/// cell (index into the same vector) its carry input comes from, if any.
+struct ChainCell {
+    position: usize,
+    delay_fs: u64,
+    predecessor: Option<usize>,
+}
+
+/// Re-detects ripple carry chains: MAJ3 cells whose two data inputs are
+/// the primary pair `a[i]`, `b[i]`, linked where one chain cell's carry
+/// input is another chain cell's output at the position below.
+fn detect_chains(adder: &AdderNetlist, delays_fs: &[u64]) -> Vec<ChainCell> {
+    let netlist = adder.netlist();
+    let width = adder.width() as usize;
+    let mut pin_of_net = vec![usize::MAX; netlist.net_count()];
+    for (i, n) in netlist.inputs().iter().enumerate() {
+        pin_of_net[n.index()] = i;
+    }
+    let mut chain_of_output = vec![usize::MAX; netlist.net_count()];
+    let mut chains: Vec<ChainCell> = Vec::new();
+    let mut carry_nets: Vec<usize> = Vec::new();
+    for (i, cell) in netlist.cells().iter().enumerate() {
+        if cell.kind != CellKind::Maj3 {
+            continue;
+        }
+        for (x, y, c) in [(0, 1, 2), (0, 2, 1), (1, 2, 0)] {
+            let px = pin_of_net[cell.inputs[x].index()];
+            let py = pin_of_net[cell.inputs[y].index()];
+            if px == usize::MAX || py == usize::MAX {
+                continue;
+            }
+            let (lo, hi) = (px.min(py), px.max(py));
+            if lo < width && hi == lo + width {
+                chain_of_output[cell.output.index()] = chains.len();
+                chains.push(ChainCell {
+                    position: lo,
+                    delay_fs: delays_fs[i],
+                    predecessor: None,
+                });
+                carry_nets.push(cell.inputs[c].index());
+                break;
+            }
+        }
+    }
+    // Link after the scan so forward references (which a foreign netlist
+    // may contain) still resolve.
+    for (i, &carry) in carry_nets.iter().enumerate() {
+        let p = chain_of_output[carry];
+        if p != usize::MAX && chains[p].position + 1 == chains[i].position {
+            chains[i].predecessor = Some(p);
+        }
+    }
+    chains
+}
+
+/// Lower bound on the worst settle time of vectors with a propagate run
+/// of length `run`: the best window sum of `run` consecutive linked chain
+/// delays ending at each chain cell (for `run = 0`, the single worst
+/// chain-cell delay — even a zero-run vector pays one cell delay at each
+/// chain position).
+fn chain_window_lower_fs(chains: &[ChainCell], run: usize) -> u64 {
+    let mut best = 0u64;
+    for (i, cell) in chains.iter().enumerate() {
+        let mut sum = cell.delay_fs;
+        let mut cursor = i;
+        // Walk back through up to run - 1 linked predecessors.
+        for _ in 1..run.max(1) {
+            match chains[cursor].predecessor {
+                Some(p) => {
+                    sum += chains[p].delay_fs;
+                    cursor = p;
+                }
+                None => break,
+            }
+        }
+        best = best.max(sum);
+    }
+    best
+}
+
+/// Span ranges must lie inside the operand width and be non-empty.
+fn check_span_shapes(classifier: &LaneClassifier, width: usize, out: &mut Vec<Diagnostic>) {
+    let check = |spans: &[(NetId, (usize, usize))], kind: &str, out: &mut Vec<Diagnostic>| {
+        for &(net, (s, e)) in spans {
+            if s >= e || e > width {
+                out.push(Diagnostic::new(
+                    Rule::ClassifierShape,
+                    Locus::Net(net),
+                    format!("group-{kind} span {s}..{e} is outside the 0..{width} operand range"),
+                ));
+            }
+        }
+    };
+    check(classifier.typed_p_spans(), "P", out);
+    check(classifier.typed_g_spans(), "G", out);
+}
+
+/// Semantic re-proof of every claimed group-P/G typing: on pseudo-random
+/// 64-lane batteries, the typed net's plane must equal the group function
+/// folded from the primary operand planes.
+fn check_pg_semantics(
+    adder: &AdderNetlist,
+    classifier: &LaneClassifier,
+    batteries: usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    if classifier.typed_p_spans().is_empty() && classifier.typed_g_spans().is_empty() {
+        return;
+    }
+    let netlist = adder.netlist();
+    let width = adder.width() as usize;
+    let mut rng = Splitmix::new(0x5047_4155_4449_5401 ^ (width as u64) << 40);
+    for battery in 0..batteries {
+        let planes: Vec<u64> = (0..2 * width).map(|_| rng.next_u64()).collect();
+        let values = netlist.evaluate_words(&planes);
+        // Reference per-bit propagate/generate planes.
+        let p: Vec<u64> = (0..width).map(|i| planes[i] ^ planes[i + width]).collect();
+        let g: Vec<u64> = (0..width).map(|i| planes[i] & planes[i + width]).collect();
+        for &(net, (s, e)) in classifier.typed_p_spans() {
+            let reference = p[s..e].iter().fold(u64::MAX, |acc, &w| acc & w);
+            if values[net.index()] != reference {
+                out.push(Diagnostic::new(
+                    Rule::PgTyping,
+                    Locus::Net(net),
+                    format!(
+                        "battery {battery}: net does not compute group P over bits {s}..{e} \
+                         — the zero-group-P pinning in the settle bound is unsound"
+                    ),
+                ));
+                return; // one semantic failure invalidates the table
+            }
+        }
+        for &(net, (s, e)) in classifier.typed_g_spans() {
+            // G[s, e) = g[e-1] | (p[e-1] & G[s, e-1)), folded upward.
+            let mut reference = g[s];
+            for i in s + 1..e {
+                reference = g[i] | (p[i] & reference);
+            }
+            if values[net.index()] != reference {
+                out.push(Diagnostic::new(
+                    Rule::PgTyping,
+                    Locus::Net(net),
+                    format!("battery {battery}: net does not compute group G over bits {s}..{e}"),
+                ));
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isa_netlist::cell::CellLibrary;
+    use isa_netlist::{build_exact, AdderTopology};
+
+    fn audit(width: u32, topology: AdderTopology) -> Vec<Diagnostic> {
+        let adder = build_exact(width, topology);
+        let ann = DelayAnnotation::nominal(adder.netlist(), &CellLibrary::industrial_65nm());
+        let cls = LaneClassifier::build(&adder, &ann);
+        check_classifier(&adder, &ann, &cls, 3)
+    }
+
+    #[test]
+    fn exact_adders_pass_the_audit() {
+        for topology in [
+            AdderTopology::Ripple,
+            AdderTopology::KoggeStone,
+            AdderTopology::Sklansky,
+        ] {
+            let findings = audit(16, topology);
+            assert!(findings.is_empty(), "{topology:?}: {findings:?}");
+        }
+    }
+
+    #[test]
+    fn chain_window_bound_is_nontrivial_on_ripple() {
+        let adder = build_exact(16, AdderTopology::Ripple);
+        let ann = DelayAnnotation::nominal(adder.netlist(), &CellLibrary::industrial_65nm());
+        let delays_fs: Vec<u64> = ann.as_slice().iter().map(|&d| ps_to_fs(d)).collect();
+        let chains = detect_chains(&adder, &delays_fs);
+        assert_eq!(chains.len(), 15, "one MAJ3 per bit above the LSB");
+        let w1 = chain_window_lower_fs(&chains, 1);
+        let w8 = chain_window_lower_fs(&chains, 8);
+        assert!(w1 > 0);
+        assert!(w8 > 4 * w1, "8-windows must dwarf single cells");
+        // And the real classifier respects it (the audit's core claim).
+        let cls = LaneClassifier::build(&adder, &ann);
+        for l in 0..=16 {
+            assert!(cls.bound_fs(l) >= chain_window_lower_fs(&chains, l));
+        }
+    }
+
+    #[test]
+    fn prefix_adder_pg_typing_is_semantically_true() {
+        let adder = build_exact(16, AdderTopology::KoggeStone);
+        let ann = DelayAnnotation::nominal(adder.netlist(), &CellLibrary::industrial_65nm());
+        let cls = LaneClassifier::build(&adder, &ann);
+        assert!(
+            !cls.typed_p_spans().is_empty(),
+            "Kogge-Stone must type group-P nets"
+        );
+        let mut out = Vec::new();
+        check_pg_semantics(&adder, &cls, 4, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,245 @@
+//! Timing-graph sanity passes.
+//!
+//! Two layers: [`check_annotation`] validates the raw delay data
+//! (coverage and finite non-negative values — the precondition of every
+//! simulator and of STA itself), and [`check_timing_graph`] re-verifies
+//! the production STA results: arrival times must satisfy the max-plus
+//! recurrence edge by edge (monotonicity falls out), and
+//! [`StaReport::downstream_ps`] must be a genuine longest-path labeling —
+//! *dominance* (`downstream[in] >= delay + downstream[out]` on every
+//! edge), *tightness* (equality is achieved on some edge of every read
+//! net), and zero at sinks. A labeling with those three properties **is**
+//! the longest-path function, so the check is an independent proof, not a
+//! re-run of the same code. Finally `max(arrival + downstream)` over all
+//! nets must hit the critical delay exactly (every net on a critical path
+//! witnesses it).
+
+use isa_netlist::timing::DelayAnnotation;
+use isa_netlist::{CellId, NetId, Netlist, StaReport};
+
+use crate::diag::{Diagnostic, Locus, Rule};
+
+/// Absolute picosecond tolerance for f64 path-sum comparisons (delays are
+/// tens of ps; accumulated rounding over a few hundred additions stays
+/// far below this).
+const EPS_PS: f64 = 1e-6;
+
+/// Validates coverage and the delay values themselves.
+#[must_use]
+pub fn check_annotation(netlist: &Netlist, annotation: &DelayAnnotation) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if annotation.len() != netlist.cell_count() {
+        out.push(Diagnostic::new(
+            Rule::AnnotationCoverage,
+            Locus::Design,
+            format!(
+                "annotation covers {} cells, netlist has {}",
+                annotation.len(),
+                netlist.cell_count()
+            ),
+        ));
+        return out; // per-cell indexing below would be misaligned
+    }
+    for (i, &d) in annotation.as_slice().iter().enumerate() {
+        if !d.is_finite() || d < 0.0 {
+            out.push(Diagnostic::new(
+                Rule::BadDelay,
+                Locus::Cell(CellId::from_index(i)),
+                format!("delay {d} ps is not finite and non-negative"),
+            ));
+        }
+    }
+    out
+}
+
+/// Re-verifies the STA arrival times and the downstream-exposure labeling.
+///
+/// Precondition: [`check_annotation`] returned no findings (callers gate
+/// on that; running this on corrupt delays would drown the real cause in
+/// arithmetic noise).
+#[must_use]
+pub fn check_timing_graph(netlist: &Netlist, annotation: &DelayAnnotation) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let sta = StaReport::analyze(netlist, annotation);
+    let downstream = StaReport::downstream_ps(netlist, annotation);
+
+    // Arrival recurrence: arrival[out] = max(arrival[in]) + delay. This
+    // implies monotonicity along every edge (delays are >= 0 by the
+    // annotation pass).
+    for (i, cell) in netlist.cells().iter().enumerate() {
+        let id = CellId::from_index(i);
+        let input_arrival = cell
+            .inputs
+            .iter()
+            .map(|n| sta.arrival_ps(*n))
+            .fold(0.0f64, f64::max);
+        let expected = input_arrival + annotation.delay_ps(id);
+        let actual = sta.arrival_ps(cell.output);
+        if (actual - expected).abs() > EPS_PS {
+            out.push(Diagnostic::new(
+                Rule::ArrivalMonotone,
+                Locus::Cell(id),
+                format!(
+                    "arrival {actual:.6} ps at {} does not equal worst input {input_arrival:.6} \
+                     + delay {:.6}",
+                    cell.output,
+                    annotation.delay_ps(id)
+                ),
+            ));
+        }
+    }
+
+    // Downstream as a longest-path labeling: dominance + tightness + zero
+    // at sinks.
+    let mut is_output = vec![false; netlist.net_count()];
+    for &n in netlist.outputs() {
+        is_output[n.index()] = true;
+    }
+    let mut read_by_cell = vec![false; netlist.net_count()];
+    let mut best_edge = vec![f64::NEG_INFINITY; netlist.net_count()];
+    for (i, cell) in netlist.cells().iter().enumerate() {
+        let id = CellId::from_index(i);
+        let through = annotation.delay_ps(id) + downstream[cell.output.index()];
+        for input in &cell.inputs {
+            let down_in = downstream[input.index()];
+            if down_in + EPS_PS < through {
+                out.push(Diagnostic::new(
+                    Rule::DownstreamConsistency,
+                    Locus::Net(*input),
+                    format!("downstream {down_in:.6} ps below the {through:.6} ps path via {id}"),
+                ));
+            }
+            read_by_cell[input.index()] = true;
+            if through > best_edge[input.index()] {
+                best_edge[input.index()] = through;
+            }
+        }
+    }
+    for index in 0..netlist.net_count() {
+        let net = NetId::from_index(index);
+        if read_by_cell[index] {
+            // Tightness: the label must be achieved by some outgoing edge
+            // (a primary-output connection contributes 0 and can only
+            // lower the requirement, never raise it).
+            let achieved = best_edge[index].max(if is_output[index] {
+                0.0
+            } else {
+                f64::NEG_INFINITY
+            });
+            if (downstream[index] - achieved).abs() > EPS_PS {
+                out.push(Diagnostic::new(
+                    Rule::DownstreamConsistency,
+                    Locus::Net(net),
+                    format!(
+                        "downstream {:.6} ps is not achieved by any outgoing edge \
+                         (best {achieved:.6})",
+                        downstream[index]
+                    ),
+                ));
+            }
+        } else if downstream[index].abs() > EPS_PS {
+            // Sinks (nets no cell reads) must carry zero exposure.
+            out.push(Diagnostic::new(
+                Rule::DownstreamConsistency,
+                Locus::Net(net),
+                format!(
+                    "net is read by no cell but carries downstream {:.6} ps",
+                    downstream[index]
+                ),
+            ));
+        }
+    }
+
+    // Critical identities. The critical delay is defined over the primary
+    // outputs, so it must equal their worst arrival directly. The labeling
+    // identity `max(arrival + downstream) = max sink arrival` must instead
+    // range over *all* complete paths: synthesized netlists may carry dead
+    // cells (warned above) whose paths end at non-output sinks beyond the
+    // output-defined critical delay.
+    let worst_output = netlist
+        .outputs()
+        .iter()
+        .map(|&n| sta.arrival_ps(n))
+        .fold(0.0f64, f64::max);
+    if (worst_output - sta.critical_ps()).abs() > EPS_PS {
+        out.push(Diagnostic::new(
+            Rule::CriticalIdentity,
+            Locus::Design,
+            format!(
+                "worst primary-output arrival is {worst_output:.6} ps but the reported \
+                 critical delay is {:.6} ps",
+                sta.critical_ps()
+            ),
+        ));
+    }
+    let worst_through = (0..netlist.net_count())
+        .map(|i| sta.arrival_ps(NetId::from_index(i)) + downstream[i])
+        .fold(0.0f64, f64::max);
+    let worst_sink = (0..netlist.net_count())
+        .filter(|&i| !read_by_cell[i])
+        .map(|i| sta.arrival_ps(NetId::from_index(i)))
+        .fold(0.0f64, f64::max);
+    if (worst_through - worst_sink).abs() > EPS_PS {
+        out.push(Diagnostic::new(
+            Rule::CriticalIdentity,
+            Locus::Design,
+            format!(
+                "max(arrival + downstream) = {worst_through:.6} ps but the worst complete \
+                 path ends at {worst_sink:.6} ps"
+            ),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isa_netlist::cell::CellLibrary;
+    use isa_netlist::{build_exact, AdderTopology};
+
+    #[test]
+    fn nominal_annotations_pass() {
+        for topology in [AdderTopology::Ripple, AdderTopology::KoggeStone] {
+            let adder = build_exact(16, topology);
+            let ann = DelayAnnotation::nominal(adder.netlist(), &CellLibrary::industrial_65nm());
+            assert!(check_annotation(adder.netlist(), &ann).is_empty());
+            let findings = check_timing_graph(adder.netlist(), &ann);
+            assert!(findings.is_empty(), "{topology:?}: {findings:?}");
+        }
+    }
+
+    #[test]
+    fn corrupt_delay_is_flagged_with_locus() {
+        let adder = build_exact(8, AdderTopology::Ripple);
+        let ann = DelayAnnotation::nominal(adder.netlist(), &CellLibrary::industrial_65nm());
+        let mut delays = ann.as_slice().to_vec();
+        delays[3] = -5.0;
+        let bad = DelayAnnotation::from_delays_unchecked(delays);
+        let findings = check_annotation(adder.netlist(), &bad);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::BadDelay);
+        assert_eq!(findings[0].locus, Locus::Cell(CellId::from_index(3)));
+    }
+
+    #[test]
+    fn nan_delay_is_flagged() {
+        let adder = build_exact(4, AdderTopology::Ripple);
+        let ann = DelayAnnotation::nominal(adder.netlist(), &CellLibrary::industrial_65nm());
+        let mut delays = ann.as_slice().to_vec();
+        delays[0] = f64::NAN;
+        let bad = DelayAnnotation::from_delays_unchecked(delays);
+        assert!(check_annotation(adder.netlist(), &bad)
+            .iter()
+            .any(|d| d.rule == Rule::BadDelay));
+    }
+
+    #[test]
+    fn short_annotation_is_a_coverage_error() {
+        let adder = build_exact(4, AdderTopology::Ripple);
+        let bad = DelayAnnotation::from_delays(vec![1.0, 2.0]);
+        let findings = check_annotation(adder.netlist(), &bad);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::AnnotationCoverage);
+    }
+}

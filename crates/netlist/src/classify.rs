@@ -92,6 +92,14 @@ pub struct LaneClassifier {
     run_regions: Vec<(usize, usize)>,
     /// Detected ripple carry-chain cells (diagnostics / tests).
     chain_cells: usize,
+    /// Nets the prefix detector typed as a group **propagate** over a bit
+    /// span, `(net, start..end)` — the spans whose zero-group-P pinning
+    /// the bound DP relies on. Kept for the `isa-netlint` audit, which
+    /// re-verifies each claim semantically against the netlist.
+    p_spans: Vec<(crate::graph::NetId, (usize, usize))>,
+    /// Nets typed as a group **generate** over a bit span (audit only —
+    /// `G` spans never constrain the vector class).
+    g_spans: Vec<(crate::graph::NetId, (usize, usize))>,
 }
 
 impl LaneClassifier {
@@ -147,6 +155,16 @@ impl LaneClassifier {
             "unrestricted runs must recover the static critical delay"
         );
 
+        let collect_spans = |spans: &[Option<(usize, usize)>]| {
+            spans
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.map(|span| (crate::graph::NetId::from_index(i), span)))
+                .collect::<Vec<_>>()
+        };
+        let p_spans = collect_spans(&prefix.p_span);
+        let g_spans = collect_spans(&prefix.g_span);
+
         Self {
             width,
             crit_fs,
@@ -154,7 +172,32 @@ impl LaneClassifier {
             bound_fs,
             run_regions: regions,
             chain_cells,
+            p_spans,
+            g_spans,
         }
+    }
+
+    /// Operand width the classifier was built for.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The nets typed as group *propagate* signals, with their claimed bit
+    /// spans `start..end`. Every zero-group-P pinning step in the bound DP
+    /// presupposes these typings; `isa-netlint` re-proves each one
+    /// semantically (the net must equal `AND of p[i]` over its span on a
+    /// word-evaluation battery).
+    #[must_use]
+    pub fn typed_p_spans(&self) -> &[(crate::graph::NetId, (usize, usize))] {
+        &self.p_spans
+    }
+
+    /// The nets typed as group *generate* signals, with their claimed bit
+    /// spans `start..end` (see [`Self::typed_p_spans`]).
+    #[must_use]
+    pub fn typed_g_spans(&self) -> &[(crate::graph::NetId, (usize, usize))] {
+        &self.g_spans
     }
 
     /// The static critical delay in femtoseconds — any strictly longer

@@ -236,6 +236,95 @@ impl Netlist {
         h
     }
 
+    /// Assembles a netlist from raw parts **without structural
+    /// validation**, recomputing only the fanout index (inputs of
+    /// out-of-range cell references are skipped).
+    ///
+    /// This is the ingestion point for *foreign* netlists — anything not
+    /// produced by [`NetlistBuilder`], whose construction rules make
+    /// malformed graphs unrepresentable — and for the fault-injection
+    /// mutations `isa-netlint`'s negative-path battery uses. The result
+    /// may violate every invariant [`Self::validate`] checks (and more:
+    /// combinational loops, multi-driven or floating nets, dead cones);
+    /// run it through `isa-netlint` before evaluating or simulating it.
+    /// [`Self::evaluate`]-family methods on an unvalidated netlist are
+    /// well-defined memory-wise (any in-range indices) but may compute
+    /// garbage (a cell reading a net defined after it sees a stale 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drivers` and `net_names` lengths disagree (per-net
+    /// storage must stay parallel) or a cell references a net index out of
+    /// range (such a netlist could not be stored, let alone linted).
+    #[must_use]
+    pub fn from_raw_parts(
+        name: impl Into<String>,
+        drivers: Vec<NetDriver>,
+        net_names: Vec<Option<String>>,
+        cells: Vec<Cell>,
+        inputs: Vec<NetId>,
+        outputs: Vec<NetId>,
+        output_names: Vec<String>,
+    ) -> Self {
+        assert_eq!(
+            drivers.len(),
+            net_names.len(),
+            "per-net storage must stay parallel"
+        );
+        let net_count = drivers.len();
+        for cell in &cells {
+            assert!(
+                cell.output.index() < net_count
+                    && cell.inputs.iter().all(|n| n.index() < net_count),
+                "cell references a net outside per-net storage"
+            );
+        }
+        let mut fanouts = vec![Vec::new(); net_count];
+        for (i, cell) in cells.iter().enumerate() {
+            for input in &cell.inputs {
+                fanouts[input.index()].push(CellId(i as u32));
+            }
+        }
+        Self {
+            name: name.into(),
+            drivers,
+            net_names,
+            cells,
+            inputs,
+            outputs,
+            output_names,
+            fanouts,
+        }
+    }
+
+    /// Decomposes the netlist into the raw parts [`Self::from_raw_parts`]
+    /// accepts (fanouts are derived, so they are not returned): `(name,
+    /// drivers, net_names, cells, inputs, outputs, output_names)`. The
+    /// mutation harness round-trips through this to inject faults.
+    #[must_use]
+    #[allow(clippy::type_complexity)]
+    pub fn into_raw_parts(
+        self,
+    ) -> (
+        String,
+        Vec<NetDriver>,
+        Vec<Option<String>>,
+        Vec<Cell>,
+        Vec<NetId>,
+        Vec<NetId>,
+        Vec<String>,
+    ) {
+        (
+            self.name,
+            self.drivers,
+            self.net_names,
+            self.cells,
+            self.inputs,
+            self.outputs,
+            self.output_names,
+        )
+    }
+
     /// Re-checks the structural invariants (topological creation order,
     /// pin arities, outputs present).
     ///

@@ -122,6 +122,16 @@ impl DelayAnnotation {
         Self { delays_ps }
     }
 
+    /// Builds an annotation from raw per-cell delays **without the
+    /// finite/non-negative validation** of [`Self::from_delays`] — the
+    /// ingestion point for foreign (SDF-parsed) or fault-injected delay
+    /// data that `isa-netlint`'s timing pass validates. Simulators and
+    /// STA assume validated delays; lint before use.
+    #[must_use]
+    pub fn from_delays_unchecked(delays_ps: Vec<f64>) -> Self {
+        Self { delays_ps }
+    }
+
     /// Number of annotated instances.
     #[must_use]
     pub fn len(&self) -> usize {

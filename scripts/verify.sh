@@ -3,6 +3,8 @@
 # .github/workflows/ci.yml — so local verify and CI cannot disagree:
 #   lint    -> fmt + clippy -D warnings
 #   test    -> release build, tier-1 tests, workspace tests
+#   netlint -> full-grid netlist/timing static analysis (fails on Error)
+#   miri    -> LaneBatch pack/transpose tests under Miri (when installed)
 #   golden  -> experiment CSVs diffed against tests/golden/
 #   bench   -> backend speedup gate (plus criterion when a registry is up)
 set -euo pipefail
@@ -22,6 +24,23 @@ cargo test -q
 
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
+
+echo "==> netlint sweep (12 seeds + full width-32 quadruple grid)"
+# Same sweep as CI's netlint job: every feasible design through the full
+# lint pipeline; the binary exits non-zero on any Error-severity finding.
+cargo run --release -q -p isa-experiments --bin netlint
+
+echo "==> miri (LaneBatch pack/transpose)"
+# CI runs these under nightly Miri as a UB tripwire for the lane-packing
+# hot path. Miri needs a nightly component that offline environments may
+# not have — skip only when it is genuinely unavailable.
+if cargo miri --version >/dev/null 2>&1; then
+  MIRIFLAGS=-Zmiri-strict-provenance cargo miri test -p isa-core batch
+elif rustup component add miri --toolchain nightly >/dev/null 2>&1; then
+  MIRIFLAGS=-Zmiri-strict-provenance cargo +nightly miri test -p isa-core batch
+else
+  echo "==> miri: SKIPPED (no miri component available; CI runs it)"
+fi
 
 echo "==> golden figures (scripts/golden.sh)"
 scripts/golden.sh
