@@ -5,7 +5,7 @@ use std::fmt::Debug;
 /// Largest supported operand width, in bits.
 ///
 /// An adder produces a `width + 1`-bit result (sum plus carry-out) that must
-/// fit a `u64`, so operands are capped at 63 bits even though [`mask`]
+/// fit a `u64`, so operands are capped at 63 bits even though `mask`
 /// itself supports the full 64-bit *result* width.
 pub const MAX_WIDTH: u32 = 63;
 

@@ -140,7 +140,7 @@ impl Substrate for BehaviouralSubstrate {
 
     /// Bit-sliced behavioural evaluation: the silver stream is the golden
     /// model itself, and the golden ISA model has a 64-lane plane
-    /// evaluation ([`Adder::add_batch`]) — so behavioural Monte-Carlo
+    /// evaluation ([`Adder::add_batch`](crate::Adder::add_batch)) — so behavioural Monte-Carlo
     /// sweeps (the design-characterization table) batch exactly like the
     /// gate-level backends instead of paying one `add_traced` allocation
     /// per cycle.

@@ -21,6 +21,7 @@ use isa_netlist::classify::LaneClassifier;
 use isa_netlist::synth::{
     synthesize_exact, synthesize_isa, SynthesisError, SynthesisOptions, Synthesized,
 };
+use isa_netlist::tape::InstructionTape;
 use isa_netlist::timing::{DelayAnnotation, VariationModel};
 use isa_timing_sim::{run_adder_trace, CycleRecord};
 
@@ -143,8 +144,14 @@ pub struct ExperimentConfig {
     pub variation_seed: u64,
     /// Seed of the input workload.
     pub workload_seed: u64,
-    /// Gate-level evaluation engine (bit-sliced 64-lane by default).
+    /// Gate-level evaluation engine ([`SimBackend::Filtered`] by
+    /// default).
     pub backend: SimBackend,
+    /// Route the filtered backend's functional evaluations through the
+    /// per-design compiled [`InstructionTape`] (on by default; results are
+    /// bit-identical either way, only speed differs). `false` keeps the
+    /// graph-interpreter path — the benchmark baseline.
+    pub use_tape: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -156,6 +163,7 @@ impl Default for ExperimentConfig {
             variation_seed: 0xD1E_5A3D,
             workload_seed: 0x5EED_CAFE,
             backend: SimBackend::default(),
+            use_tape: true,
         }
     }
 }
@@ -195,6 +203,9 @@ pub struct DesignContext {
     /// Lazily built timing-safety classifier for the filtered backend
     /// (period independent — see [`DesignContext::classifier`]).
     classifier: OnceLock<LaneClassifier>,
+    /// Lazily compiled instruction tape for the word hot path (see
+    /// [`DesignContext::tape`]).
+    tape: OnceLock<InstructionTape>,
 }
 
 impl DesignContext {
@@ -262,6 +273,7 @@ impl DesignContext {
                 elapsed: std::time::Duration::ZERO,
             },
             classifier: OnceLock::new(),
+            tape: OnceLock::new(),
         };
         // The audit stage reuses the memoized classifier the filtered
         // backend needs anyway, so its construction cost is not billed to
@@ -290,6 +302,24 @@ impl DesignContext {
     pub fn classifier(&self) -> &LaneClassifier {
         self.classifier
             .get_or_init(|| LaneClassifier::build(&self.synthesized.adder, &self.annotation))
+    }
+
+    /// The design's compiled instruction tape (for the filtered backend's
+    /// functional fast path), built on first use from the lint report's
+    /// replay-verified levelization — the compiler consumes the proven
+    /// schedule rather than re-deriving order — and shared by every clock
+    /// period, like the classifier. The lowering itself is re-proven
+    /// bit-identical to `evaluate_words` by netlint's `tape.replay` rule
+    /// at build time.
+    #[must_use]
+    pub fn tape(&self) -> &InstructionTape {
+        self.tape.get_or_init(|| {
+            let netlist = self.synthesized.adder.netlist();
+            match &self.lint.levelization {
+                Some(level) => InstructionTape::compile_from_levels(netlist, level.levels()),
+                None => InstructionTape::compile(netlist),
+            }
+        })
     }
 
     /// The die's exact critical delay in picoseconds: the slowest

@@ -1,7 +1,7 @@
 //! Declarative experiment plans: what to run, on which substrate.
 //!
 //! A plan is the cross product `designs × cprs × workloads` evaluated on
-//! one [`Substrate`](isa_core::Substrate) under one [`ExperimentConfig`].
+//! one [`Substrate`] under one [`ExperimentConfig`].
 //! Build it fluently:
 //!
 //! ```

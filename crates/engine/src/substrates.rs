@@ -24,7 +24,7 @@ use isa_core::segment_len;
 use isa_core::substrate::{CostClass, Substrate};
 use isa_core::{Adder, Design};
 use isa_learn::{CyclePair, PredictorConfig, TimingErrorPredictor};
-use isa_timing_sim::{run_clocked_batch, run_filtered_batch, ClockedCore};
+use isa_timing_sim::{run_clocked_batch, run_filtered_batch, run_filtered_batch_tape, ClockedCore};
 use isa_workloads::{take_pairs, UniformWorkload};
 
 use crate::cache::ArtifactCache;
@@ -107,13 +107,24 @@ impl Substrate for GateLevelSubstrate {
             }
             SimBackend::Filtered => {
                 let ctx = self.context(design);
-                run_filtered_batch(
-                    &ctx.synthesized.adder,
-                    &ctx.annotation,
-                    ctx.classifier(),
-                    clock_ps,
-                    inputs,
-                )
+                if self.config.use_tape {
+                    run_filtered_batch_tape(
+                        &ctx.synthesized.adder,
+                        &ctx.annotation,
+                        ctx.classifier(),
+                        ctx.tape(),
+                        clock_ps,
+                        inputs,
+                    )
+                } else {
+                    run_filtered_batch(
+                        &ctx.synthesized.adder,
+                        &ctx.annotation,
+                        ctx.classifier(),
+                        clock_ps,
+                        inputs,
+                    )
+                }
             }
         }
     }
@@ -227,6 +238,14 @@ impl PredictedSubstrate {
             // training trace and its seam handling are shared.
             SimBackend::BitSliced | SimBackend::Filtered => {
                 let sampled = match self.config.backend {
+                    SimBackend::Filtered if self.config.use_tape => run_filtered_batch_tape(
+                        adder,
+                        &ctx.annotation,
+                        ctx.classifier(),
+                        ctx.tape(),
+                        clock_ps,
+                        &inputs,
+                    ),
                     SimBackend::Filtered => run_filtered_batch(
                         adder,
                         &ctx.annotation,
@@ -236,7 +255,11 @@ impl PredictedSubstrate {
                     ),
                     _ => run_clocked_batch(adder, &ctx.annotation, clock_ps, &inputs),
                 };
-                let settled = adder.add_batch(&inputs);
+                let settled = if self.config.use_tape {
+                    adder.add_batch_with_tape(ctx.tape(), &inputs)
+                } else {
+                    adder.add_batch(&inputs)
+                };
                 let raw: Vec<(u64, u64, u64, u64)> = inputs
                     .iter()
                     .zip(sampled.iter().zip(&settled))

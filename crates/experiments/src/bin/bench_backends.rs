@@ -2,10 +2,13 @@
 //!
 //! Runs the timed pipeline suite (design table, Figs. 7–10, and the
 //! energy/guardband/workloads extensions) at identical sample counts on
-//! all three gate-level evaluation engines: the scalar event queue, the
-//! bit-sliced 64-lane simulator, and the filtered operand-adaptive
-//! backend. Each suite run gets its own engine, so every run pays
-//! synthesis once, exactly like a standalone `all_figures` invocation.
+//! four gate-level evaluation legs: the scalar event queue, the
+//! bit-sliced 64-lane simulator, the filtered operand-adaptive backend
+//! with its graph-interpreter word path (`use_tape = false`), and the
+//! same filtered backend running the levelized instruction tape (the
+//! default configuration). Each suite run gets its own engine, so every
+//! run pays synthesis once, exactly like a standalone `all_figures`
+//! invocation.
 //! The `apps_quality` stage of `all_figures` is deliberately *not* timed
 //! here — it gates correctness via goldens and parity tests, and keeping
 //! it out preserves the comparability of `BENCH_*.json` suite totals
@@ -19,18 +22,22 @@
 //! fraction of gate-level cycles served by the classifier's functional
 //! fast path (`safe_lane_fractions`, from the best run).
 //!
-//! Two speedups gate the build:
+//! Three speedups gate the build:
 //!
+//! * `tape` vs `filtered` on the gate-level pipelines (fig9 + fig10
+//!   seconds summed) — the instruction tape must beat the graph
+//!   interpreter where gate evaluation dominates; `--min-tape-speedup X`
+//!   (CI gates this one) fails the process below `X`;
 //! * `filtered` vs `bitsliced` — the operand-adaptive fast path must pay
-//!   for itself; `--min-speedup X` (CI gates this one) fails the process
-//!   below `X`;
+//!   for itself; `--min-speedup X` fails the process below `X`;
 //! * `bitsliced` vs `scalar` — the PR 2 regression gate, kept at
 //!   `--min-bitsliced-speedup` (default 1.0: bit-slicing must never
 //!   regress below the scalar baseline).
 //!
 //! Usage: `bench_backends [--cycles N] [--train N] [--test N]
 //! [--samples N] [--min-speedup X] [--min-bitsliced-speedup X]
-//! [--repeats N] [--warmup N] [--json PATH] [--threads N]`
+//! [--min-tape-speedup X] [--repeats N] [--warmup N] [--json PATH]
+//! [--threads N]`
 
 use std::time::Instant;
 
@@ -139,13 +146,13 @@ fn run_suite(config: &ExperimentConfig, threads: usize, counts: &Counts) -> (Vec
 /// fastest (its component breakdown, its total, and every run's total for
 /// the report). Best-of-N damps scheduler noise on loaded shared runners.
 fn best_suite_run(
+    label: &str,
     config: &ExperimentConfig,
     threads: usize,
     counts: &Counts,
     warmup: usize,
     repeats: usize,
 ) -> (Vec<Component>, f64, Vec<f64>) {
-    let label = config.backend.label();
     for i in 0..warmup {
         eprintln!("  [{label}] warmup {}/{warmup} (quarter counts)...", i + 1);
         let _ = run_suite(config, threads, &counts.warmup_counts());
@@ -162,6 +169,20 @@ fn best_suite_run(
     }
     let (parts, total) = best.expect("at least one timed run");
     (parts, total, totals)
+}
+
+/// Seconds of the named component in a breakdown (0 if absent).
+fn component_seconds(parts: &[Component], name: &str) -> f64 {
+    parts
+        .iter()
+        .find(|c| c.name == name)
+        .map_or(0.0, |c| c.seconds)
+}
+
+/// Summed fig9 + fig10 seconds — the pipelines dominated by gate-level
+/// word evaluation, where the instruction tape must prove itself.
+fn gate_level_seconds(parts: &[Component]) -> f64 {
+    component_seconds(parts, "fig9") + component_seconds(parts, "fig10")
 }
 
 fn json_seconds_list(totals: &[f64]) -> String {
@@ -205,6 +226,7 @@ fn main() {
     };
     let min_speedup: f64 = arg_value(&args, "min-speedup").unwrap_or(1.0);
     let min_bitsliced: f64 = arg_value(&args, "min-bitsliced-speedup").unwrap_or(1.0);
+    let min_tape: f64 = arg_value(&args, "min-tape-speedup").unwrap_or(1.0);
     let json_path: Option<String> = arg_value(&args, "json");
     let threads = arg_value(&args, "threads").unwrap_or(1);
     let repeats = arg_value::<usize>(&args, "repeats").unwrap_or(3).max(1);
@@ -212,34 +234,55 @@ fn main() {
 
     let mut config = ExperimentConfig {
         backend: SimBackend::Scalar,
+        use_tape: false,
         ..ExperimentConfig::default()
     };
     eprintln!("scalar backend: best of {repeats} suite runs ({warmup} warmup)...");
     let (scalar_parts, scalar_s, scalar_runs) =
-        best_suite_run(&config, threads, &counts, warmup, repeats);
+        best_suite_run("scalar", &config, threads, &counts, warmup, repeats);
 
     config.backend = SimBackend::BitSliced;
     eprintln!("bit-sliced backend: best of {repeats} suite runs ({warmup} warmup)...");
-    let (bit_parts, bit_s, bit_runs) = best_suite_run(&config, threads, &counts, warmup, repeats);
+    let (bit_parts, bit_s, bit_runs) =
+        best_suite_run("bitsliced", &config, threads, &counts, warmup, repeats);
 
     config.backend = SimBackend::Filtered;
-    eprintln!("filtered backend: best of {repeats} suite runs ({warmup} warmup)...");
-    let (fil_parts, fil_s, fil_runs) = best_suite_run(&config, threads, &counts, warmup, repeats);
+    eprintln!(
+        "filtered backend (graph interpreter): best of {repeats} suite runs ({warmup} warmup)..."
+    );
+    let (fil_parts, fil_s, fil_runs) =
+        best_suite_run("filtered", &config, threads, &counts, warmup, repeats);
+
+    config.use_tape = true;
+    eprintln!("tape backend (filtered + instruction tape): best of {repeats} suite runs ({warmup} warmup)...");
+    let (tape_parts, tape_s, tape_runs) =
+        best_suite_run("tape", &config, threads, &counts, warmup, repeats);
 
     let bitsliced_speedup = scalar_s / bit_s.max(1e-9);
     let filtered_speedup = bit_s / fil_s.max(1e-9);
-    let pass = filtered_speedup >= min_speedup && bitsliced_speedup >= min_bitsliced;
+    let tape_speedup = fil_s / tape_s.max(1e-9);
+    let fil_gate_s = gate_level_seconds(&fil_parts);
+    let tape_gate_s = gate_level_seconds(&tape_parts);
+    let tape_gate_speedup = fil_gate_s / tape_gate_s.max(1e-9);
+    let pass = tape_gate_speedup >= min_tape
+        && filtered_speedup >= min_speedup
+        && bitsliced_speedup >= min_bitsliced;
     let json = format!(
         "{{\n  \"schema\": \"isa-bench/v2\",\n  \"bench\": \"all_figures\",\n  \
          \"threads\": {threads},\n  \"counts\": {{\n    \"cycles\": {},\n    \
          \"train\": {},\n    \"test\": {},\n    \"samples\": {},\n    \
          \"extension_cycles\": {}\n  }},\n  \"warmup\": {warmup},\n  \
          \"repeats\": {repeats},\n  \"backends\": {{\n  \"scalar\": {},\n  \
-         \"bitsliced\": {},\n  \"filtered\": {}\n  }},\n  \
+         \"bitsliced\": {},\n  \"filtered\": {},\n  \"tape\": {}\n  }},\n  \
          \"bitsliced_vs_scalar_speedup\": {bitsliced_speedup:.2},\n  \
          \"filtered_vs_bitsliced_speedup\": {filtered_speedup:.2},\n  \
+         \"tape_vs_filtered_speedup\": {tape_speedup:.2},\n  \
+         \"tape_vs_filtered_gate_level_speedup\": {tape_gate_speedup:.2},\n  \
+         \"gate_level_seconds\": {{\n    \"filtered\": {fil_gate_s:.3},\n    \
+         \"tape\": {tape_gate_s:.3}\n  }},\n  \
          \"min_speedup\": {min_speedup},\n  \
-         \"min_bitsliced_speedup\": {min_bitsliced},\n  \"pass\": {pass}\n}}\n",
+         \"min_bitsliced_speedup\": {min_bitsliced},\n  \
+         \"min_tape_speedup\": {min_tape},\n  \"pass\": {pass}\n}}\n",
         counts.cycles,
         counts.train,
         counts.test,
@@ -248,6 +291,7 @@ fn main() {
         json_backend(&scalar_parts, scalar_s, &scalar_runs, false),
         json_backend(&bit_parts, bit_s, &bit_runs, false),
         json_backend(&fil_parts, fil_s, &fil_runs, true),
+        json_backend(&tape_parts, tape_s, &tape_runs, true),
     );
     if let Some(path) = &json_path {
         std::fs::write(path, &json).expect("write bench json");
@@ -256,7 +300,9 @@ fn main() {
     println!("{json}");
     eprintln!(
         "bitsliced vs scalar: {bitsliced_speedup:.2}x (gate: >= {min_bitsliced}x); \
-         filtered vs bitsliced: {filtered_speedup:.2}x (gate: >= {min_speedup}x)"
+         filtered vs bitsliced: {filtered_speedup:.2}x (gate: >= {min_speedup}x); \
+         tape vs filtered: {tape_speedup:.2}x suite, {tape_gate_speedup:.2}x \
+         on fig9+fig10 (gate: >= {min_tape}x)"
     );
     if !pass {
         eprintln!("FAIL: backend speedup gate not met");

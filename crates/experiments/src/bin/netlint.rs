@@ -4,6 +4,13 @@
 //!
 //! Usage: `netlint [--seeds-only] [--width N] [--threads N] [--json PATH]`
 //!
+//! The pipeline includes the verified levelization *and* the instruction
+//! tape compiled from it (`isa_netlist::tape`) — the `tape.shape` and
+//! `tape.replay` rules execute every design's tape on random planes and
+//! demand bit-equality with `evaluate_words`, so the schedule the
+//! engine's word hot path runs is proven on every design in the space,
+//! not just the twelve the figures use.
+//!
 //! Synthesis-infeasible grid points are skipped (they are a feasibility
 //! boundary, not a lint failure). Any design with an Error-severity
 //! finding prints its full report and the sweep exits with status 1 —

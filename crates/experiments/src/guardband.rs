@@ -21,7 +21,7 @@
 //! relative error, and silent-error rate.
 //!
 //! Backend note: the ISA open-loop and predictor-replay streams run on the
-//! configured [`SimBackend`] (bit-sliced by default); the Razor trace
+//! configured [`SimBackend`] (filtered by default); the Razor trace
 //! stays on the scalar event queue on either backend, because shadow-latch
 //! detection and replay stalls are inherently sequential per cycle.
 
@@ -136,7 +136,7 @@ pub fn run_on(
             };
 
             // 2. ISA open loop: one overclocked gate-level run on the
-            // configured backend (bit-sliced 64-lane by default).
+            // configured backend (filtered, on the tape, by default).
             let gold = unit.design.behavioural();
             let silvers = gate.run_batch(&unit.design, clk, unit.inputs);
             let trace: Vec<(u64, u64, u64, u64)> = unit

@@ -106,8 +106,8 @@ pub fn run_on(
         let predictor = predicted.predictor(&unit.design, unit.clock_ps);
         let gold = unit.design.behavioural();
         // Ground truth for the whole held-out stream in one batched call:
-        // the bit-sliced 64-lane simulator by default, the scalar event
-        // queue when the configuration pins it.
+        // the filtered tape backend by default, the bit-sliced or scalar
+        // engines when the configuration pins them.
         let real_silvers = gate.run_batch(&unit.design, unit.clock_ps, unit.inputs);
         // On the bit-sliced and filtered backends the circuit restarts
         // from reset at every lane-segment seam; the model's x[t-1]

@@ -205,8 +205,9 @@ pub struct CandidateEval {
     /// Energy per addition at this clock (dynamic + leakage scaled to the
     /// shortened period), femtojoules.
     pub energy_fj: f64,
-    /// Tier-A optimistic error bound (objective units; see
-    /// [`DesignInfo::model_error`]'s docs on the two modes).
+    /// Tier-A optimistic error bound in objective units (stream:
+    /// analytical structural RMS ≈ relative-error percent; kernel:
+    /// negated structural PSNR dB, exact on the actual workload).
     pub model_error: f64,
     /// True when the bound is genuinely modelled (false for designs
     /// outside the analytical model's domain, whose bound is a

@@ -1,6 +1,6 @@
 //! Search strategies over the design space, plus front queries.
 //!
-//! Two strategies share the two-tier [`Evaluator`](crate::Evaluator):
+//! Two strategies share the two-tier [`Evaluator`]:
 //!
 //! * [`Strategy::Exhaustive`] — every point of the space, one evaluator
 //!   batch. Right for spaces up to a few hundred points (the paper and

@@ -76,6 +76,13 @@ pub enum Rule {
     LevelSchedule,
     /// Scheduled replay diverged from `evaluate_words` on some net.
     LevelReplay,
+    // --- instruction tape -----------------------------------------------
+    /// The compiled tape's shape disagrees with the netlist (op/slot
+    /// counts, primary I/O slot tables).
+    TapeShape,
+    /// Tape execution diverged from `evaluate_words` on some net (scalar
+    /// or vector-chunk path).
+    TapeReplay,
     // --- timing ---------------------------------------------------------
     /// The delay annotation does not cover every cell instance.
     AnnotationCoverage,
@@ -124,6 +131,8 @@ impl Rule {
             Rule::AdderIo => "structural.adder-io",
             Rule::LevelSchedule => "level.schedule",
             Rule::LevelReplay => "level.replay",
+            Rule::TapeShape => "tape.shape",
+            Rule::TapeReplay => "tape.replay",
             Rule::AnnotationCoverage => "timing.annotation-coverage",
             Rule::BadDelay => "timing.bad-delay",
             Rule::ArrivalMonotone => "timing.arrival-monotone",
@@ -363,6 +372,8 @@ mod tests {
             Rule::AdderIo,
             Rule::LevelSchedule,
             Rule::LevelReplay,
+            Rule::TapeShape,
+            Rule::TapeReplay,
             Rule::AnnotationCoverage,
             Rule::BadDelay,
             Rule::ArrivalMonotone,

@@ -13,12 +13,13 @@ use std::time::Instant;
 
 use isa_core::Adder;
 use isa_netlist::classify::LaneClassifier;
+use isa_netlist::tape::InstructionTape;
 use isa_netlist::timing::DelayAnnotation;
 use isa_netlist::{AdderNetlist, Netlist};
 
 use crate::diag::{Diagnostic, LintReport, Locus, Rule, Severity};
 use crate::level::Levelization;
-use crate::{audit, structural, timing, Splitmix};
+use crate::{audit, structural, tapecheck, timing, Splitmix};
 
 /// Battery sizes and stage toggles for one lint run.
 ///
@@ -29,6 +30,9 @@ use crate::{audit, structural, timing, Splitmix};
 pub struct LintOptions {
     /// 64-lane input batteries for the levelization replay proof.
     pub replay_batteries: usize,
+    /// 64-lane batteries for the instruction-tape replay proof (each
+    /// battery covers the scalar executor plus one full vector chunk).
+    pub tape_batteries: usize,
     /// 64-lane batteries for the group-P/G semantic re-proof.
     pub audit_batteries: usize,
     /// 64-lane random batteries (plus fixed corners) for the functional
@@ -42,6 +46,7 @@ impl Default for LintOptions {
     fn default() -> Self {
         Self {
             replay_batteries: 1,
+            tape_batteries: 1,
             audit_batteries: 1,
             functional_batteries: 1,
             classifier_audit: true,
@@ -57,6 +62,7 @@ impl LintOptions {
     pub fn thorough() -> Self {
         Self {
             replay_batteries: 4,
+            tape_batteries: 4,
             audit_batteries: 4,
             functional_batteries: 4,
             classifier_audit: true,
@@ -191,6 +197,18 @@ fn run_levelization(
         Ok(lv) => {
             if no_errors(diagnostics) {
                 diagnostics.extend(lv.verify(netlist, options.replay_batteries));
+                // The tape compiler consumes this exact schedule; compile
+                // it the way the engine does and re-prove the lowering
+                // bit-identical to `evaluate_words` (rules tape.shape /
+                // tape.replay).
+                if no_errors(diagnostics) {
+                    let tape = InstructionTape::compile_from_levels(netlist, lv.levels());
+                    diagnostics.extend(tapecheck::verify_tape(
+                        netlist,
+                        &tape,
+                        options.tape_batteries,
+                    ));
+                }
             }
             Some(lv)
         }

@@ -30,7 +30,7 @@ pub fn check(netlist: &Netlist) -> Vec<Diagnostic> {
 ///
 /// The lint pipeline proves acyclicity as a by-product of building the
 /// level schedule (Kahn's algorithm), so on the happy path the Tarjan
-/// pass is pure overhead; it runs [`check_loops`] only when levelization
+/// pass is pure overhead; it runs `check_loops` only when levelization
 /// fails, to turn "some cells are stuck" into named SCC membership.
 #[must_use]
 pub fn check_sans_loops(netlist: &Netlist) -> Vec<Diagnostic> {

@@ -15,6 +15,7 @@ pub mod ripple;
 use isa_core::LaneBatch;
 
 use crate::graph::{NetId, Netlist, NetlistBuilder};
+use crate::tape::InstructionTape;
 
 /// An adder implementation choice — the architectural degree of freedom a
 /// cost-driven synthesis explores under a timing constraint.
@@ -250,6 +251,46 @@ impl AdderNetlist {
             self.netlist
                 .evaluate_output_planes_into(&input_planes, &mut values, &mut planes);
             out.extend(LaneBatch::unpack_lanes(&planes, chunk.len()));
+        }
+        out
+    }
+
+    /// [`Self::add_batch`] through a precompiled [`InstructionTape`]:
+    /// [`CHUNK`](crate::tape::CHUNK) 64-lane plane sets per topological
+    /// sweep instead of one, so the op loop runs on 256/512-bit vectors.
+    /// Bit-for-bit equal to [`Self::add_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tape was not compiled from this adder's netlist.
+    #[must_use]
+    pub fn add_batch_with_tape(&self, tape: &InstructionTape, pairs: &[(u64, u64)]) -> Vec<u64> {
+        use crate::tape::CHUNK;
+        let w = self.width as usize;
+        assert_eq!(tape.input_slots().len(), 2 * w, "tape/adder input mismatch");
+        let mut out = Vec::with_capacity(pairs.len());
+        let mut a_planes = Vec::new();
+        let mut b_planes = Vec::new();
+        let mut chunk_in = vec![[0u64; CHUNK]; 2 * w];
+        let mut arena: Vec<[u64; CHUNK]> = Vec::new();
+        let mut planes = Vec::with_capacity(w + 1);
+        // Up to CHUNK 64-lane groups travel through one sweep.
+        for group in pairs.chunks(isa_core::LANES * CHUNK) {
+            let lane_chunks: Vec<&[(u64, u64)]> = group.chunks(isa_core::LANES).collect();
+            chunk_in.fill([0; CHUNK]);
+            for (j, chunk) in lane_chunks.iter().enumerate() {
+                isa_core::pack_planes_into(self.width, chunk, &mut a_planes, &mut b_planes);
+                for i in 0..w {
+                    chunk_in[i][j] = a_planes[i];
+                    chunk_in[w + i][j] = b_planes[i];
+                }
+            }
+            tape.execute_into(&chunk_in, &mut arena);
+            for (j, chunk) in lane_chunks.iter().enumerate() {
+                planes.clear();
+                planes.extend(tape.output_slots().iter().map(|&s| arena[s as usize][j]));
+                out.extend(LaneBatch::unpack_lanes(&planes, chunk.len()));
+            }
         }
         out
     }

@@ -34,6 +34,7 @@ pub mod graph;
 pub mod sdf;
 pub mod sta;
 pub mod synth;
+pub mod tape;
 pub mod timing;
 pub mod transform;
 pub mod verilog;
@@ -44,4 +45,5 @@ pub use classify::{LaneClassifier, StreamClassifier};
 pub use graph::{Cell, CellId, NetDriver, NetId, Netlist, NetlistBuilder, NetlistError};
 pub use sta::StaReport;
 pub use synth::{synthesize_exact, synthesize_isa, SynthesisError, SynthesisOptions, Synthesized};
+pub use tape::{InstructionTape, Plane, CHUNK};
 pub use timing::{DelayAnnotation, VariationModel};

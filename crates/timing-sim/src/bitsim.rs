@@ -1,6 +1,6 @@
 //! Bit-sliced (64-lane) event-driven gate-level simulation.
 //!
-//! [`BitSimCore`] is the word-level counterpart of [`SimCore`]: every net
+//! [`BitSimCore`] is the word-level counterpart of [`SimCore`](crate::sim::SimCore): every net
 //! holds a `u64` whose bit `l` is the net's value in lane `l`, so one event
 //! commit and one gate evaluation advance 64 **independent** simulations at
 //! once. Delays are per-cell (identical across lanes), which makes the

@@ -8,13 +8,13 @@
 //! exploits that:
 //!
 //! 1. **Classify** (word ops only): a
-//!    [`LaneClassifier`](isa_netlist::classify::LaneClassifier) proves,
+//!    [`LaneClassifier`] proves,
 //!    per lane per cycle, that the sampled outputs will equal the settled
 //!    (functional) outputs — see `isa_netlist::classify` for the
 //!    conservative bounds. The safe/unsafe schedule depends only on the
 //!    input stream, so it is computed in one simulation-free pass.
 //! 2. **Fast path**: safe cycles take a single functional plane
-//!    evaluation ([`Netlist::evaluate_output_planes`]) — identical by
+//!    evaluation ([`Netlist::evaluate_output_planes`](isa_netlist::Netlist::evaluate_output_planes)) — identical by
 //!    construction to the settled event-simulation result.
 //! 3. **Compacted slow path**: the remaining unsafe cycles form, per
 //!    lane, maximal *runs* of consecutive cycles. Each run starts from a
@@ -41,9 +41,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use isa_core::batch::{pack_planes_into_slices, segment_len, LaneBatch, LANES};
 use isa_netlist::builders::AdderNetlist;
 use isa_netlist::classify::LaneClassifier;
+use isa_netlist::tape::{InstructionTape, CHUNK};
 use isa_netlist::timing::{ps_to_fs, DelayAnnotation};
 
 use crate::bitsim::{run_clocked_batch, BitClockedCore};
+use crate::timedtape::{run_clocked_batch_timed, TimedTape, TimedTapeCore};
 
 /// Below this fraction of classifier-proven safe cycles the filtered
 /// two-pass evaluation would only add overhead on top of the event
@@ -132,12 +134,58 @@ pub fn run_filtered_batch(
     run_filtered_batch_with_stats(adder, annotation, classifier, period_ps, inputs).0
 }
 
+/// [`run_filtered_batch`] with every functional evaluation — tier-0
+/// batches, the safe-cycle fast path and the wave seeding pass — routed
+/// through a precompiled [`InstructionTape`]. The fast path evaluates
+/// [`CHUNK`] safe steps per topological sweep on `[u64; CHUNK]` vector
+/// planes. Bit-identical to [`run_filtered_batch`] on every stream.
+///
+/// # Panics
+///
+/// Panics like [`run_filtered_batch`]; the tape must have been compiled
+/// from this adder's netlist.
+#[must_use]
+pub fn run_filtered_batch_tape(
+    adder: &AdderNetlist,
+    annotation: &DelayAnnotation,
+    classifier: &LaneClassifier,
+    tape: &InstructionTape,
+    period_ps: f64,
+    inputs: &[(u64, u64)],
+) -> Vec<u64> {
+    filtered_inner(adder, annotation, classifier, Some(tape), period_ps, inputs).0
+}
+
+/// Like [`run_filtered_batch_tape`], but also reports what the run did.
+#[must_use]
+pub fn run_filtered_batch_with_stats_tape(
+    adder: &AdderNetlist,
+    annotation: &DelayAnnotation,
+    classifier: &LaneClassifier,
+    tape: &InstructionTape,
+    period_ps: f64,
+    inputs: &[(u64, u64)],
+) -> (Vec<u64>, FilterStats) {
+    filtered_inner(adder, annotation, classifier, Some(tape), period_ps, inputs)
+}
+
 /// Like [`run_filtered_batch`], but also reports what the run did.
 #[must_use]
 pub fn run_filtered_batch_with_stats(
     adder: &AdderNetlist,
     annotation: &DelayAnnotation,
     classifier: &LaneClassifier,
+    period_ps: f64,
+    inputs: &[(u64, u64)],
+) -> (Vec<u64>, FilterStats) {
+    filtered_inner(adder, annotation, classifier, None, period_ps, inputs)
+}
+
+fn filtered_inner(
+    adder: &AdderNetlist,
+    annotation: &DelayAnnotation,
+    classifier: &LaneClassifier,
+    tape: Option<&InstructionTape>,
     period_ps: f64,
     inputs: &[(u64, u64)],
 ) -> (Vec<u64>, FilterStats) {
@@ -158,7 +206,11 @@ pub fn run_filtered_batch_with_stats(
         stats.classified_safe = n as u64;
         stats.fast_path = n as u64;
         record(&stats);
-        return (adder.add_batch(inputs), stats);
+        let settled = match tape {
+            Some(tape) => adder.add_batch_with_tape(tape, inputs),
+            None => adder.add_batch(inputs),
+        };
+        return (settled, stats);
     }
 
     let netlist = adder.netlist();
@@ -201,34 +253,70 @@ pub fn run_filtered_batch_with_stats(
     if (stats.classified_safe as f64) < MIN_SAFE_FRACTION * n as f64 {
         stats.fell_back = true;
         record(&stats);
-        return (
-            run_clocked_batch(adder, annotation, period_ps, inputs),
-            stats,
-        );
+        let r = match tape {
+            Some(tape) => {
+                let program = TimedTape::new(netlist, tape, annotation);
+                run_clocked_batch_timed(adder, &program, tape, period_ps, inputs)
+            }
+            None => run_clocked_batch(adder, annotation, period_ps, inputs),
+        };
+        return (r, stats);
     }
     stats.fast_path = stats.classified_safe;
 
     // Pass 2a — functional fast path for every safe cycle (scratch
     // buffers reused across steps).
     let mut out = vec![0u64; n];
-    let mut planes_buf = Vec::with_capacity(2 * w);
-    let mut values_scratch = Vec::new();
-    let mut settled = Vec::new();
-    for t in 0..seg {
-        let served = safe_masks[t] & active_masks[t];
-        if served == 0 {
-            continue;
+    if let Some(tape) = tape {
+        // Tape path: gather CHUNK served steps into `[u64; CHUNK]` vector
+        // planes and settle them all in one topological sweep.
+        let served_steps: Vec<usize> = (0..seg)
+            .filter(|&t| safe_masks[t] & active_masks[t] != 0)
+            .collect();
+        let mut chunk_in = vec![[0u64; CHUNK]; 2 * w];
+        let mut arena: Vec<[u64; CHUNK]> = Vec::new();
+        let mut settled = Vec::with_capacity(w + 1);
+        for group in served_steps.chunks(CHUNK) {
+            chunk_in.fill([0; CHUNK]);
+            for (j, &t) in group.iter().enumerate() {
+                for i in 0..w {
+                    chunk_in[i][j] = a_planes[t * w + i];
+                    chunk_in[w + i][j] = b_planes[t * w + i];
+                }
+            }
+            tape.execute_into(&chunk_in, &mut arena);
+            for (j, &t) in group.iter().enumerate() {
+                settled.clear();
+                settled.extend(tape.output_slots().iter().map(|&s| arena[s as usize][j]));
+                let lanes = LaneBatch::unpack_lanes(&settled, LANES);
+                let mut m = safe_masks[t] & active_masks[t];
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    out[l * seg + t] = lanes[l];
+                    m &= m - 1;
+                }
+            }
         }
-        planes_buf.clear();
-        planes_buf.extend_from_slice(&a_planes[t * w..(t + 1) * w]);
-        planes_buf.extend_from_slice(&b_planes[t * w..(t + 1) * w]);
-        netlist.evaluate_output_planes_into(&planes_buf, &mut values_scratch, &mut settled);
-        let lanes = LaneBatch::unpack_lanes(&settled, LANES);
-        let mut m = served;
-        while m != 0 {
-            let l = m.trailing_zeros() as usize;
-            out[l * seg + t] = lanes[l];
-            m &= m - 1;
+    } else {
+        let mut planes_buf = Vec::with_capacity(2 * w);
+        let mut values_scratch = Vec::new();
+        let mut settled = Vec::new();
+        for t in 0..seg {
+            let served = safe_masks[t] & active_masks[t];
+            if served == 0 {
+                continue;
+            }
+            planes_buf.clear();
+            planes_buf.extend_from_slice(&a_planes[t * w..(t + 1) * w]);
+            planes_buf.extend_from_slice(&b_planes[t * w..(t + 1) * w]);
+            netlist.evaluate_output_planes_into(&planes_buf, &mut values_scratch, &mut settled);
+            let lanes = LaneBatch::unpack_lanes(&settled, LANES);
+            let mut m = served;
+            while m != 0 {
+                let l = m.trailing_zeros() as usize;
+                out[l * seg + t] = lanes[l];
+                m &= m - 1;
+            }
         }
     }
 
@@ -264,6 +352,17 @@ pub fn run_filtered_batch_with_stats(
     }
     tasks.sort_by_key(|task| std::cmp::Reverse(task.len));
 
+    // With a tape, waves run on the timed replay core (same sampled
+    // outputs, no event-queue constant factors); the flattened program is
+    // period independent and shared by every wave.
+    enum WaveCore<'p> {
+        Event(BitClockedCore),
+        Timed(TimedTapeCore, &'p TimedTape),
+    }
+    let timed_program = match tape {
+        Some(tape) if !tasks.is_empty() => Some(TimedTape::new(netlist, tape, annotation)),
+        _ => None,
+    };
     for wave in tasks.chunks(LANES) {
         stats.waves += 1;
         let mut wave_pairs: Vec<(u64, u64)> = wave
@@ -279,12 +378,19 @@ pub fn run_filtered_batch_with_stats(
         let seeds = LaneBatch::pack(width, &wave_pairs);
         // Seeding costs one functional pass, not an event cascade: the
         // settled predecessor state is a pure function of the seed pairs.
-        let mut core = BitClockedCore::with_settled_planes(
-            netlist,
-            annotation,
-            period_ps,
-            &adder.input_planes(&seeds),
-        );
+        let seed_planes = adder.input_planes(&seeds);
+        let mut core = match (tape, &timed_program) {
+            (Some(tape), Some(program)) => WaveCore::Timed(
+                TimedTapeCore::with_settled(program, tape, period_ps, &seed_planes),
+                program,
+            ),
+            _ => WaveCore::Event(BitClockedCore::with_settled_planes(
+                netlist,
+                annotation,
+                period_ps,
+                &seed_planes,
+            )),
+        };
         let longest = wave[0].len; // sorted longest-first
         for j in 0..longest {
             for (wl, task) in wave.iter().enumerate() {
@@ -294,7 +400,11 @@ pub fn run_filtered_batch_with_stats(
                 // else: hold the run's last operands (no activity).
             }
             let batch = LaneBatch::pack(width, &wave_pairs);
-            let sampled = core.step_planes(netlist, &adder.input_planes(&batch));
+            let planes = adder.input_planes(&batch);
+            let sampled = match &mut core {
+                WaveCore::Event(c) => c.step_planes(netlist, &planes),
+                WaveCore::Timed(c, program) => c.step_planes(program, &planes),
+            };
             let lanes = LaneBatch::unpack_lanes(&sampled, wave.len());
             for (wl, task) in wave.iter().enumerate() {
                 if j < task.len {
@@ -442,6 +552,43 @@ mod tests {
             }
         }
         assert!(run_filtered_batch(&adder, &ann, &cls, crit, &[]).is_empty());
+    }
+
+    #[test]
+    fn tape_path_is_bit_identical_across_regimes() {
+        // Same stream, every regime the runner has — tier-0, mixed
+        // fast/slow, fallback, ragged tails — must agree between the
+        // interpreter path and the tape path (which also proves agreement
+        // with run_clocked_batch via the existing parity tests).
+        let (adder, ann, crit) = ripple16();
+        let cls = LaneClassifier::build(&adder, &ann);
+        let tape = InstructionTape::compile(adder.netlist());
+        for n in [1usize, 64, 65, 500, 2000] {
+            let inputs = pairs(n, 0x7A9E + n as u64);
+            for period in [crit * 0.25, crit * 0.75, crit * 0.9, crit + 1.0] {
+                let (legacy, legacy_stats) =
+                    run_filtered_batch_with_stats(&adder, &ann, &cls, period, &inputs);
+                let (tape_out, tape_stats) =
+                    run_filtered_batch_with_stats_tape(&adder, &ann, &cls, &tape, period, &inputs);
+                assert_eq!(tape_out, legacy, "n={n} period={period}");
+                assert_eq!(tape_stats, legacy_stats, "n={n} period={period}");
+            }
+        }
+    }
+
+    #[test]
+    fn tape_path_matches_on_prefix_mixed_regime() {
+        let adder = build_exact(16, AdderTopology::KoggeStone);
+        let lib = CellLibrary::industrial_65nm();
+        let ann = DelayAnnotation::nominal(adder.netlist(), &lib);
+        let cls = LaneClassifier::build(&adder, &ann);
+        let tape = InstructionTape::compile(adder.netlist());
+        let period = (cls.bound_fs(2) + cls.critical_fs()) as f64 / 2000.0;
+        let inputs = pairs(3000, 0x7A9E);
+        assert_eq!(
+            run_filtered_batch_tape(&adder, &ann, &cls, &tape, period, &inputs),
+            run_filtered_batch(&adder, &ann, &cls, period, &inputs),
+        );
     }
 
     #[test]

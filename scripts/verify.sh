@@ -3,10 +3,11 @@
 # .github/workflows/ci.yml — so local verify and CI cannot disagree:
 #   lint    -> fmt + clippy -D warnings
 #   test    -> release build, tier-1 tests, workspace tests
+#   docs    -> rustdoc with warnings denied
 #   netlint -> full-grid netlist/timing static analysis (fails on Error)
 #   miri    -> LaneBatch pack/transpose tests under Miri (when installed)
 #   golden  -> experiment CSVs diffed against tests/golden/
-#   bench   -> backend speedup gate (plus criterion when a registry is up)
+#   bench   -> backend speedup gates (plus criterion when a registry is up)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,6 +25,9 @@ cargo test -q
 
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
+
+echo "==> cargo doc --workspace --no-deps (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc -q --workspace --no-deps
 
 echo "==> netlint sweep (12 seeds + full width-32 quadruple grid)"
 # Same sweep as CI's netlint job: every feasible design through the full
@@ -64,15 +68,17 @@ fi
 rm -f "$bench_log"
 
 echo "==> backend speedup gates (bench_backends, reduced counts, warmup + best-of-3)"
-# Same dual gates as CI's bench job — filtered vs bit-sliced and
-# bit-sliced vs scalar — but at reduced counts so a speedup-destroying
-# change fails in seconds locally. The thresholds are lower than CI's
+# Same triple gates as CI's bench job — tape vs filtered on the
+# gate-level pipelines, filtered vs bit-sliced, and bit-sliced vs
+# scalar — but at reduced counts so a speedup-destroying change fails
+# in seconds locally. The suite-level thresholds are lower than CI's
 # because forest fitting and synthesis (backend-common) dominate small
-# suites; CI enforces 1.5x at the BENCH_PR4.json reference counts
-# (--cycles 100000), where gate-level simulation dominates.
+# suites; CI enforces 1.5x at the BENCH_PR6.json reference counts
+# (--cycles 100000), where gate-level simulation dominates. The tape
+# gate is already scoped to fig9+fig10, so it holds at small counts.
 cargo run --release -q -p isa-experiments --bin bench_backends -- \
   --cycles 20000 --train 2000 --test 1000 --samples 100000 \
-  --min-speedup 1.1 >/dev/null
+  --min-speedup 1.1 --min-tape-speedup 1.3 >/dev/null
 
 echo "==> explorer pre-filter gate (reduced counts; CI gates 1.3x at BENCH_PR5.json counts)"
 # Same dual checks as CI's explorer step — pre-filter speedup on the
