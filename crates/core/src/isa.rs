@@ -21,6 +21,7 @@
 use crate::adder::{mask, Adder};
 use crate::batch::{pack_planes_into, LaneBatch, LANES};
 use crate::config::{IsaConfig, SpecGuess};
+use crate::plane::{PlaneAlgebra, WordPlanes};
 
 /// Compensation outcome for one speculative path (Fig. 2's arithmetic).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -266,6 +267,26 @@ impl SpeculativeAdder {
     /// Panics if the plane counts differ from the operand width.
     #[must_use]
     pub fn add_planes(&self, a_planes: &[u64], b_planes: &[u64]) -> Vec<u64> {
+        self.add_planes_in(&mut WordPlanes, a_planes, b_planes)
+    }
+
+    /// [`SpeculativeAdder::add_planes`] generalised over any
+    /// [`PlaneAlgebra`]: the same SPEC/ADD/COMP recurrences, evaluated in
+    /// whatever plane representation the algebra provides. With
+    /// [`WordPlanes`] this *is* the bit-sliced hot path (and monomorphises
+    /// to identical code); with a symbolic algebra (see `isa-prove`) each
+    /// returned plane is a Boolean function of the operand-bit planes passed
+    /// in, covering every input pair at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane counts differ from the operand width.
+    pub fn add_planes_in<A: PlaneAlgebra>(
+        &self,
+        alg: &mut A,
+        a_planes: &[A::Plane],
+        b_planes: &[A::Plane],
+    ) -> Vec<A::Plane> {
         let cfg = &self.config;
         let n = cfg.width() as usize;
         assert_eq!(a_planes.len(), n, "expected {n} a-planes");
@@ -276,82 +297,86 @@ impl SpeculativeAdder {
         let c = cfg.correction() as usize;
         let r = cfg.reduction() as usize;
 
-        let g: Vec<u64> = a_planes
-            .iter()
-            .zip(b_planes)
-            .map(|(&x, &y)| x & y)
+        let g: Vec<A::Plane> = (0..n)
+            .map(|i| alg.and(&a_planes[i], &b_planes[i]))
             .collect();
-        let p: Vec<u64> = a_planes
-            .iter()
-            .zip(b_planes)
-            .map(|(&x, &y)| x ^ y)
+        let p: Vec<A::Plane> = (0..n)
+            .map(|i| alg.xor(&a_planes[i], &b_planes[i]))
             .collect();
 
         // Phase 1: SPEC + ADD per path (plane ripple per block; the carry
         // recurrence c' = g | (p & c) is the plane form of MAJ3).
-        let mut sum = vec![0u64; n + 1];
-        let mut spec_in = vec![0u64; paths];
-        let mut cout = vec![0u64; paths];
+        let zero = alg.zero();
+        let mut sum = vec![zero.clone(); n + 1];
+        let mut spec_in = Vec::with_capacity(paths);
+        let mut cout = Vec::with_capacity(paths);
         for k in 0..paths {
             let lo = k * bsz;
             let cin = if k == 0 {
-                0
+                alg.zero()
             } else if s == 0 {
                 match cfg.guess() {
-                    SpecGuess::Zero => 0,
-                    SpecGuess::One => u64::MAX,
+                    SpecGuess::Zero => alg.zero(),
+                    SpecGuess::One => alg.one(),
                 }
             } else {
-                let mut generate = 0u64;
-                let mut propagate = u64::MAX;
+                let mut generate = alg.zero();
+                let mut propagate = alg.one();
                 for i in lo - s..lo {
-                    generate = g[i] | (p[i] & generate);
-                    propagate &= p[i];
+                    let t = alg.and(&p[i], &generate);
+                    generate = alg.or(&g[i], &t);
+                    propagate = alg.and(&propagate, &p[i]);
                 }
                 match cfg.guess() {
                     SpecGuess::Zero => generate,
-                    SpecGuess::One => generate | propagate,
+                    SpecGuess::One => alg.or(&generate, &propagate),
                 }
             };
-            spec_in[k] = cin;
-            let mut carry = cin;
+            let mut carry = cin.clone();
             for i in lo..lo + bsz {
-                sum[i] = p[i] ^ carry;
-                carry = g[i] | (p[i] & carry);
+                sum[i] = alg.xor(&p[i], &carry);
+                let t = alg.and(&p[i], &carry);
+                carry = alg.or(&g[i], &t);
             }
-            cout[k] = carry;
+            spec_in.push(cin);
+            cout.push(carry);
         }
 
         // Phase 2: COMP fault detection + C-bit LSB correction per
         // boundary (each boundary k touches only block k's low bits, so
         // boundaries are independent).
-        let mut red_pos = vec![0u64; paths];
-        let mut red_neg = vec![0u64; paths];
+        let mut red_pos = vec![zero.clone(); paths];
+        let mut red_neg = vec![zero.clone(); paths];
         for k in 1..paths {
-            let prev_cout = cout[k - 1];
-            let spec = spec_in[k];
-            let needed_pos = prev_cout & !spec; // missed carry: +1
-            let needed_neg = spec & !prev_cout; // spurious carry: -1
+            let needed_pos = alg.andn(&cout[k - 1], &spec_in[k]); // missed carry: +1
+            let needed_neg = alg.andn(&spec_in[k], &cout[k - 1]); // spurious carry: -1
             let (rem_pos, rem_neg) = if c > 0 {
                 let lo = k * bsz;
-                let group_and = sum[lo..lo + c].iter().fold(u64::MAX, |acc, &x| acc & x);
-                let group_or = sum[lo..lo + c].iter().fold(0u64, |acc, &x| acc | x);
+                let mut group_and = alg.one();
+                let mut group_or = alg.zero();
+                for slot in &sum[lo..lo + c] {
+                    group_and = alg.and(&group_and, slot);
+                    group_or = alg.or(&group_or, slot);
+                }
                 // Increment absorbs iff the group is not all ones,
                 // decrement iff not all zeros (Fig. 2's internal-overflow
                 // rule).
-                let corr_pos = needed_pos & !group_and;
-                let corr_neg = needed_neg & group_or;
-                let mut inc = corr_pos;
-                let mut dec = corr_neg;
-                for slot in sum.iter_mut().skip(lo).take(c) {
-                    let bit = *slot;
-                    *slot = bit ^ (inc | dec);
-                    inc &= bit;
-                    dec &= !bit;
+                let corr_pos = alg.andn(&needed_pos, &group_and);
+                let corr_neg = alg.and(&needed_neg, &group_or);
+                let mut inc = corr_pos.clone();
+                let mut dec = corr_neg.clone();
+                for slot in &mut sum[lo..lo + c] {
+                    let bit = slot.clone();
+                    let flip = alg.or(&inc, &dec);
+                    *slot = alg.xor(&bit, &flip);
+                    inc = alg.and(&inc, &bit);
+                    dec = alg.andn(&dec, &bit);
                 }
-                debug_assert_eq!(inc, 0, "correction stays inside the group");
-                debug_assert_eq!(dec, 0, "correction stays inside the group");
-                (needed_pos & !corr_pos, needed_neg & !corr_neg)
+                alg.debug_assert_false(&inc);
+                alg.debug_assert_false(&dec);
+                let rem_pos = alg.andn(&needed_pos, &corr_pos);
+                let rem_neg = alg.andn(&needed_neg, &corr_neg);
+                (rem_pos, rem_neg)
             } else {
                 (needed_pos, needed_neg)
             };
@@ -366,13 +391,14 @@ impl SpeculativeAdder {
         if r > 0 {
             for k in 1..paths {
                 let lo = (k - 1) * bsz;
-                for slot in sum.iter_mut().skip(lo + bsz - r).take(r) {
-                    *slot = (*slot | red_pos[k]) & !red_neg[k];
+                for slot in &mut sum[lo + bsz - r..lo + bsz] {
+                    let t = alg.or(slot, &red_pos[k]);
+                    *slot = alg.andn(&t, &red_neg[k]);
                 }
             }
         }
 
-        sum[n] = cout[paths - 1];
+        sum[n] = cout[paths - 1].clone();
         sum
     }
 }

@@ -49,6 +49,7 @@ pub mod designs;
 pub mod error;
 pub mod isa;
 pub mod multiplier;
+pub mod plane;
 pub mod stats;
 pub mod substrate;
 
@@ -59,7 +60,7 @@ pub use batch::{
     LANES,
 };
 pub use bitdist::BitErrorDistribution;
-pub use combine::{combine_errors, CombinedErrorStats, SilverSource};
+pub use combine::{combine_errors, structural_errors, CombinedErrorStats, SilverSource};
 pub use config::{ConfigError, IsaConfig, ParseQuadrupleError, SpecGuess};
 pub use designs::{
     enumerate_quadruples, paper_designs, paper_isa_configs, quadruple_grid, Design,
@@ -68,5 +69,6 @@ pub use designs::{
 pub use error::OutputTriple;
 pub use isa::{Compensation, IsaAddition, PathOutcome, SpeculativeAdder};
 pub use multiplier::{ExactMultiplier, Multiplier, SpeculativeMultiplier};
+pub use plane::{ripple_add_planes_in, PlaneAlgebra, WordPlanes};
 pub use stats::ErrorStats;
 pub use substrate::{BehaviouralSubstrate, CostClass, Substrate};

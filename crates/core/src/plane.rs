@@ -1,0 +1,159 @@
+//! The plane algebra abstraction behind the bit-sliced behavioural model.
+//!
+//! [`SpeculativeAdder::add_planes`](crate::SpeculativeAdder::add_planes)
+//! evaluates the ISA as pure bitwise recurrences over *planes* — one value
+//! per operand bit position. Nothing in that algorithm depends on a plane
+//! being a `u64` of 64 parallel lanes; it only needs the Boolean operations.
+//! [`PlaneAlgebra`] captures exactly that interface, so one implementation of
+//! the ISA recurrences serves two instantiations:
+//!
+//! * [`WordPlanes`] (`Plane = u64`) — the SIMD-within-a-register hot path
+//!   used by [`Adder::add_batch`](crate::Adder::add_batch). Monomorphisation
+//!   makes this identical to hand-written bitwise code.
+//! * A BDD manager (`Plane =` BDD node, in `isa-prove`) — the *symbolic*
+//!   instantiation, which turns the very same spec code into canonical
+//!   decision diagrams covering all `2^(2W)` operand pairs at once. Formal
+//!   equivalence checks then compare synthesized netlists against the actual
+//!   behavioural algorithm, not a re-implementation of it.
+
+/// Boolean algebra over bit planes.
+///
+/// Operations take `&mut self` because symbolic implementations hash-cons
+/// nodes into a shared store. Implementations must satisfy the laws of
+/// Boolean algebra; callers may assume e.g. `xor(x, zero) == x` only up to
+/// semantic equivalence, not representation equality.
+pub trait PlaneAlgebra {
+    /// One plane: the algebra's representation of a Boolean function (or of
+    /// 64 parallel concrete bits for [`WordPlanes`]).
+    type Plane: Clone;
+
+    /// The constant-false plane.
+    fn zero(&mut self) -> Self::Plane;
+    /// The constant-true plane.
+    fn one(&mut self) -> Self::Plane;
+    /// Complement.
+    fn not(&mut self, x: &Self::Plane) -> Self::Plane;
+    /// Conjunction.
+    fn and(&mut self, x: &Self::Plane, y: &Self::Plane) -> Self::Plane;
+    /// Disjunction.
+    fn or(&mut self, x: &Self::Plane, y: &Self::Plane) -> Self::Plane;
+    /// Exclusive or.
+    fn xor(&mut self, x: &Self::Plane, y: &Self::Plane) -> Self::Plane;
+
+    /// `x & !y` (material nonimplication); the default composes
+    /// [`not`](Self::not) and [`and`](Self::and).
+    fn andn(&mut self, x: &Self::Plane, y: &Self::Plane) -> Self::Plane {
+        let ny = self.not(y);
+        self.and(x, &ny)
+    }
+
+    /// Debug hook asserting a plane is provably false. The concrete word
+    /// algebra checks it eagerly (it is an internal invariant of the COMP
+    /// correction ripple); symbolic algebras may check canonically or skip.
+    fn debug_assert_false(&self, _x: &Self::Plane) {}
+}
+
+/// The concrete 64-lane word algebra: each `u64` plane carries one bit of 64
+/// independent additions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WordPlanes;
+
+impl PlaneAlgebra for WordPlanes {
+    type Plane = u64;
+
+    #[inline]
+    fn zero(&mut self) -> u64 {
+        0
+    }
+    #[inline]
+    fn one(&mut self) -> u64 {
+        u64::MAX
+    }
+    #[inline]
+    fn not(&mut self, x: &u64) -> u64 {
+        !x
+    }
+    #[inline]
+    fn and(&mut self, x: &u64, y: &u64) -> u64 {
+        x & y
+    }
+    #[inline]
+    fn or(&mut self, x: &u64, y: &u64) -> u64 {
+        x | y
+    }
+    #[inline]
+    fn xor(&mut self, x: &u64, y: &u64) -> u64 {
+        x ^ y
+    }
+    #[inline]
+    fn andn(&mut self, x: &u64, y: &u64) -> u64 {
+        x & !y
+    }
+    #[inline]
+    fn debug_assert_false(&self, x: &u64) {
+        debug_assert_eq!(*x, 0, "plane invariant violated");
+    }
+}
+
+/// Exact ripple-carry addition over planes: `width + 1` result planes
+/// (carry-out last) from `width` operand planes each.
+///
+/// This is the plane form of [`ExactAdder`](crate::ExactAdder) and serves as
+/// the *exact* spec for symbolic algebras, next to the speculative spec from
+/// [`SpeculativeAdder::add_planes_in`](crate::SpeculativeAdder::add_planes_in).
+///
+/// # Panics
+///
+/// Panics if the operand plane counts differ.
+pub fn ripple_add_planes_in<A: PlaneAlgebra>(
+    alg: &mut A,
+    a_planes: &[A::Plane],
+    b_planes: &[A::Plane],
+) -> Vec<A::Plane> {
+    assert_eq!(a_planes.len(), b_planes.len(), "operand widths must match");
+    let mut out = Vec::with_capacity(a_planes.len() + 1);
+    let mut carry = alg.zero();
+    for (a, b) in a_planes.iter().zip(b_planes) {
+        let p = alg.xor(a, b);
+        let g = alg.and(a, b);
+        out.push(alg.xor(&p, &carry));
+        let t = alg.and(&p, &carry);
+        carry = alg.or(&g, &t);
+    }
+    out.push(carry);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adder::{Adder, ExactAdder};
+    use crate::batch::{pack_planes_into, LaneBatch};
+
+    #[test]
+    fn word_algebra_is_plain_bitwise_logic() {
+        let mut w = WordPlanes;
+        let (x, y) = (0b1100u64, 0b1010u64);
+        assert_eq!(w.and(&x, &y), 0b1000);
+        assert_eq!(w.or(&x, &y), 0b1110);
+        assert_eq!(w.xor(&x, &y), 0b0110);
+        assert_eq!(w.andn(&x, &y), 0b0100);
+        assert_eq!(w.not(&0), u64::MAX);
+        assert_eq!(w.zero(), 0);
+        assert_eq!(w.one(), u64::MAX);
+    }
+
+    #[test]
+    fn ripple_planes_match_exact_adder() {
+        let exact = ExactAdder::new(16);
+        let pairs: Vec<(u64, u64)> = (0..64u64).map(|i| (i * 977, i * 31 + 5)).collect();
+        let mut a_planes = Vec::new();
+        let mut b_planes = Vec::new();
+        pack_planes_into(16, &pairs, &mut a_planes, &mut b_planes);
+        let planes = ripple_add_planes_in(&mut WordPlanes, &a_planes, &b_planes);
+        assert_eq!(planes.len(), 17);
+        for (&(a, b), got) in pairs.iter().zip(LaneBatch::unpack_lanes(&planes, 64)) {
+            assert_eq!(got, exact.add(a, b), "a={a:#x} b={b:#x}");
+        }
+    }
+}

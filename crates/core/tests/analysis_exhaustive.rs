@@ -17,10 +17,14 @@
 //!   [`isa_core::analysis`]'s module docs). The exhaustive comparison
 //!   *bounds* that divergence instead of accepting it silently: the
 //!   ratio must stay within [0.75, 1.30] — the same order as the ±25 %
-//!   observed on the paper's 32-bit designs — and this bound is the
-//!   reason the explorer's stream-mode pruning applies a documented
-//!   safety factor (≥ 2×) before trusting the model to rule a candidate
-//!   out.
+//!   observed on the paper's 32-bit designs. (The explorer no longer
+//!   prunes on this approximation: its tier-A bounds are exact — the
+//!   behavioural model on the actual workload plus the model-counted
+//!   `isa_prove::ErrorDistribution`, which
+//!   `crates/prove/tests/exhaustive8.rs` pins **bit-exactly** against
+//!   the same miniatures. The analytical model remains the closed-form
+//!   account of *why* the errors behave as they do, and this band is
+//!   its honesty check.)
 //!
 //! The 32-bit seed designs themselves are validated against Monte-Carlo
 //! statistics in `crates/core/src/analysis.rs`'s unit tests; this file

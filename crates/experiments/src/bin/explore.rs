@@ -5,7 +5,7 @@
 //! `explore [--space paper|compact|full] [--strategy auto|exhaustive|evolutionary]`
 //! `[--seed N] [--budget N] [--cycles N] [--workload uniform|walk|sine|accumulate]`
 //! `[--kernel NAME --scale N] [--min-quality DB] [--max-clock PS]`
-//! `[--no-prefilter] [--safety F] [--energy-cycles N]`
+//! `[--no-prefilter] [--safety F] [--energy-cycles N] [--proven-sta]`
 //! `[--population N] [--generations N] [--csv PATH] [--threads N]`
 //! `[--backend scalar|bitsliced|filtered]`
 //!
@@ -13,6 +13,12 @@
 //! times the same exploration with and without the analytical pre-filter,
 //! verifies both produce identical Pareto fronts, and writes an
 //! `isa-explore-bench/v1` JSON report (the BENCH_PR5 CI artifact).
+//!
+//! Plain mode also takes `--stats-json PATH`: a one-run
+//! `isa-explore-run/v1` summary (space size, pruned/simulated counts,
+//! front size, wall time) for runs too large to afford the
+//! without-pre-filter comparison leg — the BENCH_PR8.json full-space
+//! record.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -34,6 +40,7 @@ fn settings_from_args(args: &[String]) -> ExploreSettings {
         prefilter: !args.iter().any(|a| a == "--no-prefilter"),
         safety: arg_value(args, "safety").unwrap_or(defaults.safety),
         energy_cycles: arg_value(args, "energy-cycles").unwrap_or(defaults.energy_cycles),
+        proven_sta: args.iter().any(|a| a == "--proven-sta"),
         population: arg_value(args, "population").unwrap_or(defaults.population),
         generations: arg_value(args, "generations").unwrap_or(defaults.generations),
         min_quality_db: arg_value(args, "min-quality"),
@@ -74,14 +81,37 @@ fn main() {
     let engine = engine_from_args(&args);
     let started = Instant::now();
     let report = run_on(&engine, &config, &settings);
+    let wall_s = started.elapsed().as_secs_f64();
     print!("{}", report.render());
     eprintln!(
-        "explore: done in {:.2}s ({} workers)",
-        started.elapsed().as_secs_f64(),
+        "explore: done in {wall_s:.2}s ({} workers)",
         engine.threads()
     );
     if let Some(path) = arg_value::<String>(&args, "csv") {
         write_output(&path, &report.to_csv());
+    }
+    if let Some(path) = arg_value::<String>(&args, "stats-json") {
+        let stats = &report.outcome.stats;
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"schema\": \"isa-explore-run/v1\",");
+        let _ = writeln!(json, "  \"backend\": \"{}\",", config.backend.label());
+        let _ = writeln!(json, "  \"space\": \"{}\",", settings.space);
+        let _ = writeln!(json, "  \"space_points\": {},", stats.space_points);
+        let _ = writeln!(json, "  \"strategy\": \"{}\",", stats.strategy);
+        let _ = writeln!(json, "  \"workload\": \"{}\",", report.outcome.workload);
+        let _ = writeln!(json, "  \"seed\": {},", settings.seed);
+        let _ = writeln!(json, "  \"cycles\": {},", settings.cycles);
+        let _ = writeln!(json, "  \"safety\": {},", settings.safety);
+        let _ = writeln!(json, "  \"proven_sta\": {},", settings.proven_sta);
+        let _ = writeln!(json, "  \"candidates\": {},", stats.considered);
+        let _ = writeln!(json, "  \"pruned\": {},", stats.pruned);
+        let _ = writeln!(json, "  \"simulated\": {},", stats.simulated);
+        let _ = writeln!(json, "  \"infeasible\": {},", stats.infeasible);
+        let _ = writeln!(json, "  \"front_points\": {},", report.outcome.front.len());
+        let _ = writeln!(json, "  \"threads\": {},", engine.threads());
+        let _ = writeln!(json, "  \"wall_s\": {wall_s}");
+        json.push_str("}\n");
+        write_output(&path, &json);
     }
 }
 

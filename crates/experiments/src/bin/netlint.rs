@@ -17,6 +17,11 @@
 //! this is the CI gate proving the whole design space is analyzable and
 //! clean. The summary also reports aggregate lint time against total
 //! build (synthesis + lint) time, the figure BENCHMARKS.md tracks.
+//!
+//! The `--json` report (`isa-netlint-sweep/v1`) covers the cheap
+//! per-build stages only; its sibling `isa-prove-sweep/v1` (the `prove`
+//! bin) carries the offline deep tier — full equivalence proofs and
+//! false-path STA over the same space.
 
 use std::collections::HashSet;
 use std::fmt::Write as _;

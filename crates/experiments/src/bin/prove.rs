@@ -1,0 +1,232 @@
+//! Symbolic proof sweep: proves every design in the space instead of
+//! sampling it.
+//!
+//! Usage: `prove [--seeds-only] [--width N] [--threads N] [--json PATH]`
+//!
+//! For the twelve seed designs at their native 32 bits plus the full
+//! non-overlapping quadruple grid at `--width` (default 16), each design
+//! is built through the same `DesignContext::try_build` gate the
+//! experiments use, then handed to [`isa_prove`]:
+//!
+//! - **Equivalence**: the synthesized netlist's output functions are
+//!   proven identical to the behavioural spec over all `2^(2W)` operand
+//!   pairs (a refutation carries a concrete counterexample).
+//! - **False-path STA**: the symbolic settle-bound analysis runs on the
+//!   die's delay annotation; the sweep records how far the proven bound
+//!   tightens the topological one, and re-checks the analysis' own
+//!   soundness obligations (proven ≤ topological, waveform endpoints
+//!   functionally verified).
+//! - **Exact error RMS**: the full-input-space structural error RMS from
+//!   the model-counted error distribution, reported per seed design.
+//!
+//! Synthesis-infeasible grid points are skipped (a feasibility boundary,
+//! not a proof failure). Any failed proof prints the finding and the
+//! sweep exits with status 1 — the CI gate asserting the whole space is
+//! *proven*, not sampled. Sibling of the `netlint` sweep
+//! (`isa-netlint-sweep/v1`), which runs the cheap per-build stages; this
+//! bin is the offline deep tier (`isa-prove-sweep/v1`).
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use isa_core::{enumerate_quadruples, paper_designs, Design};
+use isa_engine::{BuildError, DesignContext, ExperimentConfig};
+use isa_experiments::{arg_value, write_output};
+use isa_prove::{analyze_settle, check_equivalence, ErrorDistribution, StaOptions};
+
+#[derive(Default)]
+struct SweepStats {
+    checked: usize,
+    infeasible: usize,
+    /// STA budget bailouts (sound fallback to the topological bound).
+    fallbacks: usize,
+    /// Designs whose proven bound strictly tightens the topological one.
+    tightened: usize,
+    max_tightening_fs: u64,
+    /// `(design label, finding)` for every failed proof.
+    failures: Vec<(String, String)>,
+    /// Per-seed-design exact RMS lines for the summary.
+    seed_rms: Vec<(String, f64)>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let width: u32 = arg_value(&args, "width").unwrap_or(16);
+    let seeds_only = args.iter().any(|a| a == "--seeds-only");
+    let threads: usize = arg_value(&args, "threads").unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+    });
+
+    let seeds = paper_designs();
+    let seed_set: HashSet<String> = seeds.iter().map(ToString::to_string).collect();
+    let mut designs = seeds;
+    if !seeds_only {
+        designs.extend(
+            enumerate_quadruples(width)
+                .into_iter()
+                .map(Design::Isa)
+                .filter(|d| !seed_set.contains(&d.to_string())),
+        );
+    }
+    let scope_label = if seeds_only {
+        "12 seed designs".to_owned()
+    } else {
+        format!("12 seeds + the non-overlapping quadruple grid at width {width}")
+    };
+    eprintln!(
+        "prove: proving {} designs ({scope_label}) on {threads} thread(s)",
+        designs.len()
+    );
+
+    let config = ExperimentConfig::default();
+    let cursor = AtomicUsize::new(0);
+    let stats = Mutex::new(SweepStats::default());
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            scope.spawn(|| {
+                let mut local = SweepStats::default();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(design) = designs.get(i) else { break };
+                    let label = design.to_string();
+                    let ctx = match DesignContext::try_build(*design, &config) {
+                        Ok(ctx) => ctx,
+                        Err(BuildError::Synthesis(_)) => {
+                            local.infeasible += 1;
+                            continue;
+                        }
+                        Err(BuildError::Lint(report)) => {
+                            local.checked += 1;
+                            local
+                                .failures
+                                .push((label, format!("failed lint:\n{}", report.render())));
+                            continue;
+                        }
+                    };
+                    local.checked += 1;
+
+                    let equiv = check_equivalence(design, &ctx.synthesized.adder);
+                    if !equiv.equivalent {
+                        let (a, b) = equiv.counterexample.unwrap_or((0, 0));
+                        local.failures.push((
+                            label.clone(),
+                            format!(
+                                "equivalence refuted on output bit {}: a={a:#x}, b={b:#x}",
+                                equiv.failing_output.unwrap_or(0)
+                            ),
+                        ));
+                    }
+
+                    let sta = analyze_settle(
+                        ctx.synthesized.adder.netlist(),
+                        &ctx.annotation,
+                        &StaOptions::default(),
+                    );
+                    if !sta.exact {
+                        local.fallbacks += 1;
+                    }
+                    if sta.proven_crit_fs > sta.topo_crit_fs {
+                        local.failures.push((
+                            label.clone(),
+                            format!(
+                                "proven settle bound {} fs exceeds topological {} fs",
+                                sta.proven_crit_fs, sta.topo_crit_fs
+                            ),
+                        ));
+                    }
+                    if sta.exact && !sta.functions_verified {
+                        local.failures.push((
+                            label.clone(),
+                            "waveform endpoints diverge from functional semantics".to_owned(),
+                        ));
+                    }
+                    let tightening = sta.tightening_fs();
+                    if tightening > 0 {
+                        local.tightened += 1;
+                        local.max_tightening_fs = local.max_tightening_fs.max(tightening);
+                    }
+
+                    if i < 12 {
+                        let rms = ErrorDistribution::analyze_with_pmf_cap(design, 0).rms_error();
+                        local.seed_rms.push((label, rms));
+                    }
+                }
+                let mut total = stats.lock().expect("sweep stats poisoned");
+                total.checked += local.checked;
+                total.infeasible += local.infeasible;
+                total.fallbacks += local.fallbacks;
+                total.tightened += local.tightened;
+                total.max_tightening_fs = total.max_tightening_fs.max(local.max_tightening_fs);
+                total.failures.append(&mut local.failures);
+                total.seed_rms.append(&mut local.seed_rms);
+            });
+        }
+    });
+
+    let mut stats = stats.into_inner().expect("sweep stats poisoned");
+    stats.seed_rms.sort_by(|a, b| a.0.cmp(&b.0));
+    stats.failures.sort_by(|a, b| a.0.cmp(&b.0));
+    for (design, finding) in &stats.failures {
+        eprintln!("prove: FAIL {design}: {finding}");
+    }
+    for (design, rms) in &stats.seed_rms {
+        println!("prove: seed {design}: exact structural RMS {rms:.6e}");
+    }
+    println!(
+        "prove: {} proven, {} infeasible skipped, {} failed proof(s); \
+         false-path tightening on {} design(s) (max {:.1} ps), {} STA budget fallback(s); \
+         wall {:.2}s",
+        stats.checked,
+        stats.infeasible,
+        stats.failures.len(),
+        stats.tightened,
+        stats.max_tightening_fs as f64 / 1000.0,
+        stats.fallbacks,
+        started.elapsed().as_secs_f64()
+    );
+
+    if let Some(path) = arg_value::<String>(&args, "json") {
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"schema\": \"isa-prove-sweep/v1\",");
+        let _ = writeln!(json, "  \"width\": {width},");
+        let _ = writeln!(json, "  \"seeds_only\": {seeds_only},");
+        let _ = writeln!(json, "  \"proven\": {},", stats.checked);
+        let _ = writeln!(json, "  \"infeasible\": {},", stats.infeasible);
+        let _ = writeln!(json, "  \"failed_proofs\": {},", stats.failures.len());
+        let _ = writeln!(json, "  \"tightened_designs\": {},", stats.tightened);
+        let _ = writeln!(
+            json,
+            "  \"max_tightening_ps\": {},",
+            stats.max_tightening_fs as f64 / 1000.0
+        );
+        let _ = writeln!(json, "  \"sta_fallbacks\": {},", stats.fallbacks);
+        json.push_str("  \"seed_rms\": {");
+        for (i, (design, rms)) in stats.seed_rms.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            let _ = write!(json, "\n    \"{design}\": {rms}");
+        }
+        json.push_str("\n  },\n");
+        json.push_str("  \"failures\": [");
+        for (i, (design, finding)) in stats.failures.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            let _ = write!(
+                json,
+                "\n    {{\"design\": \"{design}\", \"finding\": {finding:?}}}"
+            );
+        }
+        json.push_str("\n  ]\n}\n");
+        write_output(&path, &json);
+    }
+
+    if !stats.failures.is_empty() {
+        std::process::exit(1);
+    }
+}

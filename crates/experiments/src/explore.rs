@@ -44,12 +44,16 @@ pub struct ExploreSettings {
     pub kernel: Option<String>,
     /// Kernel input scale factor.
     pub scale: usize,
-    /// Run the analytical pre-filter.
+    /// Run the structural pre-filter.
     pub prefilter: bool,
-    /// Stream-mode pruning safety factor.
+    /// Stream-mode pruning safety factor (the bound is exact, so 1.0 is
+    /// already sound; raising it only makes pruning more conservative).
     pub safety: f64,
     /// Cycles of the per-design energy characterization.
     pub energy_cycles: usize,
+    /// Tighten each die's critical delay with the symbolic false-path
+    /// proof before classifying clocks as certain.
+    pub proven_sta: bool,
     /// Evolutionary population size.
     pub population: usize,
     /// Evolutionary generation cap.
@@ -72,8 +76,9 @@ impl Default for ExploreSettings {
             kernel: None,
             scale: 1,
             prefilter: true,
-            safety: 2.0,
+            safety: 1.0,
             energy_cycles: 512,
+            proven_sta: false,
             population: 48,
             generations: 24,
             min_quality_db: None,
@@ -182,6 +187,7 @@ pub fn run_on(
             prefilter: settings.prefilter,
             safety: settings.safety,
             energy_cycles: settings.energy_cycles,
+            proven_sta: settings.proven_sta,
         },
         SearchSettings {
             strategy: settings.strategy_choice(),
@@ -219,7 +225,7 @@ impl ExploreReport {
         let mut out = format!(
             "Design-space exploration: {} space ({} points), {} strategy, \
              workload {}, seed {} ({} backend)\n\
-             candidates {} | pruned by analytical pre-filter {} | simulated {} | infeasible {}\n",
+             candidates {} | pruned by structural pre-filter {} | simulated {} | infeasible {}\n",
             self.settings.space,
             stats.space_points,
             stats.strategy,
@@ -319,6 +325,7 @@ impl ExploreReport {
             "timing_safe".into(),
             "energy_fj".into(),
             "model_error".into(),
+            "exact_struct_rms".into(),
             "pruned".into(),
             "error".into(),
             "quality_db".into(),
@@ -342,6 +349,7 @@ impl ExploreReport {
                 format!("{}", e.timing_safe),
                 format!("{}", e.energy_fj),
                 format!("{}", e.model_error),
+                format!("{}", e.exact_struct_rms),
                 format!("{}", e.pruned),
                 opt(e.error),
                 opt(e.quality_db),

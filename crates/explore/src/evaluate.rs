@@ -1,18 +1,25 @@
 //! The two-tier candidate evaluator.
 //!
-//! **Tier A (analytical, no gate-level simulation of the workload):** for
+//! **Tier A (structural, no gate-level simulation of the workload):** for
 //! each candidate design the evaluator synthesizes once (memoized in the
-//! engine's artifact cache), reads the die's exact critical delay from the
-//! classifier's femtosecond STA, characterizes energy per addition from a
-//! short switching-activity run at the safe clock, and computes a cheap
-//! *optimistic error bound* — the analytical structural-error model
-//! ([`isa_core::DesignAnalysis`], validated against exhaustive behavioural
-//! statistics in `crates/core/tests/analysis_exhaustive.rs`) for stream
-//! workloads, or the behavioural (structural-only) kernel quality for
-//! application workloads. Candidates whose optimistic bound is already
-//! strictly dominated by a *certain* configuration (one provably free of
-//! timing errors: clock period above the die's critical delay) are pruned
-//! without ever simulating them.
+//! engine's artifact cache), reads the die's critical delay (topological,
+//! or the tighter false-path-aware proven bound under
+//! [`EvalSettings::proven_sta`]), characterizes energy per addition from a
+//! short switching-activity run at the safe clock, and computes the
+//! design's **exact structural error in objective units**: for stream
+//! workloads the behavioural model runs over the actual operand stream
+//! (structural-only, so a few plane passes per design) and yields the
+//! very RMS-relative-error the objective measures, with zero timing
+//! error; for application workloads the behavioural kernel run yields the
+//! exact structural PSNR ceiling. The exact full-input-space error RMS
+//! (`[isa_prove::ErrorDistribution]`, model counting over all `2^(2W)`
+//! operand pairs) is recorded alongside for reports — it replaced the
+//! approximate analytical RMS as the design-level characterization and
+//! covers every design, including speculate-at-1 and overlapping
+//! compensation, which the analytical model could not. Candidates whose
+//! structural bound is already dominated by a *certain* configuration
+//! (one provably free of timing errors: clock period above the die's
+//! critical delay) are pruned without ever simulating them.
 //!
 //! **Tier B (simulation):** surviving candidates are scored by the engine
 //! on the filtered gate-level backend over the full workload, yielding
@@ -27,34 +34,34 @@
 //!   energy (more leakage per op) — it is dominated outright. This
 //!   collapses the clock column of every design that stays timing-safe
 //!   at deep clock-period reductions.
-//! * **Cross design:** a certain reference at least `safety`× more
-//!   accurate by the analytical model, no slower and no more energy —
-//!   applied only where the model's ordering is validated: the uniform
-//!   stream workload and kernel mode (whose ceilings are workload-exact).
-//!   Narrow-operand streams (sine/walk/accumulate) sensitize carry chains
-//!   very differently from uniform operands, so there tier A uses the
-//!   same-design rule alone.
+//! * **Cross design:** a certain reference whose exact structural bound
+//!   is no worse than the candidate's, no slower and no more energy
+//!   (with at least one strict), optionally widened by the
+//!   [`EvalSettings::safety`] margin. Because the bounds are computed on
+//!   the *actual* workload, this rule applies to every stream —
+//!   narrow-operand streams (sine/walk/accumulate) included — where the
+//!   old analytical bound was only validated for uniform operands.
 //!
-//! A pruned candidate can never reach the Pareto front, under two
-//! documented model assumptions:
+//! A pruned candidate can never reach the Pareto front, under **one**
+//! documented assumption:
 //!
 //! 1. **Timing errors do not reduce error:** a candidate's simulated error
 //!    is never below its structural-only error. For kernel workloads this
 //!    is the overclocking-monotonicity the apps tests pin (PSNR at an
-//!    overclocked point never exceeds the structural ceiling), and the
-//!    structural ceiling is computed *exactly* on the actual workload, so
-//!    kernel-mode pruning needs no margin. For stream workloads the bound
-//!    is the analytical RMS under uniform operands, so
-//! 2. **the safety factor** ([`EvalSettings::safety`], default 2.0,
-//!    clamped up to [`MIN_CROSS_DESIGN_SAFETY`]) absorbs the documented
-//!    cross-boundary independence approximation of the analytical RMS
-//!    (validated to stay within [0.7, 1.35] of exhaustive truth): a
-//!    candidate is pruned only when a certain configuration is at least
-//!    `safety`× more accurate by the analytical model *and* no worse on
-//!    delay and energy. The validation band is in absolute-RMS units
-//!    while the objective is relative RMS, so the margin is backed
-//!    empirically too: the `--bench-json` front-equality check reruns the
-//!    search without the pre-filter and fails on any difference.
+//!    overclocked point never exceeds the structural ceiling). A certain
+//!    reference has zero timing error by construction, so its measured
+//!    objective *equals* its structural bound; a candidate's measured
+//!    objective is at least its structural bound. Reference bound ≤
+//!    candidate bound therefore implies reference measurement ≤ candidate
+//!    measurement — no model margin is needed, and the default
+//!    [`EvalSettings::safety`] is 1.0. (The pre-PR8 evaluator bounded
+//!    streams with the *approximate* analytical RMS instead, which forced
+//!    a ≥ 2× margin and restricted cross-design pruning to uniform
+//!    streams; the exact-on-stream bound retired both caveats. The
+//!    timing side still rests on assumption 1 — the structural side rests
+//!    on none.) The margin-1.0/margin-2.0 front equality is pinned by a
+//!    test, and the `--bench-json` front-equality check reruns the search
+//!    without the pre-filter and fails on any difference.
 //!
 //! Baseline configurations (anything at the safe clock, and the exact
 //! adder at every clock) are exempt from pruning so quality queries and
@@ -67,12 +74,12 @@ use std::sync::Arc;
 
 use isa_apps::{run_behavioural, run_exact, run_on_substrate, score, Kernel, KernelRun};
 use isa_core::{
-    Adder, CombinedErrorStats, Design, DesignAnalysis, ExactAdder, OutputTriple, SpecGuess,
-    Substrate,
+    structural_errors, Adder, CombinedErrorStats, Design, ExactAdder, OutputTriple, Substrate,
 };
 use isa_engine::{Engine, ExperimentConfig, GateLevelSubstrate, WorkloadSpec};
 use isa_metrics::ObjectiveVector;
 use isa_netlist::cell::CellLibrary;
+use isa_prove::ErrorDistribution;
 use isa_timing_sim::measure_clocked_batch;
 use isa_workloads::{take_pairs, UniformWorkload};
 
@@ -116,40 +123,36 @@ impl EvalMode {
     }
 }
 
-/// The smallest admissible cross-design safety factor: the analytical RMS
-/// is validated to diverge by at most [0.7, 1.35] from exhaustive truth
-/// across arbitrary valid configurations
-/// (`crates/core/tests/analysis_exhaustive.rs`'s property band), so two
-/// modelled values only order the true values beyond a ratio of
-/// 1.35 / 0.7. [`EvalSettings::safety`] values below this are clamped up
-/// to it. The band bounds *absolute*-RMS divergence while the objective
-/// is relative RMS, so the margin remains partly empirical — which is why
-/// the `explore --bench-json` front-equality check (run in CI at the
-/// BENCH_PR5 counts) backs it at run time.
-pub const MIN_CROSS_DESIGN_SAFETY: f64 = 1.35 / 0.7;
-
 /// Evaluator knobs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EvalSettings {
-    /// Run the analytical pre-filter (tier A pruning). Disabling it
+    /// Run the structural pre-filter (tier A pruning). Disabling it
     /// simulates every candidate — same front, more wall time.
     pub prefilter: bool,
     /// Stream-mode pruning margin: a certain reference must beat a
-    /// candidate's analytical bound by this factor to prune it. Must be
-    /// ≥ 1; values below [`MIN_CROSS_DESIGN_SAFETY`] are clamped up to it
-    /// (the model cannot order true errors below that ratio).
+    /// candidate's structural bound by this factor to prune it. Must be
+    /// ≥ 1. The bound is exact on the workload (see the module docs), so
+    /// 1.0 — the default — is already sound; raising it only makes the
+    /// pre-filter more conservative.
     pub safety: f64,
     /// Cycles of the switching-activity run characterizing each design's
     /// energy per addition.
     pub energy_cycles: usize,
+    /// Tighten each die's critical delay with the symbolic false-path
+    /// proof ([`isa_engine::DesignContext::proven_critical_ps`]): clock
+    /// periods above the *proven* settle bound are certain even when they
+    /// undercut the topological one. Off by default — the proof costs a
+    /// BDD sweep per design at first use.
+    pub proven_sta: bool,
 }
 
 impl Default for EvalSettings {
     fn default() -> Self {
         Self {
             prefilter: true,
-            safety: 2.0,
+            safety: 1.0,
             energy_cycles: 512,
+            proven_sta: false,
         }
     }
 }
@@ -161,17 +164,18 @@ struct DesignInfo {
     die_critical_ps: f64,
     dyn_fj_per_op: f64,
     leak_fj_per_op_safe: f64,
-    /// Optimistic error bound in objective units (stream: analytical
-    /// structural RMS ≈ relative-error percent; kernel: negated structural
-    /// PSNR dB — exact on the actual workload, so kernel-mode pruning
-    /// applies no safety factor).
+    /// Exact structural error in objective units: the behavioural model
+    /// run over the actual workload (stream: joint RMS relative-error
+    /// percent with zero timing error; kernel: negated structural PSNR
+    /// dB). This *is* the candidate's objective when no timing errors
+    /// occur, for every design — guess-One and overlapping compensation
+    /// included.
     model_error: f64,
-    /// Whether the bound can serve as a *reference* in cross-design
-    /// pruning. Designs outside the analytical model's domain get a
-    /// conservative bound of 0 — sound for the candidate role (never
-    /// pruned) but meaningless as a reference (their true error may be
-    /// anything), so they must never prune others.
-    model_trusted: bool,
+    /// Exact full-input-space structural error RMS from the symbolic
+    /// [`isa_prove::ErrorDistribution`] (model counting over all
+    /// `2^(2W)` operand pairs) — the workload-independent design
+    /// characterization reports carry.
+    exact_struct_rms: f64,
 }
 
 /// A configuration provably free of timing errors, used as a pruning
@@ -182,10 +186,6 @@ struct CertainRef {
     clock_ps: f64,
     energy_fj: f64,
     model_error: f64,
-    /// False when the design's error bound is a domain fallback (see
-    /// [`DesignInfo::model_trusted`]): such references may only prune via
-    /// the exact same-design rule, never the cross-design one.
-    trusted_error: bool,
 }
 
 /// One evaluated (or pruned) candidate.
@@ -197,7 +197,9 @@ pub struct CandidateEval {
     pub clock_ps: f64,
     /// Synthesized area in NAND2-equivalent units.
     pub area: f64,
-    /// The die's exact critical delay (process variation included).
+    /// The die's critical delay (process variation included):
+    /// topological, or the false-path-aware proven settle bound under
+    /// [`EvalSettings::proven_sta`].
     pub die_critical_ps: f64,
     /// True when the clock period exceeds the die critical delay: the
     /// configuration cannot produce timing errors.
@@ -205,14 +207,15 @@ pub struct CandidateEval {
     /// Energy per addition at this clock (dynamic + leakage scaled to the
     /// shortened period), femtojoules.
     pub energy_fj: f64,
-    /// Tier-A optimistic error bound in objective units (stream:
-    /// analytical structural RMS ≈ relative-error percent; kernel:
-    /// negated structural PSNR dB, exact on the actual workload).
+    /// Tier-A structural error in objective units, exact on the actual
+    /// workload (stream: joint RMS relative-error percent with zero
+    /// timing error; kernel: negated structural PSNR dB). Equals the
+    /// simulated error whenever the candidate is timing-safe.
     pub model_error: f64,
-    /// True when the bound is genuinely modelled (false for designs
-    /// outside the analytical model's domain, whose bound is a
-    /// conservative 0 fallback).
-    pub model_trusted: bool,
+    /// Exact full-input-space structural error RMS (absolute output
+    /// units) from the symbolic error distribution — workload-independent
+    /// design characterization for reports.
+    pub exact_struct_rms: f64,
     /// True if tier A pruned the candidate (no simulation performed).
     pub pruned: bool,
     /// Simulated error objective (`None` when pruned).
@@ -230,20 +233,14 @@ impl CandidateEval {
             .map(|e| ObjectiveVector::new(e, self.clock_ps, self.energy_fj))
     }
 
-    /// The optimistic objective vector every candidate has (bound error,
-    /// exact delay and energy) — what tier-A pruning compares, and what
-    /// the evolutionary search ranks pruned candidates by. An untrusted
-    /// bound ranks as *infinitely bad* error, not 0: a domain-fallback
-    /// zero must keep a candidate unprunable, but it must not make the
-    /// search breed around a design whose true error is unmodelled.
+    /// The optimistic objective vector every candidate has (structural
+    /// error bound, exact delay and energy) — what tier-A pruning
+    /// compares, and what the evolutionary search ranks pruned candidates
+    /// by. The bound is exact on the workload for every design, so it
+    /// ranks faithfully.
     #[must_use]
     pub fn bound_objectives(&self) -> ObjectiveVector {
-        let error = if self.model_trusted {
-            self.model_error
-        } else {
-            f64::INFINITY
-        };
-        ObjectiveVector::new(error, self.clock_ps, self.energy_fj)
+        ObjectiveVector::new(self.model_error, self.clock_ps, self.energy_fj)
     }
 }
 
@@ -346,7 +343,7 @@ impl<'e> Evaluator<'e> {
                 timing_safe,
                 energy_fj: info.dyn_fj_per_op + info.leak_fj_per_op_safe * (1.0 - p.cpr),
                 model_error: info.model_error,
-                model_trusted: info.model_trusted,
+                exact_struct_rms: info.exact_struct_rms,
                 pruned: false,
                 error: None,
                 quality_db: None,
@@ -356,24 +353,14 @@ impl<'e> Evaluator<'e> {
         // Tier A pruning against certain references (previous batches and
         // this one).
         if self.settings.prefilter {
-            let model_exact = matches!(self.mode, EvalMode::Kernel { .. });
-            // Cross-design pruning leans on the analytical ordering, which
-            // is validated for *uniform* operands only — narrow-operand
-            // streams (sine/walk/accumulate) can sit arbitrarily far below
-            // their uniform bounds, in either order, so there the
-            // pre-filter restricts itself to the exact same-design rule.
-            let cross_design_ok = match &self.mode {
-                EvalMode::Kernel { .. } => true,
-                EvalMode::Stream { name, .. } => name == "uniform",
-            };
-            // The user may raise the margin, never lower it below the
-            // validated divergence band of the analytical RMS ([0.7,
-            // 1.35] in crates/core/tests/analysis_exhaustive.rs ⇒ minimum
-            // admissible ratio 1.35 / 0.7).
-            let safety = if model_exact {
-                1.0
-            } else {
-                self.settings.safety.max(MIN_CROSS_DESIGN_SAFETY)
+            // The stream bound is a nonnegative RMS percent, where a
+            // user-raised margin is a meaningful conservatism knob; the
+            // kernel bound is a negated-dB scale where scaling has no
+            // meaning (and a sign flip would invert it) — there the exact
+            // comparison is used directly.
+            let safety = match &self.mode {
+                EvalMode::Kernel { .. } => 1.0,
+                EvalMode::Stream { .. } => self.settings.safety,
             };
             for e in &evals {
                 if e.timing_safe {
@@ -382,7 +369,6 @@ impl<'e> Evaluator<'e> {
                         clock_ps: e.clock_ps,
                         energy_fj: e.energy_fj,
                         model_error: e.model_error,
-                        trusted_error: e.model_trusted,
                     });
                 }
             }
@@ -397,33 +383,22 @@ impl<'e> Evaluator<'e> {
                     // candidate's structural error is *identical* and its
                     // error can only grow with timing errors (assumption 1
                     // in the module docs), while delay and energy are
-                    // strictly worse — no model margin needed.
+                    // strictly worse.
                     if r.design == e.point.design {
                         return r.clock_ps < e.clock_ps && r.energy_fj <= e.energy_fj;
                     }
-                    // Cross-design: trust the analytical ordering only
-                    // where it is validated (uniform operands / exact
-                    // kernel ceilings), beyond the safety margin, and only
-                    // for references whose bound is genuinely modelled (a
-                    // domain-fallback bound of 0 must never prune others).
-                    if !cross_design_ok || !r.trusted_error {
-                        return false;
-                    }
-                    let err_ok = if model_exact {
-                        r.model_error <= e.model_error
-                    } else {
-                        e.model_error > 0.0 && r.model_error * safety <= e.model_error
-                    };
-                    err_ok
+                    // Cross-design: the reference's measured error equals
+                    // its exact structural bound (it is certain), the
+                    // candidate's is at least its bound (assumption 1), so
+                    // bound dominance — equality included — carries over
+                    // to the measured objectives. Requires strictness in
+                    // at least one dimension, like Pareto dominance.
+                    r.model_error * safety <= e.model_error
                         && r.clock_ps <= e.clock_ps
                         && r.energy_fj <= e.energy_fj
                         && (r.clock_ps < e.clock_ps
                             || r.energy_fj < e.energy_fj
-                            || (if model_exact {
-                                r.model_error < e.model_error
-                            } else {
-                                r.model_error * safety < e.model_error
-                            }))
+                            || r.model_error * safety < e.model_error)
                 });
                 if prunable {
                     e.pruned = true;
@@ -496,8 +471,9 @@ impl<'e> Evaluator<'e> {
         self.design_info.insert(*design, info);
     }
 
-    /// Tier-A characterization: synthesis feasibility, die STA, energy
-    /// per op at the safe clock, and the analytical error bound.
+    /// Tier-A characterization: synthesis feasibility, die STA (false-path
+    /// tightened under [`EvalSettings::proven_sta`]), energy per op at the
+    /// safe clock, and the exact structural error bounds.
     fn characterize(&self, design: &Design) -> Result<DesignInfo, String> {
         // Fallible cache entry: arbitrary grid points (unlike the paper's
         // twelve) may miss the timing constraint, and the infallible
@@ -521,53 +497,39 @@ impl<'e> Evaluator<'e> {
         );
         let n = cycles as f64;
 
-        let (model_error, model_trusted) = match &self.mode {
-            EvalMode::Stream { .. } => structural_model_error(design),
+        let model_error = match &self.mode {
+            // The behavioural model over the actual stream, silver = gold:
+            // the exact structural side of the joint RMS relative error —
+            // the very objective tier B measures, minus timing errors.
+            EvalMode::Stream { inputs, .. } => {
+                structural_errors(ctx.gold.as_ref(), inputs.iter().copied())
+                    .rms_re_percent()
+                    .2
+            }
             EvalMode::Kernel { kernel } => {
                 let (reference, peak) = self
                     .kernel_reference
                     .as_ref()
                     .expect("kernel mode has a reference");
                 let run = run_behavioural(kernel.as_ref(), design);
-                // The behavioural ceiling is workload-exact for every
-                // design — always a trustworthy reference.
-                (-score(reference, &run).psnr_db(*peak), true)
+                -score(reference, &run).psnr_db(*peak)
             }
         };
+        // The symbolic full-space RMS (no PMF needed): milliseconds per
+        // design at width 32, exact for every design.
+        let exact_struct_rms = ErrorDistribution::analyze_with_pmf_cap(design, 0).rms_error();
         Ok(DesignInfo {
             area: ctx.synthesized.area,
-            die_critical_ps: ctx.die_critical_ps(),
+            die_critical_ps: if self.settings.proven_sta {
+                ctx.proven_critical_ps()
+            } else {
+                ctx.die_critical_ps()
+            },
             dyn_fj_per_op: report.dynamic_fj / n,
             leak_fj_per_op_safe: report.leakage_fj / n,
             model_error,
-            model_trusted,
+            exact_struct_rms,
         })
-    }
-}
-
-/// Stream-mode analytical bound: the validated structural-error model's
-/// RMS, normalized to ≈ relative-error percent (`rms(E) / 2^width × 100`,
-/// the uniform-operand scale every candidate shares), plus whether the
-/// bound is genuinely modelled. Designs outside the model's domain
-/// (speculate-at-1, overlapping compensation) get `(0.0, false)`: the
-/// zero bound keeps them unprunable as candidates, and the `false` keeps
-/// them out of cross-design pruning as references (their true error may
-/// be anything). The exact adder's zero is exact, hence trusted.
-fn structural_model_error(design: &Design) -> (f64, bool) {
-    match design {
-        Design::Exact { .. } => (0.0, true),
-        Design::Isa(cfg) => {
-            if cfg.guess() != SpecGuess::Zero
-                || cfg.correction() + cfg.reduction() > cfg.block_size()
-            {
-                return (0.0, false);
-            }
-            let analysis = DesignAnalysis::analyze(cfg);
-            (
-                analysis.rms_error_approx() / (cfg.width() as f64).exp2() * 100.0,
-                true,
-            )
-        }
     }
 }
 
@@ -585,7 +547,7 @@ pub fn snr_db_of_rms_pct(rms_pct: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use isa_core::IsaConfig;
+    use isa_core::{IsaConfig, SpecGuess};
 
     fn point(quad: (u32, u32, u32, u32), cpr: f64) -> DesignPoint {
         DesignPoint {
@@ -730,54 +692,173 @@ mod tests {
     }
 
     #[test]
-    fn model_error_is_zero_outside_the_analytical_domain() {
-        assert_eq!(
-            structural_model_error(&Design::Exact { width: 32 }),
-            (0.0, true),
-            "exact adder genuinely has no structural error"
-        );
-        let overlapping = Design::Isa(IsaConfig::new(32, 8, 0, 4, 6).unwrap());
-        assert_eq!(structural_model_error(&overlapping), (0.0, false));
-        let (bound, trusted) =
-            structural_model_error(&Design::Isa(IsaConfig::new(32, 8, 0, 0, 4).unwrap()));
-        assert!(bound > 0.0 && trusted);
+    fn bounds_are_exact_for_every_design_including_former_model_gaps() {
+        // Pre-PR8 the analytical model could not bound speculate-at-1 or
+        // overlapping-compensation designs and fell back to an untrusted
+        // 0. The stream bound is now the behavioural model on the actual
+        // workload and the full-space RMS comes from the symbolic error
+        // distribution — both exact for *every* design.
+        let engine = Engine::with_threads(1);
+        let mut eval = stream_evaluator(&engine, 600);
+        let guess_one = DesignPoint {
+            design: Design::Isa(IsaConfig::with_guess(32, 8, 0, 0, 0, SpecGuess::One).unwrap()),
+            cpr: 0.0,
+        };
+        let overlapping = DesignPoint {
+            // C + R = 9 > B = 8: overlapping compensation, feasible at
+            // the default 300 ps constraint.
+            design: Design::Isa(IsaConfig::new(32, 8, 0, 2, 7).unwrap()),
+            cpr: 0.0,
+        };
+        let exact = DesignPoint {
+            design: Design::Exact { width: 32 },
+            cpr: 0.0,
+        };
+        let evals = eval.evaluate(&[guess_one, overlapping, exact]);
+        assert_eq!(evals.len(), 3);
+        for e in &evals[..2] {
+            assert!(
+                e.model_error > 0.0 && e.exact_struct_rms > 0.0,
+                "{}: formerly out-of-domain design must get a real bound",
+                e.point.label()
+            );
+            // Timing-safe at the safe clock: the measured error IS the
+            // structural bound.
+            assert!(e.timing_safe);
+            assert!((e.error.unwrap() - e.model_error).abs() < 1e-9);
+        }
+        assert_eq!(evals[2].model_error, 0.0);
+        assert_eq!(evals[2].exact_struct_rms, 0.0);
     }
 
     #[test]
-    fn out_of_domain_safe_design_never_prunes_others() {
+    fn inaccurate_certain_reference_cannot_prune_accurate_candidates() {
         let engine = Engine::with_threads(1);
         let mut eval = stream_evaluator(&engine, 800);
-        // Speculate-at-1 (8,0,0,0) is outside the analytical model's
-        // domain, so its stream bound is the untrusted fallback 0 — while
-        // its *true* error is enormous (every boundary guesses a spurious
-        // carry). It is cheap and timing-safe deep into the sweep, and it
-        // is evaluated FIRST: were its zero bound trusted, it would prune
-        // the slower, pricier, genuinely accurate candidates behind it.
-        let out_of_domain = DesignPoint {
+        // Speculate-at-1 (8,0,0,0) was the pre-PR8 poison case: outside
+        // the analytical model's domain, its bound fell back to 0, and
+        // only a `model_trusted` flag kept it from pruning everything
+        // behind it. Its bound is now its *exact* on-stream error — which
+        // is enormous (every block boundary guesses a spurious carry) —
+        // so the cross-design rule rejects it arithmetically, no flag
+        // needed. It is cheap, timing-safe and evaluated FIRST.
+        let inaccurate = DesignPoint {
             design: Design::Isa(IsaConfig::with_guess(32, 8, 0, 0, 0, SpecGuess::One).unwrap()),
             // Die crit 257.3 ps: certain at 10 % CPR (270 ps).
             cpr: 0.10,
         };
         let evals = eval.evaluate(&[
-            out_of_domain,
+            inaccurate,
             point((16, 7, 0, 8), 0.10),
             point((16, 2, 1, 6), 0.05),
         ]);
         assert_eq!(evals.len(), 3);
         assert!(
             evals[0].timing_safe,
-            "premise: the out-of-domain design must be a certain reference"
+            "premise: the inaccurate design must be a certain reference"
         );
         for e in &evals[1..] {
-            // These may only fall to the *same-design* rule, which needs a
-            // faster certain sibling — absent here, so they simulate.
+            assert!(
+                e.model_error < evals[0].model_error,
+                "premise: {} must be more accurate than the reference",
+                e.point.label()
+            );
             assert!(
                 !e.pruned,
-                "{} was pruned by an out-of-domain reference",
+                "{} was pruned by a less accurate reference",
                 e.point.label()
             );
             assert!(e.error.is_some());
         }
+    }
+
+    #[test]
+    fn margin_one_prunes_at_least_as_much_and_keeps_the_front() {
+        // The exactness claim behind the PR: dropping the old 2x model
+        // margin to the default 1.0 can only prune MORE (a superset), and
+        // everything it prunes is still strictly dominated by a simulated
+        // candidate — the front is unchanged.
+        let engine = Engine::with_threads(1);
+        let config = ExperimentConfig::default();
+        let points: Vec<DesignPoint> = [(8, 0, 0, 0), (8, 0, 0, 4), (16, 7, 0, 8)]
+            .into_iter()
+            .flat_map(|q| [point(q, 0.0), point(q, 0.05), point(q, 0.10)])
+            .collect();
+        let mode = EvalMode::uniform_stream(32, 800, config.workload_seed);
+
+        let run = |safety: f64, prefilter: bool| {
+            let mut eval = Evaluator::new(
+                &engine,
+                config.clone(),
+                mode.clone(),
+                EvalSettings {
+                    prefilter,
+                    safety,
+                    ..EvalSettings::default()
+                },
+            );
+            let evals = eval.evaluate(&points);
+            (evals, eval.pruned_count)
+        };
+        let (tight, pruned_tight) = run(1.0, true);
+        let (wide, pruned_wide) = run(2.0, true);
+        let (unpruned, zero) = run(1.0, false);
+        assert_eq!(zero, 0);
+
+        // Margin 1.0 pruning is a superset of margin 2.0 pruning.
+        assert!(pruned_tight >= pruned_wide);
+        for (t, w) in tight.iter().zip(&wide) {
+            assert_eq!(t.point.label(), w.point.label());
+            assert!(
+                t.pruned || !w.pruned,
+                "{} pruned at margin 2 but not at margin 1",
+                t.point.label()
+            );
+        }
+        // Soundness at margin 1.0: every pruned candidate's simulated
+        // objectives (from the no-prefilter run) are strictly dominated
+        // by some simulated candidate — the front is identical.
+        let all_objectives: Vec<ObjectiveVector> =
+            unpruned.iter().map(|e| e.objectives().unwrap()).collect();
+        for (t, u) in tight.iter().zip(&unpruned) {
+            if t.pruned {
+                let objectives = u.objectives().unwrap();
+                assert!(
+                    all_objectives.iter().any(|o| o.dominates(&objectives)),
+                    "pruned {} would reach the front",
+                    t.point.label()
+                );
+            } else {
+                assert_eq!(t.error, u.error, "{}", t.point.label());
+            }
+        }
+    }
+
+    #[test]
+    fn proven_sta_tightens_die_critical_without_changing_safe_errors() {
+        let engine = Engine::with_threads(1);
+        let config = ExperimentConfig::default();
+        let mode = EvalMode::uniform_stream(32, 400, config.workload_seed);
+        let run = |proven_sta: bool| {
+            let mut eval = Evaluator::new(
+                &engine,
+                config.clone(),
+                mode.clone(),
+                EvalSettings {
+                    proven_sta,
+                    prefilter: false,
+                    ..EvalSettings::default()
+                },
+            );
+            eval.evaluate(&[point((8, 2, 1, 4), 0.0)]).remove(0)
+        };
+        let topo = run(false);
+        let proven = run(true);
+        // The proof can only tighten (or match) the topological bound,
+        // and tier-B simulation is untouched by it.
+        assert!(proven.die_critical_ps <= topo.die_critical_ps);
+        assert!(proven.die_critical_ps > 0.0);
+        assert_eq!(proven.error, topo.error);
     }
 
     #[test]

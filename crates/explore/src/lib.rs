@@ -6,10 +6,10 @@
 //! The paper samples that space at twelve hand-picked designs and three
 //! clock-period reductions; this crate *searches* it. A
 //! [`SpaceSpec`] materializes the candidate space (structural quadruples ×
-//! clock reductions), a two-tier [`Evaluator`] scores candidates — an
-//! analytical structural-error model and femtosecond STA prune
-//! provably-dominated configurations before the engine simulates the
-//! survivors on the filtered gate-level backend — and a search
+//! clock reductions), a two-tier [`Evaluator`] scores candidates — exact
+//! structural-error bounds and femtosecond STA prune provably-dominated
+//! configurations before the engine simulates the survivors on the
+//! filtered gate-level backend — and a search
 //! [`Strategy`] (exhaustive for small spaces, seeded NSGA-II-style
 //! evolutionary for large ones) assembles a deterministic
 //! [`ParetoFront`] over (error, delay, energy) [`ObjectiveVector`]s.
@@ -55,9 +55,7 @@ pub mod pareto;
 pub mod search;
 pub mod space;
 
-pub use evaluate::{
-    snr_db_of_rms_pct, CandidateEval, EvalMode, EvalSettings, Evaluator, MIN_CROSS_DESIGN_SAFETY,
-};
+pub use evaluate::{snr_db_of_rms_pct, CandidateEval, EvalMode, EvalSettings, Evaluator};
 pub use isa_metrics::ObjectiveVector;
 pub use pareto::{FrontEntry, ParetoFront};
 pub use search::{

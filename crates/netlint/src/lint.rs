@@ -11,7 +11,7 @@
 
 use std::time::Instant;
 
-use isa_core::Adder;
+use isa_core::{Adder, Design};
 use isa_netlist::classify::LaneClassifier;
 use isa_netlist::tape::InstructionTape;
 use isa_netlist::timing::DelayAnnotation;
@@ -19,7 +19,7 @@ use isa_netlist::{AdderNetlist, Netlist};
 
 use crate::diag::{Diagnostic, LintReport, Locus, Rule, Severity};
 use crate::level::Levelization;
-use crate::{audit, structural, tapecheck, timing, Splitmix};
+use crate::{audit, prove, structural, tapecheck, timing, Splitmix};
 
 /// Battery sizes and stage toggles for one lint run.
 ///
@@ -40,6 +40,15 @@ pub struct LintOptions {
     pub functional_batteries: usize,
     /// Whether to run the classifier conservatism audit at all.
     pub classifier_audit: bool,
+    /// Whether to run the symbolic equivalence proof against the
+    /// behavioural spec (`prove.equiv`). Off by default: a proof costs
+    /// more than every sampled stage combined, so it belongs to the
+    /// offline sweep, not the synthesis path. Requires the spec-carrying
+    /// entry point [`lint_adder_proven`].
+    pub prove_equiv: bool,
+    /// Whether to re-prove the symbolic settle-bound analysis
+    /// (`prove.sta`). Off by default, same budget reasoning.
+    pub prove_sta: bool,
 }
 
 impl Default for LintOptions {
@@ -50,6 +59,8 @@ impl Default for LintOptions {
             audit_batteries: 1,
             functional_batteries: 1,
             classifier_audit: true,
+            prove_equiv: false,
+            prove_sta: false,
         }
     }
 }
@@ -66,6 +77,19 @@ impl LintOptions {
             audit_batteries: 4,
             functional_batteries: 4,
             classifier_audit: true,
+            prove_equiv: false,
+            prove_sta: false,
+        }
+    }
+
+    /// [`Self::thorough`] plus both symbolic proof stages — what the
+    /// `prove` sweep binary runs.
+    #[must_use]
+    pub fn proven() -> Self {
+        Self {
+            prove_equiv: true,
+            prove_sta: true,
+            ..Self::thorough()
         }
     }
 }
@@ -103,7 +127,30 @@ pub fn lint_adder(
     gold: Option<&dyn Adder>,
     options: &LintOptions,
 ) -> LintReport {
-    lint_adder_inner(adder, annotation, None, gold, options)
+    lint_adder_inner(adder, annotation, None, gold, None, options)
+}
+
+/// Like [`lint_adder`], but carries the behavioural *spec* ([`Design`])
+/// rather than just a golden model, enabling the opt-in symbolic proof
+/// stages (`prove.equiv`, `prove.sta`) when the corresponding
+/// [`LintOptions`] flags are set. The golden model for the sampled
+/// functional stage is derived from the spec.
+#[must_use]
+pub fn lint_adder_proven(
+    adder: &AdderNetlist,
+    annotation: &DelayAnnotation,
+    spec: &Design,
+    options: &LintOptions,
+) -> LintReport {
+    let gold = spec.behavioural();
+    lint_adder_inner(
+        adder,
+        annotation,
+        None,
+        Some(gold.as_ref()),
+        Some(spec),
+        options,
+    )
 }
 
 /// Like [`lint_adder`], but audits a classifier the caller already built
@@ -117,7 +164,7 @@ pub fn lint_adder_with_classifier(
     gold: Option<&dyn Adder>,
     options: &LintOptions,
 ) -> LintReport {
-    lint_adder_inner(adder, annotation, Some(classifier), gold, options)
+    lint_adder_inner(adder, annotation, Some(classifier), gold, None, options)
 }
 
 fn lint_adder_inner(
@@ -125,6 +172,7 @@ fn lint_adder_inner(
     annotation: &DelayAnnotation,
     classifier: Option<&LaneClassifier>,
     gold: Option<&dyn Adder>,
+    spec: Option<&Design>,
     options: &LintOptions,
 ) -> LintReport {
     let start = Instant::now();
@@ -172,6 +220,20 @@ fn lint_adder_inner(
             classifier,
             options.audit_batteries,
         ));
+    }
+
+    // Stage 5: symbolic proofs — opt-in. Equivalence needs only a sound
+    // graph (it deliberately runs even when the sampled functional stage
+    // already found a mismatch: the proof is the ground truth and carries
+    // the counterexample); the settle re-proof additionally trusts the
+    // delays.
+    if structurally_sound {
+        if let (true, Some(spec)) = (options.prove_equiv, spec) {
+            diagnostics.extend(prove::check_equiv(adder, spec));
+        }
+        if options.prove_sta && annotation_clean {
+            diagnostics.extend(prove::check_sta(netlist, annotation));
+        }
     }
 
     LintReport {

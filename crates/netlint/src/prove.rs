@@ -1,0 +1,206 @@
+//! Stage: opt-in symbolic proofs (`prove.equiv`, `prove.sta`).
+//!
+//! These rules lift two sampled checks to full proofs by delegating to
+//! [`isa_prove`]:
+//!
+//! - `prove.equiv` replaces the random-battery functional comparison as
+//!   ground truth: the netlist's output functions are proven identical to
+//!   the behavioural spec's on **all** `2^(2W)` operand pairs, and any
+//!   refutation comes back with a concrete counterexample pair.
+//! - `prove.sta` re-proves the symbolic settle-bound analysis' own
+//!   soundness obligations on this design: the proven bound must not
+//!   exceed the topological one (in the analysis' per-cell femtosecond
+//!   quantisation, the same grid the simulators use), and the timed
+//!   waveforms' endpoint functions must coincide with the netlist's
+//!   functional semantics.
+//!
+//! Both are **off by default** ([`crate::LintOptions`]): one proof costs
+//! more than every sampled stage combined, which is the wrong trade at
+//! synthesis time but the right one for the offline `prove` sweep.
+
+use isa_core::Design;
+use isa_netlist::timing::DelayAnnotation;
+use isa_netlist::{AdderNetlist, Netlist};
+use isa_prove::{analyze_settle, check_equivalence, StaOptions};
+
+use crate::diag::{Diagnostic, Locus, Rule};
+
+/// Proves the netlist equivalent to `spec`'s behavioural model; a failed
+/// proof yields one `prove.equiv` finding carrying the counterexample.
+pub(crate) fn check_equiv(adder: &AdderNetlist, spec: &Design) -> Vec<Diagnostic> {
+    if spec.width() != adder.width() {
+        return vec![Diagnostic::new(
+            Rule::ProveEquiv,
+            Locus::Design,
+            format!(
+                "spec is {} bits wide, netlist is {}",
+                spec.width(),
+                adder.width()
+            ),
+        )];
+    }
+    let report = check_equivalence(spec, adder);
+    if report.equivalent {
+        return Vec::new();
+    }
+    let output = report.failing_output.unwrap_or(0);
+    let (a, b) = report.counterexample.unwrap_or((0, 0));
+    vec![Diagnostic::new(
+        Rule::ProveEquiv,
+        Locus::Output(output),
+        format!(
+            "netlist differs from the behavioural spec on output bit {output}: \
+             counterexample a={a:#x}, b={b:#x} (proof over all {} input pairs)",
+            format_pairs(report.width),
+        ),
+    )]
+}
+
+/// Re-proves the settle-bound analysis' soundness obligations on this
+/// netlist/annotation pair.
+pub(crate) fn check_sta(netlist: &Netlist, annotation: &DelayAnnotation) -> Vec<Diagnostic> {
+    let sta = analyze_settle(netlist, annotation, &StaOptions::default());
+    let mut out = Vec::new();
+    if sta.proven_crit_fs > sta.topo_crit_fs {
+        out.push(Diagnostic::new(
+            Rule::ProveSta,
+            Locus::Design,
+            format!(
+                "proven settle bound {} fs exceeds the topological bound {} fs",
+                sta.proven_crit_fs, sta.topo_crit_fs
+            ),
+        ));
+    }
+    if sta.exact && !sta.functions_verified {
+        out.push(Diagnostic::new(
+            Rule::ProveSta,
+            Locus::Design,
+            "timed waveform endpoints diverge from the netlist's functional semantics",
+        ));
+    }
+    out
+}
+
+/// `2^(2w)` rendered without computing it (it overflows u64 at w = 32).
+fn format_pairs(width: u32) -> String {
+    format!("2^{}", 2 * width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::{lint_adder_proven, LintOptions};
+    use crate::mutate::{apply_mutation, Mutation};
+    use isa_core::{paper_isa_configs, IsaConfig};
+    use isa_netlist::cell::CellLibrary;
+    use isa_netlist::{build_exact, builders, AdderTopology};
+
+    fn proven_options() -> LintOptions {
+        LintOptions {
+            prove_equiv: true,
+            prove_sta: true,
+            ..LintOptions::default()
+        }
+    }
+
+    fn nominal(adder: &AdderNetlist) -> DelayAnnotation {
+        DelayAnnotation::nominal(adder.netlist(), &CellLibrary::industrial_65nm())
+    }
+
+    #[test]
+    fn clean_designs_prove_clean() {
+        let cfg = IsaConfig::new(16, 4, 2, 1, 2).unwrap();
+        let adder = builders::isa::build(&cfg, AdderTopology::Ripple).unwrap();
+        let ann = nominal(&adder);
+        let report = lint_adder_proven(&adder, &ann, &Design::Isa(cfg), &proven_options());
+        assert!(!report.has_errors(), "{}", report.render());
+
+        let exact = build_exact(16, AdderTopology::Sklansky);
+        let ann = nominal(&exact);
+        let report = lint_adder_proven(
+            &exact,
+            &ann,
+            &Design::Exact { width: 16 },
+            &proven_options(),
+        );
+        assert!(!report.has_errors(), "{}", report.render());
+    }
+
+    #[test]
+    fn equiv_fault_injection_is_caught_on_all_twelve_seed_designs() {
+        // SwapPgKind keeps the graph perfectly well-formed and corrupts
+        // only the computed function — precisely what a full equivalence
+        // proof (unlike sampling) is guaranteed to catch, on every seed
+        // design at its native 32 bits.
+        let mut designs: Vec<(Design, AdderNetlist)> = paper_isa_configs()
+            .into_iter()
+            .map(|cfg| {
+                let adder = builders::isa::build(&cfg, AdderTopology::Ripple).unwrap();
+                (Design::Isa(cfg), adder)
+            })
+            .collect();
+        designs.push((
+            Design::Exact { width: 32 },
+            build_exact(32, AdderTopology::Ripple),
+        ));
+        assert_eq!(designs.len(), 12);
+
+        for (i, (design, adder)) in designs.iter().enumerate() {
+            let ann = nominal(adder);
+            let mutated = apply_mutation(adder, &ann, Mutation::SwapPgKind, 1000 + i as u64)
+                .expect("every seed design has a propagate XOR to corrupt");
+            let report = lint_adder_proven(
+                &mutated.adder,
+                &mutated.annotation,
+                design,
+                &proven_options(),
+            );
+            assert!(
+                report.has_rule(Rule::ProveEquiv),
+                "{design:?}: mutant not caught by the equivalence proof:\n{}",
+                report.render()
+            );
+            // The counterexample lives in a prove.equiv message.
+            assert!(
+                report
+                    .diagnostics
+                    .iter()
+                    .any(|d| d.rule == Rule::ProveEquiv && d.message.contains("counterexample")),
+                "{design:?}: missing counterexample"
+            );
+        }
+    }
+
+    #[test]
+    fn proof_stages_are_off_by_default() {
+        // Same mutant, default options: the functional sampler may or may
+        // not catch it, but no prove.* rule is allowed to run.
+        let adder = build_exact(16, AdderTopology::Ripple);
+        let ann = nominal(&adder);
+        let report = lint_adder_proven(
+            &adder,
+            &ann,
+            &Design::Exact { width: 16 },
+            &LintOptions::default(),
+        );
+        assert!(!report
+            .diagnostics
+            .iter()
+            .any(|d| matches!(d.rule, Rule::ProveEquiv | Rule::ProveSta)));
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn sta_reproof_passes_on_seed_topologies() {
+        for topology in [
+            AdderTopology::Ripple,
+            AdderTopology::Sklansky,
+            AdderTopology::CarrySelect(4),
+        ] {
+            let adder = build_exact(16, topology);
+            let ann = nominal(&adder);
+            let found = check_sta(adder.netlist(), &ann);
+            assert!(found.is_empty(), "{topology:?}: {found:?}");
+        }
+    }
+}

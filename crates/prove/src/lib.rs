@@ -1,0 +1,49 @@
+//! isa-prove: symbolic static analysis for inexact speculative adders.
+//!
+//! Everything else in this workspace *samples*: the simulators draw input
+//! streams, the analytical model covers only part of the design space, and
+//! the linter spot-checks parity on random vectors. This crate closes the
+//! gap with **proofs** over all inputs at once, using a reduced ordered
+//! BDD engine (no external dependencies):
+//!
+//! - [`equiv`] — combinational equivalence of every synthesized netlist
+//!   against the behavioural [`isa_core::SpeculativeAdder`] spec, over all
+//!   `2^(2W)` operand pairs. The spec side is not re-implemented: the
+//!   behavioural plane algorithm itself runs over BDD nodes via the
+//!   [`isa_core::PlaneAlgebra`] trait.
+//! - [`dist`] — the *exact* structural error distribution (PMF, RMS,
+//!   extrema, error rate) by model counting on the approx-minus-exact
+//!   difference function; integer-exact at widths the exhaustive harness
+//!   cannot reach.
+//! - [`sta`] — false-path-aware settle bounds by symbolic timed
+//!   simulation: a proven critical delay that is sound against the
+//!   transport-delay simulator and never worse than topological STA.
+//!
+//! The [`bdd`], [`spec`] and [`netlist`] modules provide the shared
+//! engine, spec construction, and symbolic netlist evaluation these three
+//! analyses are built from.
+//!
+//! # Where this sits
+//!
+//! `isa-netlint` runs cheap per-build checks on every synthesis result;
+//! this crate is the offline/deep tier the linter escalates to when callers
+//! opt in (`prove.equiv`, `prove.sta` rules), and the source of the exact
+//! error model that lets the design-space explorer prune with a structural
+//! safety margin of 1.0 instead of 2.0.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bdd;
+pub mod dist;
+pub mod equiv;
+pub mod netlist;
+pub mod spec;
+pub mod sta;
+
+pub use bdd::{Bdd, Op, Ref};
+pub use dist::{ErrorDistribution, DEFAULT_PMF_CAP};
+pub use equiv::{check_equivalence, EquivReport};
+pub use netlist::{eval_cell, live_nets, net_functions, output_functions};
+pub use spec::{spec_outputs, OperandVars};
+pub use sta::{analyze_settle, StaOptions, SymbolicSta};

@@ -5,6 +5,7 @@
 #   test    -> release build, tier-1 tests, workspace tests
 #   docs    -> rustdoc with warnings denied
 #   netlint -> full-grid netlist/timing static analysis (fails on Error)
+#   prove   -> symbolic equivalence + false-path STA proofs (fails on any)
 #   miri    -> LaneBatch pack/transpose tests under Miri (when installed)
 #   golden  -> experiment CSVs diffed against tests/golden/
 #   bench   -> backend speedup gates (plus criterion when a registry is up)
@@ -26,6 +27,10 @@ cargo test -q
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> wide-tape feature tests (isa-netlist + isa-timing-sim)"
+cargo test -q -p isa-netlist --features wide-tape
+cargo test -q -p isa-timing-sim --features wide-tape
+
 echo "==> cargo doc --workspace --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc -q --workspace --no-deps
 
@@ -33,6 +38,12 @@ echo "==> netlint sweep (12 seeds + full width-32 quadruple grid)"
 # Same sweep as CI's netlint job: every feasible design through the full
 # lint pipeline; the binary exits non-zero on any Error-severity finding.
 cargo run --release -q -p isa-experiments --bin netlint
+
+echo "==> prove sweep (12 seeds at 32 bits + width-16 quadruple grid)"
+# Same sweep as CI's prove job: full symbolic equivalence proofs and
+# false-path STA on every feasible design; exits non-zero on any failed
+# proof.
+cargo run --release -q -p isa-experiments --bin prove
 
 echo "==> miri (LaneBatch pack/transpose)"
 # CI runs these under nightly Miri as a UB tripwire for the lane-packing
