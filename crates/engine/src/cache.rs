@@ -5,13 +5,27 @@
 //! `all_figures`. The cache builds each (design, die) pair exactly once per
 //! process and hands out shared references, so every pipeline and substrate
 //! sees the same die sample for the same design.
+//!
+//! Two robustness properties matter for long-lived callers (`isa-serve`):
+//!
+//! * **failed builds never poison a slot** — a synthesis failure, a lint
+//!   rejection, or even a panic inside [`DesignContext::try_build`] leaves
+//!   the slot empty (and removes it from the map), so a later request for
+//!   the same design retries cleanly instead of inheriting a poisoned
+//!   `OnceLock`;
+//! * **the cache can be bounded** — [`ArtifactCache::bounded`] turns the
+//!   per-process memo into a cross-request LRU: when the number of built
+//!   contexts exceeds the capacity, the least-recently-used entry is
+//!   dropped from the map. Outstanding [`Arc`] references keep working;
+//!   only the memoization is released.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
 
 use isa_core::Design;
 
-use crate::context::{DesignContext, ExperimentConfig};
+use crate::context::{BuildError, DesignContext, ExperimentConfig};
 
 /// Cache key: the design plus every configuration field that influences
 /// synthesis or the die sample. Floats are keyed by their bit patterns —
@@ -35,21 +49,77 @@ impl ArtifactKey {
     }
 }
 
-/// Thread-safe memo of [`DesignContext`]s.
+/// One slot's build state. `Building` means some thread is synthesizing;
+/// waiters block on the slot's condvar and re-inspect on wakeup. A failed
+/// or panicked build resets the state to `Empty` (never a poisoned lock),
+/// so the next requester simply rebuilds.
+#[derive(Debug, Default)]
+enum SlotState {
+    #[default]
+    Empty,
+    Building,
+    Ready(Arc<DesignContext>),
+}
+
+#[derive(Debug, Default)]
+struct Slot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+/// Map entry: the shared slot plus its LRU stamp.
+#[derive(Debug)]
+struct Entry {
+    slot: Arc<Slot>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    slots: HashMap<ArtifactKey, Entry>,
+    tick: u64,
+}
+
+/// Thread-safe memo of [`DesignContext`]s, optionally bounded as an LRU.
 ///
 /// Concurrent requests for *different* designs synthesize in parallel;
-/// concurrent requests for the *same* design block on a per-key
-/// [`OnceLock`] so each design is built exactly once.
+/// concurrent requests for the *same* design block on the slot's condvar
+/// so each design is built at most once per residency.
+///
+/// Lock ordering: the map lock (`inner`) is never acquired while holding a
+/// slot's state lock, except transiently during eviction (which holds
+/// `inner` and briefly inspects slot states); build paths always release
+/// the slot lock before touching the map again.
 #[derive(Debug, Default)]
 pub struct ArtifactCache {
-    slots: Mutex<HashMap<ArtifactKey, Arc<OnceLock<Arc<DesignContext>>>>>,
+    inner: Mutex<Inner>,
+    /// `None` = unbounded (the batch-experiment default).
+    capacity: Option<usize>,
 }
 
 impl ArtifactCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache bounded to `capacity` built contexts: once
+    /// more are resident, the least-recently-used entry is evicted from
+    /// the map (outstanding references stay valid). A capacity of zero is
+    /// treated as one.
+    #[must_use]
+    pub fn bounded(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner::default()),
+            capacity: Some(capacity.max(1)),
+        }
+    }
+
+    /// The configured LRU capacity (`None` = unbounded).
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// Returns the memoized context for a design, synthesizing it on first
@@ -57,57 +127,163 @@ impl ArtifactCache {
     ///
     /// # Panics
     ///
-    /// Panics if synthesis fails (propagated from [`DesignContext::build`])
-    /// or if a concurrent build of the same design panicked.
+    /// Panics if the build fails (propagated from
+    /// [`DesignContext::try_build`]). The failure does **not** poison the
+    /// slot: a subsequent request retries the build.
     #[must_use]
     pub fn context(&self, design: &Design, config: &ExperimentConfig) -> Arc<DesignContext> {
-        let key = ArtifactKey::new(design, config);
-        let slot = {
-            let mut slots = self.slots.lock().expect("artifact cache poisoned");
-            Arc::clone(slots.entry(key).or_default())
-        };
-        // Build outside the map lock: other designs stay buildable in
-        // parallel; same-design racers block here until the winner is done.
-        Arc::clone(slot.get_or_init(|| Arc::new(DesignContext::build(*design, config))))
+        self.try_context(design, config)
+            .unwrap_or_else(|e| panic!("synthesis of {design} failed: {e}"))
     }
 
     /// Fallible variant of [`ArtifactCache::context`] for designs that may
     /// not meet the timing constraint: a cache hit returns the shared
-    /// context, a miss synthesizes exactly once on success, and a failure
-    /// is returned (not memoized — infeasibility is cheap to re-discover
-    /// and callers typically memoize it themselves).
+    /// context, a miss synthesizes exactly once on success (concurrent
+    /// requesters of the same design wait for the winner), and a failure
+    /// is returned without leaving any slot behind — infeasibility is
+    /// cheap to re-discover and callers typically memoize it themselves.
     ///
     /// # Errors
     ///
-    /// Returns the synthesis error message when the design cannot meet the
-    /// configuration's clock period.
+    /// Returns the [`BuildError`] when the design cannot meet the
+    /// configuration's clock period or fails the static-analysis gate.
     pub fn try_context(
         &self,
         design: &Design,
         config: &ExperimentConfig,
-    ) -> Result<Arc<DesignContext>, String> {
+    ) -> Result<Arc<DesignContext>, BuildError> {
         let key = ArtifactKey::new(design, config);
-        let slot = {
-            let mut slots = self.slots.lock().expect("artifact cache poisoned");
-            Arc::clone(slots.entry(key).or_default())
-        };
-        if let Some(ctx) = slot.get() {
-            return Ok(Arc::clone(ctx));
+        loop {
+            let slot = self.touch(key);
+            let mut state = slot.state.lock().expect("artifact slot lock");
+            match &*state {
+                SlotState::Ready(ctx) => return Ok(Arc::clone(ctx)),
+                SlotState::Building => {
+                    // Wait for the winner, then re-inspect: Ready on
+                    // success, Empty (rebuild ourselves) on failure.
+                    while matches!(*state, SlotState::Building) {
+                        state = slot.ready.wait(state).expect("artifact slot lock");
+                    }
+                    if let SlotState::Ready(ctx) = &*state {
+                        return Ok(Arc::clone(ctx));
+                    }
+                    // Fell back to Empty: loop and build it ourselves.
+                    continue;
+                }
+                SlotState::Empty => {
+                    *state = SlotState::Building;
+                    drop(state);
+                    let built = catch_unwind(AssertUnwindSafe(|| {
+                        DesignContext::try_build(*design, config)
+                    }));
+                    let mut state = slot.state.lock().expect("artifact slot lock");
+                    match built {
+                        Ok(Ok(ctx)) => {
+                            let ctx = Arc::new(ctx);
+                            *state = SlotState::Ready(Arc::clone(&ctx));
+                            slot.ready.notify_all();
+                            drop(state);
+                            self.evict_beyond_capacity(key);
+                            return Ok(ctx);
+                        }
+                        Ok(Err(err)) => {
+                            *state = SlotState::Empty;
+                            slot.ready.notify_all();
+                            drop(state);
+                            self.remove_if_empty(key);
+                            return Err(err);
+                        }
+                        Err(payload) => {
+                            // A panicking build must not strand waiters or
+                            // poison the slot; reset, clean up, re-raise.
+                            *state = SlotState::Empty;
+                            slot.ready.notify_all();
+                            drop(state);
+                            self.remove_if_empty(key);
+                            resume_unwind(payload);
+                        }
+                    }
+                }
+            }
         }
-        let built = DesignContext::try_build(*design, config).map_err(|e| e.to_string())?;
-        // A concurrent racer may have filled the slot meanwhile; the
-        // winner's context is the shared one either way.
-        Ok(Arc::clone(slot.get_or_init(|| Arc::new(built))))
     }
 
-    /// Number of contexts built so far.
+    /// Fetches (or creates) the slot for a key, stamping its LRU tick.
+    fn touch(&self, key: ArtifactKey) -> Arc<Slot> {
+        let mut inner = self.inner.lock().expect("artifact cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.slots.entry(key).or_insert_with(|| Entry {
+            slot: Arc::new(Slot::default()),
+            last_used: tick,
+        });
+        entry.last_used = tick;
+        Arc::clone(&entry.slot)
+    }
+
+    /// Drops the key's map entry if its slot is still empty (failed build
+    /// cleanup; a racer may have started rebuilding meanwhile, in which
+    /// case the entry stays).
+    fn remove_if_empty(&self, key: ArtifactKey) {
+        let mut inner = self.inner.lock().expect("artifact cache lock");
+        let empty = inner.slots.get(&key).is_some_and(|entry| {
+            entry
+                .slot
+                .state
+                .try_lock()
+                .is_ok_and(|state| matches!(*state, SlotState::Empty))
+        });
+        if empty {
+            inner.slots.remove(&key);
+        }
+    }
+
+    /// Evicts least-recently-used *ready* entries until the resident count
+    /// fits the capacity, never evicting `just_used`.
+    fn evict_beyond_capacity(&self, just_used: ArtifactKey) {
+        let Some(capacity) = self.capacity else {
+            return;
+        };
+        let mut inner = self.inner.lock().expect("artifact cache lock");
+        loop {
+            let ready: Vec<(ArtifactKey, u64)> = inner
+                .slots
+                .iter()
+                .filter(|(key, entry)| {
+                    **key != just_used
+                        && entry
+                            .slot
+                            .state
+                            .try_lock()
+                            .is_ok_and(|state| matches!(*state, SlotState::Ready(_)))
+                })
+                .map(|(key, entry)| (*key, entry.last_used))
+                .collect();
+            // `ready` excludes `just_used`, so compare against capacity-1.
+            if ready.len() < capacity {
+                return;
+            }
+            let Some(&(victim, _)) = ready.iter().min_by_key(|&&(_, used)| used) else {
+                return;
+            };
+            inner.slots.remove(&victim);
+        }
+    }
+
+    /// Number of contexts built and still resident.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.slots
-            .lock()
-            .expect("artifact cache poisoned")
+        let inner = self.inner.lock().expect("artifact cache lock");
+        inner
+            .slots
             .values()
-            .filter(|slot| slot.get().is_some())
+            .filter(|entry| {
+                entry
+                    .slot
+                    .state
+                    .try_lock()
+                    .is_ok_and(|state| matches!(*state, SlotState::Ready(_)))
+            })
             .count()
     }
 
@@ -147,5 +323,69 @@ mod tests {
         let b = cache.context(&design, &other_die);
         assert!(!Arc::ptr_eq(&a, &b));
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn failed_builds_leave_no_slot_behind() {
+        let cache = ArtifactCache::new();
+        // 50 ps is infeasible for a 32-bit adder in this library.
+        let config = ExperimentConfig {
+            period_ps: 50.0,
+            ..ExperimentConfig::default()
+        };
+        let design = Design::Exact { width: 32 };
+        let err = cache.try_context(&design, &config).unwrap_err();
+        assert!(matches!(err, BuildError::Synthesis(_)), "{err}");
+        assert_eq!(cache.len(), 0, "failure must not occupy a slot");
+        // The same cache still builds feasible designs afterwards.
+        let ok = cache.context(&design, &ExperimentConfig::default());
+        assert_eq!(ok.design, design);
+        // And retrying the infeasible one fails again rather than hanging
+        // on a poisoned slot.
+        assert!(cache.try_context(&design, &config).is_err());
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let cache = ArtifactCache::bounded(2);
+        let config = ExperimentConfig::default();
+        let d1 = Design::Isa(IsaConfig::new(32, 8, 0, 0, 4).unwrap());
+        let d2 = Design::Isa(IsaConfig::new(32, 8, 0, 0, 2).unwrap());
+        let d3 = Design::Exact { width: 32 };
+        let c1 = cache.context(&d1, &config);
+        let _c2 = cache.context(&d2, &config);
+        // Touch d1 so d2 is the LRU victim when d3 lands.
+        let c1_again = cache.context(&d1, &config);
+        assert!(Arc::ptr_eq(&c1, &c1_again));
+        let _c3 = cache.context(&d3, &config);
+        assert_eq!(cache.len(), 2, "capacity must hold");
+        // d1 survived (recently used); d2 was evicted and rebuilds fresh.
+        let c1_third = cache.context(&d1, &config);
+        assert!(Arc::ptr_eq(&c1, &c1_third), "d1 must still be resident");
+        let c2_rebuilt = cache.context(&d2, &config);
+        assert_eq!(c2_rebuilt.design, d2);
+        // The evicted Arc (held by the caller) would have stayed valid —
+        // eviction only releases the memo, never the artifact.
+    }
+
+    #[test]
+    fn concurrent_same_design_requests_share_one_build() {
+        let cache = Arc::new(ArtifactCache::new());
+        let config = ExperimentConfig::default();
+        let design = Design::Isa(IsaConfig::new(32, 16, 1, 0, 0).unwrap());
+        let contexts: Vec<Arc<DesignContext>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    let config = config.clone();
+                    scope.spawn(move || cache.context(&design, &config))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for ctx in &contexts[1..] {
+            assert!(Arc::ptr_eq(&contexts[0], ctx), "one shared build");
+        }
+        assert_eq!(cache.len(), 1);
     }
 }

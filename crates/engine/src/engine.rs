@@ -17,6 +17,7 @@
 
 use std::num::NonZeroUsize;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -26,7 +27,7 @@ use isa_core::{
 };
 
 use crate::cache::ArtifactCache;
-use crate::context::{DesignContext, ExperimentConfig};
+use crate::context::{BuildError, DesignContext, ExperimentConfig};
 use crate::plan::{ExperimentPlan, SubstrateChoice, WorkloadSpec};
 use crate::substrates::{GateLevelSubstrate, PredictedSubstrate};
 
@@ -100,9 +101,17 @@ impl Engine {
     /// sequential, deterministic scheduling).
     #[must_use]
     pub fn with_threads(threads: usize) -> Self {
+        Self::with_cache(threads, Arc::new(ArtifactCache::new()))
+    }
+
+    /// Creates an engine over an existing artifact cache — the serve layer
+    /// uses this to share a bounded cross-request LRU between the engine
+    /// and substrates it constructs itself.
+    #[must_use]
+    pub fn with_cache(threads: usize, cache: Arc<ArtifactCache>) -> Self {
         Self {
             threads: threads.max(1),
-            cache: Arc::new(ArtifactCache::new()),
+            cache,
         }
     }
 
@@ -131,12 +140,12 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Returns the synthesis error message for infeasible designs.
+    /// Returns the [`BuildError`] for infeasible or lint-rejected designs.
     pub fn try_context(
         &self,
         design: &Design,
         config: &ExperimentConfig,
-    ) -> Result<Arc<DesignContext>, String> {
+    ) -> Result<Arc<DesignContext>, BuildError> {
         self.cache.try_context(design, config)
     }
 
@@ -326,6 +335,40 @@ impl Engine {
         })
     }
 
+    /// Panic-isolated variant of [`Engine::map_points`] for long-lived
+    /// callers: each point's evaluator runs under
+    /// [`std::panic::catch_unwind`], so a poisoned evaluation (a synthesis
+    /// panic, a substrate bug) fails *that point* with an error string
+    /// instead of tearing down the process — sibling points complete
+    /// normally. Results stay in list order.
+    pub fn try_map_points<T, F>(
+        &self,
+        config: &ExperimentConfig,
+        points: &[(Design, f64)],
+        workload: &WorkloadSpec,
+        f: F,
+    ) -> Vec<Result<T, String>>
+    where
+        T: Send,
+        F: Fn(RunUnit<'_>) -> T + Sync,
+    {
+        self.parallel_indexed(points.len(), |i| {
+            let (design, cpr) = points[i];
+            catch_unwind(AssertUnwindSafe(|| {
+                f(RunUnit {
+                    engine: self,
+                    config,
+                    design,
+                    cpr,
+                    clock_ps: config.clock_ps(cpr),
+                    workload: &workload.name,
+                    inputs: &workload.inputs,
+                })
+            }))
+            .map_err(|payload| panic_message(payload.as_ref()))
+        })
+    }
+
     /// Work-stealing parallel map over `0..n`, results in index order.
     /// Falls back to a plain sequential loop for one worker or one task.
     fn parallel_indexed<T: Send>(&self, n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
@@ -375,6 +418,28 @@ impl RunUnit<'_> {
     #[must_use]
     pub fn context(&self) -> Arc<DesignContext> {
         self.engine.context(&self.design, self.config)
+    }
+
+    /// Fallible variant of [`RunUnit::context`] for points that may not
+    /// meet the timing constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`BuildError`] for infeasible or lint-rejected designs.
+    pub fn try_context(&self) -> Result<Arc<DesignContext>, BuildError> {
+        self.engine.try_context(&self.design, self.config)
+    }
+}
+
+/// Renders a panic payload as a message, the way the default panic hook
+/// does for `&str` and `String` payloads.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "evaluation panicked (non-string payload)".to_owned()
     }
 }
 

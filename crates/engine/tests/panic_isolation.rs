@@ -1,0 +1,107 @@
+//! Panic isolation and cache-poisoning tests for the engine.
+//!
+//! A panicking evaluator (a bug, or a fault injector) must fail its own
+//! point only: `try_map_points` returns per-point `Result`s, other points
+//! complete normally, and the artifact cache is left clean — a slot whose
+//! build panicked is reset to empty, never left as a poisoned
+//! `Building` marker that would hang every later requester.
+
+use std::sync::Arc;
+
+use isa_core::{paper_designs, Design, IsaConfig};
+use isa_engine::{ArtifactCache, Engine, ExperimentConfig, WorkloadSpec};
+
+fn design(q: &str) -> Design {
+    Design::Isa(q.parse::<IsaConfig>().unwrap())
+}
+
+/// One panicking evaluator among many healthy ones: the panicking point
+/// reports its message, every other point returns its value.
+#[test]
+fn panicking_point_fails_alone() {
+    let engine = Engine::with_threads(4);
+    let config = ExperimentConfig::default();
+    let designs = paper_designs();
+    let points: Vec<(Design, f64)> = designs.iter().map(|d| (*d, 0.1)).collect();
+    let spec = WorkloadSpec {
+        name: "none".to_owned(),
+        inputs: Arc::new(Vec::new()),
+    };
+    let victim = designs[3];
+    let results = engine.try_map_points(&config, &points, &spec, |unit| {
+        assert!(
+            unit.design != victim,
+            "injected evaluator panic for {victim}"
+        );
+        unit.design.to_string()
+    });
+    assert_eq!(results.len(), designs.len());
+    for (d, r) in designs.iter().zip(&results) {
+        if *d == victim {
+            let msg = r.as_ref().unwrap_err();
+            assert!(msg.contains("injected evaluator panic"), "{msg}");
+        } else {
+            assert_eq!(r.as_ref().unwrap(), &d.to_string());
+        }
+    }
+}
+
+/// A panic *during a context build* (not just the evaluator body) leaves
+/// no poisoned slot: the same design can be requested again on the same
+/// cache and builds cleanly.
+#[test]
+fn panicked_build_does_not_poison_the_cache() {
+    let cache = Arc::new(ArtifactCache::new());
+    let engine = Engine::with_cache(2, Arc::clone(&cache));
+    let config = ExperimentConfig::default();
+    let d = design("(8,2,1,4)");
+    let points = vec![(d, 0.0)];
+    let spec = WorkloadSpec {
+        name: "none".to_owned(),
+        inputs: Arc::new(Vec::new()),
+    };
+
+    // First pass: the evaluator panics mid-flight, after touching the
+    // context (so the build certainly ran under this evaluation).
+    let results = engine.try_map_points(&config, &points, &spec, |unit| {
+        let _ctx = unit.try_context().expect("feasible design");
+        panic!("evaluator died after the build");
+    });
+    assert!(results[0].is_err());
+
+    // Second pass on the SAME cache: the design is served, not hung.
+    let ctx = engine
+        .try_context(&d, &config)
+        .expect("clean rebuild or cached context");
+    assert_eq!(ctx.design, d);
+
+    // And the failed evaluation left at most the one Ready slot behind.
+    assert!(cache.len() <= 1);
+}
+
+/// Ten threads hammer a cache slot whose first build panics (via an
+/// infeasible period that `try_context` reports as an error — the
+/// non-panicking sibling of the same reset path): nobody hangs, everyone
+/// gets the error, and the slot is empty afterwards.
+#[test]
+fn failed_builds_wake_every_waiter() {
+    let cache = Arc::new(ArtifactCache::new());
+    let config = ExperimentConfig {
+        period_ps: 50.0, // infeasible for a 32-bit adder
+        ..ExperimentConfig::default()
+    };
+    let d = design("(8,2,1,4)");
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..10)
+            .map(|_| {
+                let cache = &cache;
+                let config = &config;
+                scope.spawn(move || cache.try_context(&d, config).is_err())
+            })
+            .collect();
+        for handle in handles {
+            assert!(handle.join().expect("waiter thread"), "build must fail");
+        }
+    });
+    assert_eq!(cache.len(), 0, "failed builds leave no slot behind");
+}

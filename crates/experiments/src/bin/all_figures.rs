@@ -13,7 +13,7 @@ use std::time::Instant;
 use isa_core::{paper_designs, Design, IsaConfig};
 use isa_experiments::{
     apps_quality, arg_value, config_from_args, design_table, energy, engine_from_args, explore,
-    fig10, fig9, guardband, prediction, workload_sensitivity,
+    fig10, fig9, guardband, prediction, workload_sensitivity, write_output,
 };
 
 fn main() {
@@ -38,41 +38,41 @@ fn main() {
     eprintln!("design table ({samples} behavioural samples)...");
     let table = design_table::run_on(&engine, &config, &designs, samples);
     print!("{}", table.render());
-    std::fs::write(format!("{outdir}/design_table.csv"), table.to_csv()).expect("write");
+    write_output(&format!("{outdir}/design_table.csv"), &table.to_csv());
 
     eprintln!("fig 9 ({cycles} gate-level cycles per design/CPR)...");
     let f9 = fig9::run_on(&engine, &config, &designs, cycles);
     print!("{}", f9.render());
-    std::fs::write(format!("{outdir}/fig9.csv"), f9.to_csv()).expect("write");
+    write_output(&format!("{outdir}/fig9.csv"), &f9.to_csv());
 
     eprintln!("figs 7+8 (train {train} / test {test})...");
     let pred = prediction::run_on(&engine, &config, &designs, train, test);
     print!("{}", pred.render_fig7());
     print!("{}", pred.render_fig8());
-    std::fs::write(format!("{outdir}/fig7_fig8.csv"), pred.to_csv()).expect("write");
+    write_output(&format!("{outdir}/fig7_fig8.csv"), &pred.to_csv());
 
     eprintln!("fig 10 ({} cycles)...", cycles * 2);
     let isa_8004 = Design::Isa(IsaConfig::new(32, 8, 0, 0, 4).expect("valid design"));
     let f10 = fig10::run_on(&engine, &config, isa_8004, 0.15, cycles * 2);
     print!("{}", f10.render());
-    std::fs::write(format!("{outdir}/fig10.csv"), f10.to_csv()).expect("write");
+    write_output(&format!("{outdir}/fig10.csv"), &f10.to_csv());
 
     let extension_cycles = (cycles / 5).max(1_000);
     eprintln!("energy table ({extension_cycles} cycles, extension)...");
     let en = energy::run_on(&engine, &config, &designs, extension_cycles);
     print!("{}", en.render());
-    std::fs::write(format!("{outdir}/energy.csv"), en.to_csv()).expect("write");
+    write_output(&format!("{outdir}/energy.csv"), &en.to_csv());
 
     eprintln!("guardband strategy comparison ({extension_cycles} cycles, extension)...");
     let isa = IsaConfig::new(32, 8, 0, 0, 4).expect("valid design");
     let gb = guardband::run_on(&engine, &config, isa, extension_cycles);
     print!("{}", gb.render());
-    std::fs::write(format!("{outdir}/guardband.csv"), gb.to_csv()).expect("write");
+    write_output(&format!("{outdir}/guardband.csv"), &gb.to_csv());
 
     eprintln!("workload sensitivity ({extension_cycles} cycles, extension)...");
     let ws = workload_sensitivity::run_on(&engine, &config, &designs, 0.10, extension_cycles);
     print!("{}", ws.render());
-    std::fs::write(format!("{outdir}/workload_sensitivity.csv"), ws.to_csv()).expect("write");
+    write_output(&format!("{outdir}/workload_sensitivity.csv"), &ws.to_csv());
 
     let apps_scale = (cycles / 12_500).max(1);
     eprintln!("application quality (scale {apps_scale}, extension)...");
@@ -89,7 +89,7 @@ fn main() {
         apps_scale,
     );
     print!("{}", aq.render());
-    std::fs::write(format!("{outdir}/apps_quality.csv"), aq.to_csv()).expect("write");
+    write_output(&format!("{outdir}/apps_quality.csv"), &aq.to_csv());
 
     let explore_cycles = (cycles / 5).max(1_000);
     eprintln!("design-space exploration ({explore_cycles} cycles per survivor, extension)...");
@@ -102,7 +102,7 @@ fn main() {
         },
     );
     print!("{}", ex.render());
-    std::fs::write(format!("{outdir}/explore.csv"), ex.to_csv()).expect("write");
+    write_output(&format!("{outdir}/explore.csv"), &ex.to_csv());
 
     eprintln!(
         "done in {:.1}s ({} workers); CSVs in {outdir}/",

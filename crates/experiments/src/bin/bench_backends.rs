@@ -44,7 +44,7 @@ use std::time::Instant;
 use isa_core::{paper_designs, Design, IsaConfig};
 use isa_experiments::{
     arg_value, design_table, energy, fig10, fig9, guardband, prediction, workload_sensitivity,
-    Engine, ExperimentConfig, SimBackend,
+    write_output, Engine, ExperimentConfig, SimBackend,
 };
 use isa_timing_sim::filtered as filter_counters;
 
@@ -294,8 +294,7 @@ fn main() {
         json_backend(&tape_parts, tape_s, &tape_runs, true),
     );
     if let Some(path) = &json_path {
-        std::fs::write(path, &json).expect("write bench json");
-        eprintln!("wrote {path}");
+        write_output(path, &json);
     }
     println!("{json}");
     eprintln!(

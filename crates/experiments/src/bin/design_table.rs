@@ -2,7 +2,7 @@
 //!
 //! Usage: `design_table [--samples N] [--csv PATH] [--threads N] [--backend scalar|bitsliced|filtered]`
 
-use isa_experiments::{arg_value, config_from_args, design_table, engine_from_args};
+use isa_experiments::{arg_value, config_from_args, design_table, engine_from_args, write_output};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -12,7 +12,7 @@ fn main() {
     let table = design_table::run_on(&engine, &config, &isa_core::paper_designs(), samples);
     print!("{}", table.render());
     if let Some(path) = arg_value::<String>(&args, "csv") {
-        std::fs::write(&path, table.to_csv()).expect("write csv");
+        write_output(&path, &table.to_csv());
         eprintln!("wrote {path}");
     }
 }

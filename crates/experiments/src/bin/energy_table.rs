@@ -3,7 +3,7 @@
 //!
 //! Usage: `energy_table [--cycles N] [--csv PATH] [--threads N] [--backend scalar|bitsliced|filtered]`
 
-use isa_experiments::{arg_value, config_from_args, energy, engine_from_args};
+use isa_experiments::{arg_value, config_from_args, energy, engine_from_args, write_output};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -13,7 +13,7 @@ fn main() {
     let table = energy::run_on(&engine, &config, &isa_core::paper_designs(), cycles);
     print!("{}", table.render());
     if let Some(path) = arg_value::<String>(&args, "csv") {
-        std::fs::write(&path, table.to_csv()).expect("write csv");
+        write_output(&path, &table.to_csv());
         eprintln!("wrote {path}");
     }
 }

@@ -4,7 +4,7 @@
 //! Usage: `fig10 [--cycles N] [--csv PATH] [--threads N] [--backend scalar|bitsliced|filtered]`
 
 use isa_core::{Design, IsaConfig};
-use isa_experiments::{arg_value, config_from_args, engine_from_args, fig10};
+use isa_experiments::{arg_value, config_from_args, engine_from_args, fig10, write_output};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -15,7 +15,7 @@ fn main() {
     let report = fig10::run_on(&engine, &config, design, 0.15, cycles);
     print!("{}", report.render());
     if let Some(path) = arg_value::<String>(&args, "csv") {
-        std::fs::write(&path, report.to_csv()).expect("write csv");
+        write_output(&path, &report.to_csv());
         eprintln!("wrote {path}");
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! Usage: `fig8 [--train N] [--test N] [--csv PATH] [--threads N] [--backend scalar|bitsliced|filtered]`
 
-use isa_experiments::{arg_value, config_from_args, engine_from_args, prediction};
+use isa_experiments::{arg_value, config_from_args, engine_from_args, prediction, write_output};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -13,7 +13,7 @@ fn main() {
     let report = prediction::run_on(&engine, &config, &isa_core::paper_designs(), train, test);
     print!("{}", report.render_fig8());
     if let Some(path) = arg_value::<String>(&args, "csv") {
-        std::fs::write(&path, report.to_csv()).expect("write csv");
+        write_output(&path, &report.to_csv());
         eprintln!("wrote {path}");
     }
 }

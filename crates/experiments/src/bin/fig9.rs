@@ -2,7 +2,7 @@
 //!
 //! Usage: `fig9 [--cycles N] [--csv PATH] [--threads N] [--backend scalar|bitsliced|filtered]`
 
-use isa_experiments::{arg_value, config_from_args, engine_from_args, fig9};
+use isa_experiments::{arg_value, config_from_args, engine_from_args, fig9, write_output};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -12,7 +12,7 @@ fn main() {
     let report = fig9::run_on(&engine, &config, &isa_core::paper_designs(), cycles);
     print!("{}", report.render());
     if let Some(path) = arg_value::<String>(&args, "csv") {
-        std::fs::write(&path, report.to_csv()).expect("write csv");
+        write_output(&path, &report.to_csv());
         eprintln!("wrote {path}");
     }
 }

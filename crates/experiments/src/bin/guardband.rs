@@ -4,7 +4,7 @@
 //! Usage: `guardband [--cycles N] [--csv PATH] [--threads N] [--backend scalar|bitsliced|filtered]`
 
 use isa_core::IsaConfig;
-use isa_experiments::{arg_value, config_from_args, engine_from_args, guardband};
+use isa_experiments::{arg_value, config_from_args, engine_from_args, guardband, write_output};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -15,7 +15,7 @@ fn main() {
     let report = guardband::run_on(&engine, &config, isa, cycles);
     print!("{}", report.render());
     if let Some(path) = arg_value::<String>(&args, "csv") {
-        std::fs::write(&path, report.to_csv()).expect("write csv");
+        write_output(&path, &report.to_csv());
         eprintln!("wrote {path}");
     }
 }

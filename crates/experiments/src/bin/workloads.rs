@@ -4,7 +4,9 @@
 //! Usage: `workloads [--cycles N] [--cpr PCT] [--csv PATH] [--threads N] [--backend scalar|bitsliced|filtered]`
 
 use isa_core::{Design, IsaConfig};
-use isa_experiments::{arg_value, config_from_args, engine_from_args, workload_sensitivity};
+use isa_experiments::{
+    arg_value, config_from_args, engine_from_args, workload_sensitivity, write_output,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,7 +22,7 @@ fn main() {
     let report = workload_sensitivity::run_on(&engine, &config, &designs, cpr, cycles);
     print!("{}", report.render());
     if let Some(path) = arg_value::<String>(&args, "csv") {
-        std::fs::write(&path, report.to_csv()).expect("write csv");
+        write_output(&path, &report.to_csv());
         eprintln!("wrote {path}");
     }
 }

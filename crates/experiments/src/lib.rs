@@ -126,11 +126,38 @@ pub fn cli_error(message: impl std::fmt::Display) -> ! {
 
 /// Writes a report artifact (CSV, JSON) to `path`, exiting with a message
 /// naming the path on I/O failure, and confirming on stderr on success.
+///
+/// Writes are atomic: a crash (or a failing disk) mid-write leaves either
+/// the previous artifact or none — never a truncated file that a plotting
+/// script or CI diff would silently consume as complete data.
 pub fn write_output(path: &str, contents: &str) {
-    if let Err(e) = std::fs::write(path, contents) {
+    if let Err(e) = try_write_atomic(path, contents) {
         cli_error(format_args!("cannot write {path}: {e}"));
     }
     eprintln!("wrote {path}");
+}
+
+/// Atomically publishes `contents` at `path` via a same-directory temp
+/// file, `sync_all`, and `rename`.
+///
+/// # Errors
+///
+/// Returns the first underlying I/O error; the temp file is removed on a
+/// failed rename.
+pub fn try_write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
+    use std::io::Write as _;
+    // Same directory as the target, so the rename cannot cross devices.
+    let tmp = format!("{path}.tmp-{}", std::process::id());
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(contents.as_bytes())?;
+        file.sync_all()?;
+    }
+    let renamed = std::fs::rename(&tmp, path);
+    if renamed.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    renamed
 }
 
 /// Builds the experiment engine every binary shares: machine-sized worker

@@ -479,7 +479,10 @@ impl<'e> Evaluator<'e> {
         // twelve) may miss the timing constraint, and the infallible
         // `Engine::context` would panic on them. Feasible designs
         // synthesize exactly once, straight into the shared cache.
-        let ctx = self.engine.try_context(design, &self.config)?;
+        let ctx = self
+            .engine
+            .try_context(design, &self.config)
+            .map_err(|e| e.to_string())?;
         let lib = CellLibrary::industrial_65nm();
 
         // Energy per addition from a short activity run at the safe clock.

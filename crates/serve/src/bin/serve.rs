@@ -1,0 +1,145 @@
+//! `isa-serve` — the resident quality/Pareto query daemon.
+//!
+//! Reads line-delimited JSON requests from stdin (or a Unix socket with
+//! `--socket`) and writes one response line per request, in request
+//! order. See README.md ("isa-serve") for the protocol and ARCHITECTURE.md
+//! for the degradation/robustness design.
+//!
+//! Usage:
+//!
+//! ```text
+//! isa-serve [--store DIR] [--threads N] [--workers N] [--queue-cap N]
+//!           [--sim-budget ADDS] [--artifact-cap N] [--backend B]
+//!           [--socket PATH] [--quiet]
+//! ```
+//!
+//! * `--store DIR` — content-addressed on-disk result store (off by
+//!   default; strongly recommended for repeated traffic);
+//! * `--workers N` — concurrent request evaluations (default 2);
+//! * `--queue-cap N` — admission bound; overflow is shed with a
+//!   retriable error (default 64);
+//! * `--sim-budget ADDS` — per-request simulation budget in additions;
+//!   costlier requests are answered from the exact structural bound with
+//!   `degraded:true` (default: unlimited);
+//! * `--artifact-cap N` — synthesized-design LRU capacity (default 64);
+//! * `--backend B` — `scalar` | `bitsliced` | `filtered` (default);
+//! * `--socket PATH` — serve a Unix socket instead of stdin/stdout.
+//!
+//! Fault injection for chaos testing is env-gated: set
+//! `ISA_SERVE_FAULTS=seed=42,store_read=64,torn=256,panic=8,slow=16`.
+
+use std::io;
+use std::process::exit;
+use std::sync::Arc;
+
+use isa_engine::ExperimentConfig;
+use isa_serve::{serve_lines, FaultPlan, ServeConfig, Service};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: isa-serve [--store DIR] [--threads N] [--workers N] [--queue-cap N] \
+         [--sim-budget ADDS] [--artifact-cap N] [--backend B] [--socket PATH] [--quiet]"
+    );
+    exit(2);
+}
+
+/// `--name value` lookup; exits with usage on a malformed value.
+fn arg<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    let i = args.iter().position(|a| a == name)?;
+    let Some(raw) = args.get(i + 1) else {
+        eprintln!("error: {name} needs a value");
+        usage();
+    };
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("error: bad value {raw:?} for {name}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    let known = [
+        "--store",
+        "--threads",
+        "--workers",
+        "--queue-cap",
+        "--sim-budget",
+        "--artifact-cap",
+        "--backend",
+        "--socket",
+        "--quiet",
+    ];
+    for a in &args {
+        if a.starts_with("--") && !known.contains(&a.as_str()) {
+            eprintln!("error: unknown flag {a:?}");
+            usage();
+        }
+    }
+
+    let mut config = ExperimentConfig::default();
+    if let Some(backend) = arg::<isa_engine::SimBackend>(&args, "--backend") {
+        config.backend = backend;
+    }
+    let faults = match FaultPlan::from_env() {
+        Ok(plan) => {
+            if plan.is_armed() {
+                eprintln!("[isa-serve] fault injection ARMED via ISA_SERVE_FAULTS");
+            }
+            plan
+        }
+        Err(e) => {
+            eprintln!("error: ISA_SERVE_FAULTS: {e}");
+            exit(2);
+        }
+    };
+
+    let cfg = ServeConfig {
+        threads: arg(&args, "--threads").unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        }),
+        artifact_cap: arg(&args, "--artifact-cap").unwrap_or(64),
+        sim_budget: arg(&args, "--sim-budget"),
+        store_dir: arg::<String>(&args, "--store").map(Into::into),
+        config,
+        faults,
+        quiet: args.iter().any(|a| a == "--quiet"),
+    };
+    let workers: usize = arg(&args, "--workers").unwrap_or(2);
+    let queue_cap: usize = arg(&args, "--queue-cap").unwrap_or(64);
+    let socket: Option<String> = arg(&args, "--socket");
+
+    let service = match Service::new(cfg) {
+        Ok(service) => Arc::new(service),
+        Err(e) => {
+            eprintln!("error: cannot open result store: {e}");
+            exit(1);
+        }
+    };
+
+    let result = match socket {
+        #[cfg(unix)]
+        Some(path) => {
+            eprintln!("[isa-serve] listening on {path}");
+            isa_serve::serve_unix(&service, std::path::Path::new(&path), workers, queue_cap)
+        }
+        #[cfg(not(unix))]
+        Some(_) => {
+            eprintln!("error: --socket requires a Unix platform");
+            exit(2);
+        }
+        None => {
+            let stdin = io::stdin();
+            serve_lines(&service, stdin.lock(), io::stdout(), workers, queue_cap)
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Serve-layer benchmark — the store/coalescing perf gate (schema
+//! `isa-serve-bench/v1`).
+//!
+//! Builds one service with an on-disk result store, drives the same
+//! request script twice — **cold** (empty store: every answer is
+//! synthesized and simulated) and **hot** (same process, warm store:
+//! every answer is a validated record read) — and reports both rates.
+//! The point of the store is that repeated traffic costs file reads, not
+//! gate-level simulation, so the hot pass must beat the cold pass by a
+//! wide margin; `--min-hot-speedup X` (CI gates this) fails the process
+//! below `X`.
+//!
+//! The script covers both op kinds (stream quality sweeps across the
+//! paper designs and a kernel query) and verifies byte-identical
+//! responses between passes — a speedup from a store that serves
+//! different bytes would be worthless.
+//!
+//! Usage: `serve_bench [--cycles N] [--designs N] [--repeat N]
+//! [--min-hot-speedup X] [--json PATH] [--store DIR]`
+
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use isa_engine::ExperimentConfig;
+use isa_serve::{FaultPlan, ServeConfig, Service};
+
+fn arg<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    let i = args.iter().position(|a| a == name)?;
+    let raw = args.get(i + 1).unwrap_or_else(|| {
+        eprintln!("error: {name} needs a value");
+        std::process::exit(2);
+    });
+    Some(raw.parse().unwrap_or_else(|_| {
+        eprintln!("error: bad value {raw:?} for {name}");
+        std::process::exit(2);
+    }))
+}
+
+/// The benchmark request script: every paper design (capped) at two CPR
+/// points on the uniform stream, plus one kernel query.
+fn script(cycles: u64, designs: usize) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut id = 0u64;
+    for design in isa_core::paper_designs().into_iter().take(designs.max(1)) {
+        for cpr in [0.0, 0.2] {
+            id += 1;
+            lines.push(format!(
+                "{{\"id\":{id},\"op\":\"quality\",\"design\":\"{design}\",\"cpr\":{cpr},\
+                 \"workload\":\"uniform\",\"cycles\":{cycles}}}"
+            ));
+        }
+    }
+    id += 1;
+    lines.push(format!(
+        "{{\"id\":{id},\"op\":\"quality\",\"design\":\"8,2,1,4\",\"cpr\":0.1,\
+         \"workload\":\"fir\",\"scale\":1}}"
+    ));
+    lines
+}
+
+/// Runs the script serially against the service, returning the elapsed
+/// seconds and every response.
+fn run_pass(service: &Service, lines: &[String], repeat: usize) -> (f64, Vec<String>) {
+    let start = Instant::now();
+    let mut responses = Vec::new();
+    for r in 0..repeat.max(1) {
+        for line in lines {
+            let response = service.answer_line(line);
+            if r == 0 {
+                responses.push(response);
+            }
+        }
+    }
+    (start.elapsed().as_secs_f64(), responses)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cycles: u64 = arg(&args, "--cycles").unwrap_or(4_000);
+    let designs: usize = arg(&args, "--designs").unwrap_or(4);
+    let repeat: usize = arg(&args, "--repeat").unwrap_or(3);
+    let min_hot_speedup: f64 = arg(&args, "--min-hot-speedup").unwrap_or(1.0);
+    let json_path: Option<String> = arg(&args, "--json");
+    let store_dir: String = arg(&args, "--store").unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join(format!("isa-serve-bench-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    });
+
+    // A stale store would turn the cold pass into a hot one.
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let service = Arc::new(
+        Service::new(ServeConfig {
+            store_dir: Some(store_dir.clone().into()),
+            config: ExperimentConfig::default(),
+            faults: FaultPlan::none(),
+            quiet: true,
+            ..ServeConfig::default()
+        })
+        .expect("open bench store"),
+    );
+
+    let lines = script(cycles, designs);
+    let n = lines.len();
+    eprintln!("serve_bench: {n} requests, cycles={cycles}, repeat={repeat}");
+
+    let (cold_s, cold_responses) = run_pass(&service, &lines, 1);
+    let (hot_s, hot_responses) = run_pass(&service, &lines, repeat);
+    let hot_per_pass = hot_s / repeat.max(1) as f64;
+
+    assert_eq!(
+        cold_responses, hot_responses,
+        "hot responses must be byte-identical to cold"
+    );
+    let hits = service
+        .counters()
+        .store_hits
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(
+        hits >= (n * repeat) as u64,
+        "hot pass must be served from the store (hits={hits})"
+    );
+
+    let cold_qps = n as f64 / cold_s;
+    let hot_qps = n as f64 / hot_per_pass;
+    let speedup = cold_s / hot_per_pass;
+    println!("cold: {cold_s:.3}s ({cold_qps:.1} q/s)");
+    println!("hot:  {hot_per_pass:.4}s ({hot_qps:.1} q/s)");
+    println!("hot speedup: {speedup:.1}x (min {min_hot_speedup})");
+
+    let pass = speedup >= min_hot_speedup;
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\"schema\":\"isa-serve-bench/v1\",\"requests\":{n},\"cycles\":{cycles},\
+             \"repeat\":{repeat},\"cold_s\":{cold_s},\"hot_s_per_pass\":{hot_per_pass},\
+             \"cold_qps\":{cold_qps},\"hot_qps\":{hot_qps},\"hot_speedup\":{speedup},\
+             \"min_hot_speedup\":{min_hot_speedup},\"pass\":{pass}}}\n"
+        );
+        let tmp = format!("{path}.tmp");
+        let mut f = std::fs::File::create(&tmp).expect("create bench json");
+        f.write_all(json.as_bytes()).expect("write bench json");
+        f.sync_all().expect("sync bench json");
+        std::fs::rename(&tmp, &path).expect("publish bench json");
+        eprintln!("wrote {path}");
+    }
+    let _ = std::fs::remove_dir_all(&store_dir);
+    if !pass {
+        eprintln!("FAIL: hot speedup {speedup:.2} below minimum {min_hot_speedup}");
+        std::process::exit(1);
+    }
+}

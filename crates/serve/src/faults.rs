@@ -1,0 +1,261 @@
+//! Seeded fault injection for the chaos battery.
+//!
+//! A [`FaultPlan`] decides, deterministically from a seed and a per-point
+//! occurrence counter, whether each *fault point* fires. The service and
+//! the store consult the plan at well-defined points (store reads, store
+//! writes, evaluation entry); production runs use [`FaultPlan::none`],
+//! which compiles down to a handful of always-false branches.
+//!
+//! Determinism is the whole point: the chaos tests replay the same seeded
+//! plan against the same request script and assert exact outcomes (which
+//! requests degrade, which error, and that every served payload is
+//! byte-identical to the fault-free run). A wall-clock- or OS-entropy-
+//! driven injector could not support those assertions.
+//!
+//! Plans can also be parsed from the `ISA_SERVE_FAULTS` environment
+//! variable (see [`FaultPlan::from_env`]) so the CLI smoke tests can run
+//! the released binary under injection without a special build.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Where a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// A store lookup fails with an I/O error (the service must recompute).
+    StoreRead,
+    /// A store write fails with an I/O error (the answer is still served).
+    StoreWrite,
+    /// A store write lands torn: a prefix of the record reaches disk.
+    TornWrite,
+    /// The evaluation panics (models a synthesis/simulation bug).
+    EvalPanic,
+    /// The evaluation stalls (models a pathological slow query).
+    SlowEval,
+}
+
+const POINTS: usize = 5;
+
+impl FaultPoint {
+    fn index(self) -> usize {
+        match self {
+            FaultPoint::StoreRead => 0,
+            FaultPoint::StoreWrite => 1,
+            FaultPoint::TornWrite => 2,
+            FaultPoint::EvalPanic => 3,
+            FaultPoint::SlowEval => 4,
+        }
+    }
+
+    fn key(name: &str) -> Option<FaultPoint> {
+        match name {
+            "store_read" => Some(FaultPoint::StoreRead),
+            "store_write" => Some(FaultPoint::StoreWrite),
+            "torn" => Some(FaultPoint::TornWrite),
+            "panic" => Some(FaultPoint::EvalPanic),
+            "slow" => Some(FaultPoint::SlowEval),
+            _ => None,
+        }
+    }
+}
+
+/// A deterministic, seeded fault-injection plan.
+///
+/// Each point has a firing rate out of 256 (`0` = never, `256` = always).
+/// The decision for the *n*-th occurrence of a point mixes the seed, the
+/// point index and *n* through splitmix64, so a given plan fires at a
+/// reproducible subset of occurrences regardless of thread interleaving
+/// of *other* points. (Concurrent occurrences of the *same* point race
+/// for counter values; chaos tests that need exact per-request outcomes
+/// serialize the point, e.g. rate 256 or a single worker.)
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    rates: [u16; POINTS],
+    counters: [AtomicU64; POINTS],
+    /// Stall duration for [`FaultPoint::SlowEval`], in milliseconds.
+    slow_ms: u64,
+}
+
+impl FaultPlan {
+    /// A plan that never fires (the production default).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan with the given seed and no active points; chain
+    /// [`with_rate`](FaultPlan::with_rate) to arm it.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            slow_ms: 20,
+            ..Self::default()
+        }
+    }
+
+    /// Arms one point with a firing rate out of 256.
+    #[must_use]
+    pub fn with_rate(mut self, point: FaultPoint, rate_of_256: u16) -> Self {
+        self.rates[point.index()] = rate_of_256.min(256);
+        self
+    }
+
+    /// Sets the [`FaultPoint::SlowEval`] stall duration.
+    #[must_use]
+    pub fn with_slow_ms(mut self, slow_ms: u64) -> Self {
+        self.slow_ms = slow_ms;
+        self
+    }
+
+    /// Parses `ISA_SERVE_FAULTS` (e.g.
+    /// `seed=42,store_read=64,torn=256,panic=8,slow=16,slow_ms=5`);
+    /// unset or empty means [`FaultPlan::none`]. Unknown keys are
+    /// rejected so typos cannot silently disarm a chaos run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending clause.
+    pub fn from_env() -> Result<Self, String> {
+        match std::env::var("ISA_SERVE_FAULTS") {
+            Ok(spec) if !spec.trim().is_empty() => Self::parse(&spec),
+            _ => Ok(Self::none()),
+        }
+    }
+
+    /// Parses a plan spec (the `ISA_SERVE_FAULTS` syntax).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending clause.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = Self::seeded(0);
+        for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            let (key, value) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("fault clause {clause:?} is not key=value"))?;
+            let value: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("fault clause {clause:?} has a non-numeric value"))?;
+            match key.trim() {
+                "seed" => plan.seed = value,
+                "slow_ms" => plan.slow_ms = value,
+                name => {
+                    let point = FaultPoint::key(name)
+                        .ok_or_else(|| format!("unknown fault point {name:?}"))?;
+                    #[allow(clippy::cast_possible_truncation)]
+                    {
+                        plan = plan.with_rate(point, value.min(256) as u16);
+                    }
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// True if any point is armed.
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.rates.iter().any(|&r| r > 0)
+    }
+
+    /// Decides whether this occurrence of the point fires, advancing the
+    /// point's occurrence counter.
+    #[must_use]
+    pub fn fires(&self, point: FaultPoint) -> bool {
+        let i = point.index();
+        let rate = self.rates[i];
+        if rate == 0 {
+            return false;
+        }
+        let n = self.counters[i].fetch_add(1, Ordering::Relaxed);
+        if rate >= 256 {
+            return true;
+        }
+        let h = splitmix64(self.seed ^ ((i as u64 + 1) << 56) ^ n);
+        (h & 0xFF) < u64::from(rate)
+    }
+
+    /// The stall duration for a fired [`FaultPoint::SlowEval`].
+    #[must_use]
+    pub fn slow_ms(&self) -> u64 {
+        self.slow_ms
+    }
+
+    /// How many bytes of a `full`-byte record a torn write leaves behind:
+    /// a deterministic strict prefix (at least 1 byte short, possibly
+    /// empty).
+    #[must_use]
+    pub fn torn_len(&self, full: usize) -> usize {
+        if full == 0 {
+            return 0;
+        }
+        let n = self.counters[FaultPoint::TornWrite.index()].load(Ordering::Relaxed);
+        let h = splitmix64(self.seed ^ 0x70A2_0000 ^ n);
+        (h as usize) % full
+    }
+}
+
+/// The splitmix64 mixer (public-domain constants), the workspace's
+/// standard seed expander.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_plan_never_fires() {
+        let plan = FaultPlan::none();
+        assert!(!plan.is_armed());
+        for _ in 0..100 {
+            assert!(!plan.fires(FaultPoint::StoreRead));
+            assert!(!plan.fires(FaultPoint::EvalPanic));
+        }
+    }
+
+    #[test]
+    fn firing_pattern_is_seed_deterministic() {
+        let pattern = |seed: u64| -> Vec<bool> {
+            let plan = FaultPlan::seeded(seed).with_rate(FaultPoint::StoreRead, 64);
+            (0..64).map(|_| plan.fires(FaultPoint::StoreRead)).collect()
+        };
+        assert_eq!(pattern(7), pattern(7));
+        assert_ne!(pattern(7), pattern(8), "different seeds differ");
+        let fired = pattern(7).iter().filter(|&&b| b).count();
+        assert!(fired > 0 && fired < 64, "rate 64/256 fires sometimes");
+    }
+
+    #[test]
+    fn rate_256_always_fires() {
+        let plan = FaultPlan::seeded(1).with_rate(FaultPoint::TornWrite, 256);
+        for _ in 0..10 {
+            assert!(plan.fires(FaultPoint::TornWrite));
+        }
+    }
+
+    #[test]
+    fn parse_round_trip_and_rejection() {
+        let plan = FaultPlan::parse("seed=42, store_read=64, torn=256, slow_ms=5").unwrap();
+        assert!(plan.is_armed());
+        assert_eq!(plan.slow_ms(), 5);
+        assert!(FaultPlan::parse("bogus=1").is_err());
+        assert!(FaultPlan::parse("store_read").is_err());
+        assert!(FaultPlan::parse("store_read=x").is_err());
+    }
+
+    #[test]
+    fn torn_len_is_a_strict_prefix() {
+        let plan = FaultPlan::seeded(3).with_rate(FaultPoint::TornWrite, 256);
+        for full in [1usize, 2, 100, 4096] {
+            let torn = plan.torn_len(full);
+            assert!(torn < full, "torn {torn} of {full}");
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! A bounded MPMC job queue with deterministic load shedding.
+//!
+//! The service admits work through this queue. `try_push` never blocks:
+//! when the queue is at capacity the job is *shed* — returned to the
+//! caller, who renders an immediate retriable error. That is the whole
+//! overload policy: a client at the bound learns instantly, nothing
+//! hangs, and which request is shed depends only on queue occupancy at
+//! admission (not on timers or scheduling luck).
+//!
+//! `pop` blocks until a job or shutdown; closing the queue drains nothing
+//! — workers finish what was admitted, then exit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded queue (see the module docs).
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue admitting at most `capacity` pending jobs
+    /// (a capacity of zero is treated as one).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The admission bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Admits a job, or sheds it (returns it) when the queue is full or
+    /// closed. Never blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the job back when the queue is at capacity or closed.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed *and*
+    /// drained.
+    #[must_use]
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: no further admissions; workers drain and exit.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("queue lock");
+        inner.closed = true;
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// Current occupancy (diagnostics only; racy by nature).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
+    }
+
+    /// True when no jobs are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_exactly_beyond_capacity() {
+        let q = BoundedQueue::new(3);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert!(q.try_push(3).is_ok());
+        // Deterministic: the 4th and every later push sheds until a pop.
+        assert_eq!(q.try_push(4), Err(4));
+        assert_eq!(q.try_push(5), Err(5));
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(6).is_ok());
+        assert_eq!(q.try_push(7), Err(7));
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2), Err(2), "closed queue admits nothing");
+        assert_eq!(q.pop(), Some(1), "admitted work still drains");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert_eq!(popper.join().unwrap(), None);
+    }
+}

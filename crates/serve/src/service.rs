@@ -1,0 +1,1039 @@
+//! The resident evaluation service.
+//!
+//! [`Service`] is the synchronous, testable core: it answers one request
+//! at a time ([`Service::answer_line`]) through a tiered ladder —
+//!
+//! 1. **hot store hit** — the canonical key is looked up in the on-disk
+//!    [`ResultStore`]; a validated record is served byte-identically;
+//! 2. **simulation** — a miss is computed on the shared [`Engine`]
+//!    (bounded-LRU artifact cache, filtered 64-lane backend) and, on
+//!    success, persisted for the next process;
+//! 3. **exact analytical bound** — when the request's *cost* exceeds the
+//!    configured simulation budget, the service answers from the exact
+//!    structural error model alone (no synthesis, no gate-level
+//!    simulation) with `degraded:true`.
+//!
+//! Degradation is decided by an **admission-time cost budget** (stream
+//! cycles, or kernel addition counts), *not* a wall-clock deadline: a
+//! timer-based tier choice would make the same query answer differently
+//! depending on machine load, violating the service's core guarantee
+//! that the same query yields byte-identical bytes, hot or cold. The
+//! budget is the deterministic proxy for a deadline — callers size it to
+//! their latency target once, offline.
+//!
+//! Identical in-flight queries (same canonical key) **coalesce**: the
+//! first requester computes, every concurrent duplicate waits on the
+//! same slot and receives the same rendered payload. Evaluations run
+//! under `catch_unwind`, so a panicking evaluation (or an injected one)
+//! fails that request with a retriable error instead of the process.
+//!
+//! [`Frontend`] adds the concurrency spine: a bounded admission queue
+//! (overflow is shed deterministically with a retriable error — see
+//! [`crate::queue`]), a worker pool, and an in-order response buffer so
+//! a request script always produces the same response byte stream.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use isa_core::{
+    paper_designs, structural_errors, Adder as _, CombinedErrorStats, Design, ExactAdder,
+    OutputTriple, Substrate as _,
+};
+use isa_engine::{ArtifactCache, Engine, ExperimentConfig, GateLevelSubstrate, WorkloadSpec};
+use isa_workloads::{
+    take_pairs, AccumulationWorkload, RandomWalkWorkload, SineWorkload, UniformWorkload,
+};
+
+use crate::faults::{FaultPlan, FaultPoint};
+use crate::json::Json;
+use crate::proto::{
+    cheapest_key, error_response, ok_response, parse_request, quality_key, CheapestQuery, Envelope,
+    QualityQuery, Request, WorkloadSel,
+};
+use crate::store::{ResultStore, StoreGet};
+
+/// Service configuration.
+#[derive(Debug)]
+pub struct ServeConfig {
+    /// Worker threads for intra-request fan-out (the cheapest-design
+    /// candidate sweep).
+    pub threads: usize,
+    /// Artifact-cache LRU capacity (built design contexts resident at
+    /// once).
+    pub artifact_cap: usize,
+    /// Simulation cost budget per request, in additions (stream cycles or
+    /// kernel adds); `None` = unlimited (tier 3 never used).
+    pub sim_budget: Option<u64>,
+    /// Result-store directory; `None` disables persistence.
+    pub store_dir: Option<PathBuf>,
+    /// The experiment configuration every answer is computed under.
+    pub config: ExperimentConfig,
+    /// Fault-injection plan (chaos tests; [`FaultPlan::none`] in
+    /// production).
+    pub faults: FaultPlan,
+    /// Suppress stderr logging.
+    pub quiet: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            artifact_cap: 64,
+            sim_budget: None,
+            store_dir: None,
+            config: ExperimentConfig::default(),
+            faults: FaultPlan::none(),
+            quiet: false,
+        }
+    }
+}
+
+/// Monotonic service counters (the `stats` op; diagnostics only, never
+/// part of a stored payload).
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Requests received (including malformed ones).
+    pub requests: AtomicU64,
+    /// Store lookups that served a validated record.
+    pub store_hits: AtomicU64,
+    /// Store lookups that found nothing.
+    pub store_misses: AtomicU64,
+    /// Store records that failed validation (recomputed, rewritten).
+    pub store_corrupt: AtomicU64,
+    /// Store reads that failed with I/O errors (treated as misses).
+    pub store_read_errors: AtomicU64,
+    /// Store writes that failed (answer served anyway).
+    pub store_write_errors: AtomicU64,
+    /// Requests that waited on an identical in-flight computation.
+    pub coalesced: AtomicU64,
+    /// Full simulations executed.
+    pub computed: AtomicU64,
+    /// Degraded (analytical-bound) answers served.
+    pub degraded: AtomicU64,
+    /// Requests shed at the admission queue.
+    pub shed: AtomicU64,
+    /// Evaluations that panicked (isolated to their request).
+    pub eval_panics: AtomicU64,
+}
+
+impl Counters {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One finished answer: the result payload (the bytes inside `result:`),
+/// whether it was degraded, and whether it is eligible for the store.
+#[derive(Debug, Clone)]
+struct Answer {
+    payload: String,
+    degraded: bool,
+    storeable: bool,
+}
+
+/// `Ok` = a served answer; `Err` = `(retriable, message)`.
+type QResult = Result<Answer, (bool, String)>;
+
+/// A computation slot shared by coalesced requests.
+#[derive(Debug, Default)]
+struct InFlight {
+    done: Mutex<Option<QResult>>,
+    ready: Condvar,
+}
+
+/// Pre-computed reference data of one kernel workload.
+struct KernelData {
+    kernel: Box<dyn isa_apps::Kernel>,
+    reference: isa_apps::KernelRun,
+    peak: u64,
+}
+
+/// Memoized deterministic input streams, keyed by `(workload, cycles)`.
+type StreamCache = Mutex<HashMap<(String, u64), Arc<Vec<(u64, u64)>>>>;
+
+/// The synchronous service core. Wrap in an [`Arc`] and drive it from
+/// [`Frontend`]/[`serve_lines`] (or call [`Service::answer_line`]
+/// directly in tests).
+pub struct Service {
+    cfg: ServeConfig,
+    engine: Engine,
+    substrate: GateLevelSubstrate,
+    store: Option<ResultStore>,
+    inflight: Mutex<HashMap<String, Arc<InFlight>>>,
+    streams: StreamCache,
+    kernels: Mutex<HashMap<(String, u64), Arc<KernelData>>>,
+    counters: Counters,
+}
+
+impl Service {
+    /// Builds a service: a shared bounded-LRU artifact cache, the
+    /// filtered gate-level substrate over it, and (optionally) the
+    /// on-disk result store.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the store directory cannot be created.
+    pub fn new(cfg: ServeConfig) -> io::Result<Self> {
+        let cache = Arc::new(ArtifactCache::bounded(cfg.artifact_cap));
+        let engine = Engine::with_cache(cfg.threads, Arc::clone(&cache));
+        let substrate = GateLevelSubstrate::new(engine.cache(), cfg.config.clone());
+        let store = match &cfg.store_dir {
+            Some(dir) => Some(ResultStore::open(dir)?),
+            None => None,
+        };
+        Ok(Self {
+            cfg,
+            engine,
+            substrate,
+            store,
+            inflight: Mutex::new(HashMap::new()),
+            streams: Mutex::new(HashMap::new()),
+            kernels: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+        })
+    }
+
+    /// The service counters.
+    #[must_use]
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// The configuration answers are computed under.
+    #[must_use]
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.cfg.config
+    }
+
+    fn log(&self, msg: &str) {
+        if !self.cfg.quiet {
+            eprintln!("[isa-serve] {msg}");
+        }
+    }
+
+    /// Answers one request line with one response line (no trailing
+    /// newline). Never panics: malformed requests and failed evaluations
+    /// become error responses.
+    #[must_use]
+    pub fn answer_line(&self, line: &str) -> String {
+        Counters::bump(&self.counters.requests);
+        let envelope = match parse_request(line) {
+            Ok(envelope) => envelope,
+            Err((id, msg)) => return error_response(&id, false, &msg),
+        };
+        self.answer(&envelope)
+    }
+
+    /// Answers one parsed request.
+    #[must_use]
+    pub fn answer(&self, envelope: &Envelope) -> String {
+        let id = &envelope.id;
+        match &envelope.request {
+            Request::Ping => ok_response(id, false, "{\"kind\":\"pong\"}"),
+            Request::Stats => ok_response(id, false, &self.stats_payload()),
+            Request::Quality(query) => match self.quality_answer(query) {
+                Ok(answer) => ok_response(id, answer.degraded, &answer.payload),
+                Err((retriable, msg)) => error_response(id, retriable, &msg),
+            },
+            Request::Cheapest(query) => match self.cheapest_answer(query) {
+                Ok(answer) => ok_response(id, answer.degraded, &answer.payload),
+                Err((retriable, msg)) => error_response(id, retriable, &msg),
+            },
+        }
+    }
+
+    /// Answers a quality query through the full ladder (store, coalesce,
+    /// compute-or-degrade).
+    fn quality_answer(&self, query: &QualityQuery) -> QResult {
+        let key = quality_key(query, &self.cfg.config);
+        self.answer_keyed(&key, || self.compute_quality(query))
+    }
+
+    /// Answers a cheapest query through the same ladder.
+    fn cheapest_answer(&self, query: &CheapestQuery) -> QResult {
+        let key = cheapest_key(query, &self.cfg.config);
+        self.answer_keyed(&key, || self.compute_cheapest(query))
+    }
+
+    /// The ladder shared by every evaluation op: hot store hit →
+    /// coalesced compute → (inside `compute`) simulate or degrade.
+    fn answer_keyed(&self, key: &str, compute: impl FnOnce() -> QResult) -> QResult {
+        if let Some(store) = &self.store {
+            match store.get(key, &self.cfg.faults) {
+                Ok(StoreGet::Hit(payload)) => {
+                    Counters::bump(&self.counters.store_hits);
+                    return Ok(Answer {
+                        payload,
+                        degraded: false,
+                        storeable: false,
+                    });
+                }
+                Ok(StoreGet::Miss) => Counters::bump(&self.counters.store_misses),
+                Ok(StoreGet::Corrupt(reason)) => {
+                    Counters::bump(&self.counters.store_corrupt);
+                    self.log(&format!(
+                        "corrupt store record for {key}: {reason}; recomputing"
+                    ));
+                }
+                Err(e) => {
+                    Counters::bump(&self.counters.store_read_errors);
+                    self.log(&format!("store read failed for {key}: {e}; recomputing"));
+                }
+            }
+        }
+
+        // Coalesce identical in-flight keys onto one computation.
+        let (flight, leader) = {
+            let mut inflight = self.inflight.lock().expect("inflight lock");
+            match inflight.get(key) {
+                Some(flight) => (Arc::clone(flight), false),
+                None => {
+                    let flight = Arc::new(InFlight::default());
+                    inflight.insert(key.to_owned(), Arc::clone(&flight));
+                    (flight, true)
+                }
+            }
+        };
+        if !leader {
+            Counters::bump(&self.counters.coalesced);
+            let mut done = flight.done.lock().expect("inflight slot lock");
+            while done.is_none() {
+                done = flight.ready.wait(done).expect("inflight slot lock");
+            }
+            return done.clone().expect("checked above");
+        }
+
+        let result = compute();
+        if let (Ok(answer), Some(store)) = (&result, &self.store) {
+            if answer.storeable {
+                if let Err(e) = store.put(key, &answer.payload, &self.cfg.faults) {
+                    Counters::bump(&self.counters.store_write_errors);
+                    self.log(&format!(
+                        "store write failed for {key}: {e}; serving anyway"
+                    ));
+                }
+            }
+        }
+        *flight.done.lock().expect("inflight slot lock") = Some(result.clone());
+        flight.ready.notify_all();
+        self.inflight.lock().expect("inflight lock").remove(key);
+        result
+    }
+
+    /// The cost of a query in additions — the deterministic degradation
+    /// currency (see the module docs for why this is not a wall clock).
+    fn query_cost(&self, workload: &WorkloadSel) -> u64 {
+        match workload {
+            WorkloadSel::Stream { cycles, .. } => *cycles,
+            WorkloadSel::Kernel { name, scale } => self.kernel_data(name, *scale).reference.adds,
+        }
+    }
+
+    /// Computes a quality answer: full simulation within budget, exact
+    /// analytical bound beyond it.
+    fn compute_quality(&self, query: &QualityQuery) -> QResult {
+        if self.cfg.faults.fires(FaultPoint::SlowEval) {
+            std::thread::sleep(std::time::Duration::from_millis(self.cfg.faults.slow_ms()));
+        }
+        let cost = self.query_cost(&query.workload);
+        if self.cfg.sim_budget.is_some_and(|budget| cost > budget) {
+            Counters::bump(&self.counters.degraded);
+            return Ok(Answer {
+                payload: self.degraded_payload(query),
+                degraded: true,
+                storeable: false,
+            });
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.simulate_quality(query)));
+        match outcome {
+            Ok(Ok(payload)) => {
+                Counters::bump(&self.counters.computed);
+                Ok(Answer {
+                    payload,
+                    degraded: false,
+                    storeable: true,
+                })
+            }
+            Ok(Err(msg)) => Err((false, msg)),
+            Err(payload) => {
+                Counters::bump(&self.counters.eval_panics);
+                let msg = crate::panic_text(payload.as_ref());
+                self.log(&format!("evaluation panicked (isolated): {msg}"));
+                Err((true, format!("evaluation panicked: {msg}")))
+            }
+        }
+    }
+
+    /// Tier 2: the full gate-level evaluation of one quality query.
+    /// `Err` = the design cannot be built (non-retriable).
+    fn simulate_quality(&self, query: &QualityQuery) -> Result<String, String> {
+        if self.cfg.faults.fires(FaultPoint::EvalPanic) {
+            panic!("injected evaluation fault");
+        }
+        let config = &self.cfg.config;
+        let clock_ps = config.clock_ps(query.cpr);
+        // Feasibility first, so infeasible designs produce a clean
+        // BuildError instead of a panic deep inside the substrate.
+        let ctx = self
+            .engine
+            .try_context(&query.design, config)
+            .map_err(|e| e.to_string())?;
+        match &query.workload {
+            WorkloadSel::Stream { name, cycles } => {
+                let inputs = self.stream_inputs(name, *cycles);
+                let silvers = self.substrate.run_batch(&query.design, clock_ps, &inputs);
+                let golds = ctx.gold.add_batch(&inputs);
+                let exact = ExactAdder::new(query.design.width());
+                let mut stats = CombinedErrorStats::new();
+                for ((&(a, b), &silver), &gold) in inputs.iter().zip(&silvers).zip(&golds) {
+                    stats.push(&OutputTriple::new(exact.add(a, b), gold, silver));
+                }
+                let (s_pct, t_pct, j_pct) = stats.rms_re_percent();
+                Ok(stream_payload(
+                    query,
+                    clock_ps,
+                    config,
+                    &[
+                        ("rms_re_struct_pct", Json::Num(s_pct)),
+                        ("rms_re_timing_pct", Json::Num(t_pct)),
+                        ("rms_re_joint_pct", Json::Num(j_pct)),
+                        ("timing_error_rate", Json::Num(stats.e_timing.error_rate())),
+                        ("quality_db", Json::from_db(db_of_rms_pct(j_pct))),
+                    ],
+                ))
+            }
+            WorkloadSel::Kernel { name, scale } => {
+                let data = self.kernel_data(name, *scale);
+                let run = isa_apps::run_on_substrate(
+                    data.kernel.as_ref(),
+                    &self.substrate,
+                    &query.design,
+                    clock_ps,
+                );
+                let stats = isa_apps::score(&data.reference, &run);
+                let behavioural = isa_apps::run_behavioural(data.kernel.as_ref(), &query.design);
+                let ceiling = isa_apps::score(&data.reference, &behavioural);
+                Ok(kernel_payload(
+                    query,
+                    clock_ps,
+                    config,
+                    &data,
+                    &[
+                        ("psnr_db", Json::from_db(stats.psnr_db(data.peak))),
+                        ("snr_db", Json::from_db(stats.snr_db())),
+                        ("max_abs_error", Json::Num(stats.max_abs_error() as f64)),
+                        (
+                            "structural_psnr_db",
+                            Json::from_db(ceiling.psnr_db(data.peak)),
+                        ),
+                    ],
+                ))
+            }
+        }
+    }
+
+    /// Tier 3: the exact analytical (structural-only) bound — no
+    /// synthesis, no gate-level simulation, just the behavioural model.
+    /// Timing-dependent fields are `null`: the bound excludes timing
+    /// error by construction, and pretending it were zero would assert a
+    /// falsehood.
+    fn degraded_payload(&self, query: &QualityQuery) -> String {
+        let config = &self.cfg.config;
+        let clock_ps = config.clock_ps(query.cpr);
+        match &query.workload {
+            WorkloadSel::Stream { name, cycles } => {
+                let inputs = self.stream_inputs(name, *cycles);
+                let gold = query.design.behavioural();
+                let stats = structural_errors(gold.as_ref(), inputs.iter().copied());
+                let (s_pct, _, _) = stats.rms_re_percent();
+                stream_payload(
+                    query,
+                    clock_ps,
+                    config,
+                    &[
+                        ("bound", Json::Str("structural-exact".to_owned())),
+                        ("rms_re_struct_pct", Json::Num(s_pct)),
+                        ("rms_re_timing_pct", Json::Null),
+                        ("rms_re_joint_pct", Json::Null),
+                        ("timing_error_rate", Json::Null),
+                        ("quality_db", Json::from_db(db_of_rms_pct(s_pct))),
+                    ],
+                )
+            }
+            WorkloadSel::Kernel { name, scale } => {
+                let data = self.kernel_data(name, *scale);
+                let behavioural = isa_apps::run_behavioural(data.kernel.as_ref(), &query.design);
+                let ceiling = isa_apps::score(&data.reference, &behavioural);
+                kernel_payload(
+                    query,
+                    clock_ps,
+                    config,
+                    &data,
+                    &[
+                        ("bound", Json::Str("structural-exact".to_owned())),
+                        ("psnr_db", Json::from_db(ceiling.psnr_db(data.peak))),
+                        ("snr_db", Json::from_db(ceiling.snr_db())),
+                        ("max_abs_error", Json::Num(ceiling.max_abs_error() as f64)),
+                        (
+                            "structural_psnr_db",
+                            Json::from_db(ceiling.psnr_db(data.peak)),
+                        ),
+                    ],
+                )
+            }
+        }
+    }
+
+    /// Computes a cheapest-design answer: every paper design is scored at
+    /// the query's (cpr, workload) through the regular quality ladder
+    /// (each score coalesces and persists on its own), in parallel with
+    /// per-candidate panic isolation; the minimum-area design meeting the
+    /// floor wins, ties broken by label.
+    ///
+    /// Note the candidate sweep needs each *feasible* design's area, so
+    /// synthesis still runs for meeting candidates even when their scores
+    /// were degraded; the budget governs simulation volume, and synthesis
+    /// is bounded by the fixed candidate set (and the artifact LRU).
+    fn compute_cheapest(&self, query: &CheapestQuery) -> QResult {
+        if self.cfg.faults.fires(FaultPoint::SlowEval) {
+            std::thread::sleep(std::time::Duration::from_millis(self.cfg.faults.slow_ms()));
+        }
+        let config = &self.cfg.config;
+        let clock_ps = config.clock_ps(query.cpr);
+        let candidates = paper_designs();
+        let points: Vec<(Design, f64)> = candidates.iter().map(|d| (*d, query.cpr)).collect();
+        let spec = WorkloadSpec {
+            name: query.workload.name().to_owned(),
+            inputs: Arc::new(Vec::new()),
+        };
+        let answers = self.engine.try_map_points(config, &points, &spec, |unit| {
+            self.quality_answer(&QualityQuery {
+                design: unit.design,
+                cpr: unit.cpr,
+                workload: query.workload.clone(),
+            })
+        });
+
+        let mut degraded = false;
+        let mut errors = 0u64;
+        let mut feasible: Vec<(Design, f64)> = Vec::new();
+        for (design, outcome) in candidates.iter().zip(answers) {
+            match outcome {
+                Ok(Ok(answer)) => {
+                    degraded |= answer.degraded;
+                    let Some(db) = payload_quality_db(&answer.payload) else {
+                        errors += 1;
+                        continue;
+                    };
+                    if db >= query.min_quality_db {
+                        feasible.push((*design, db));
+                    }
+                }
+                // Non-retriable: the design cannot be built — simply not
+                // a feasible candidate, not a service error.
+                Ok(Err((false, _))) => {}
+                Ok(Err((true, _))) | Err(_) => errors += 1,
+            }
+        }
+
+        let mut cheapest: Option<(Design, f64, f64)> = None;
+        for (design, db) in &feasible {
+            let area = match self.engine.try_context(design, config) {
+                Ok(ctx) => ctx.synthesized.area,
+                Err(_) => continue,
+            };
+            let better = match &cheapest {
+                None => true,
+                Some((best, _, best_area)) => {
+                    area < *best_area
+                        || (area == *best_area && design.to_string() < best.to_string())
+                }
+            };
+            if better {
+                cheapest = Some((*design, *db, area));
+            }
+        }
+
+        let mut fields = vec![
+            ("kind", Json::Str("cheapest".to_owned())),
+            ("min_quality_db", Json::Num(query.min_quality_db)),
+            ("cpr", Json::Num(query.cpr)),
+            ("clock_ps", Json::Num(clock_ps)),
+            ("workload", Json::Str(query.workload.name().to_owned())),
+            ("candidates", Json::Num(candidates.len() as f64)),
+            ("feasible", Json::Num(feasible.len() as f64)),
+            ("errors", Json::Num(errors as f64)),
+        ];
+        match &cheapest {
+            Some((design, db, area)) => {
+                fields.push(("design", Json::Str(design.to_string())));
+                fields.push(("area", Json::Num(*area)));
+                fields.push(("quality_db", Json::from_db(*db)));
+            }
+            None => {
+                fields.push(("design", Json::Null));
+                fields.push(("area", Json::Null));
+                fields.push(("quality_db", Json::Null));
+            }
+        }
+        Ok(Answer {
+            payload: render_fields(&fields),
+            degraded,
+            // A panicked candidate would make the aggregate depend on the
+            // fault, and a degraded one on the budget: only complete,
+            // fully simulated sweeps are persisted.
+            storeable: !degraded && errors == 0,
+        })
+    }
+
+    /// The deterministic operand stream of a named stream workload
+    /// (memoized; the memo is cleared past a small bound so pathological
+    /// request mixes cannot hoard memory).
+    fn stream_inputs(&self, name: &str, cycles: u64) -> Arc<Vec<(u64, u64)>> {
+        let key = (name.to_owned(), cycles);
+        {
+            let streams = self.streams.lock().expect("stream memo lock");
+            if let Some(inputs) = streams.get(&key) {
+                return Arc::clone(inputs);
+            }
+        }
+        let seed = self.cfg.config.workload_seed;
+        #[allow(clippy::cast_possible_truncation)]
+        let n = cycles as usize;
+        let inputs = Arc::new(match name {
+            "uniform" => take_pairs(UniformWorkload::new(32, seed), n),
+            "walk" => take_pairs(RandomWalkWorkload::new(32, 4096, seed), n),
+            "sine" => take_pairs(SineWorkload::new(32, 0.013, 0.029, 0.05, seed), n),
+            "accumulate" => take_pairs(AccumulationWorkload::new(32, 24, seed), n),
+            other => unreachable!("workload {other:?} rejected at parse time"),
+        });
+        let mut streams = self.streams.lock().expect("stream memo lock");
+        if streams.len() >= 8 && !streams.contains_key(&key) {
+            streams.clear();
+        }
+        streams.insert(key, Arc::clone(&inputs));
+        inputs
+    }
+
+    /// The memoized kernel + exact reference of a kernel workload.
+    fn kernel_data(&self, name: &str, scale: u64) -> Arc<KernelData> {
+        let key = (name.to_owned(), scale);
+        {
+            let kernels = self.kernels.lock().expect("kernel memo lock");
+            if let Some(data) = kernels.get(&key) {
+                return Arc::clone(data);
+            }
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        let kernel = isa_apps::kernel_by_name(name, scale as usize, self.cfg.config.workload_seed)
+            .unwrap_or_else(|| unreachable!("kernel {name:?} rejected at parse time"));
+        let reference = isa_apps::run_exact(kernel.as_ref());
+        let peak = reference.output.iter().copied().max().unwrap_or(0).max(1);
+        let data = Arc::new(KernelData {
+            kernel,
+            reference,
+            peak,
+        });
+        let mut kernels = self.kernels.lock().expect("kernel memo lock");
+        if kernels.len() >= 16 && !kernels.contains_key(&key) {
+            kernels.clear();
+        }
+        kernels.insert(key, Arc::clone(&data));
+        data
+    }
+
+    /// The `stats` payload (non-deterministic; never stored).
+    fn stats_payload(&self) -> String {
+        let c = &self.counters;
+        let load = |a: &AtomicU64| Json::Num(a.load(Ordering::Relaxed) as f64);
+        render_fields(&[
+            ("kind", Json::Str("stats".to_owned())),
+            ("requests", load(&c.requests)),
+            ("store_hits", load(&c.store_hits)),
+            ("store_misses", load(&c.store_misses)),
+            ("store_corrupt", load(&c.store_corrupt)),
+            ("store_read_errors", load(&c.store_read_errors)),
+            ("store_write_errors", load(&c.store_write_errors)),
+            ("coalesced", load(&c.coalesced)),
+            ("computed", load(&c.computed)),
+            ("degraded", load(&c.degraded)),
+            ("shed", load(&c.shed)),
+            ("eval_panics", load(&c.eval_panics)),
+            (
+                "artifacts_resident",
+                Json::Num(self.engine.cache().len() as f64),
+            ),
+            (
+                "store_records",
+                match &self.store {
+                    Some(store) => Json::Num(store.record_count().unwrap_or(0) as f64),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// Renders an ordered field list as one JSON object.
+fn render_fields(fields: &[(&str, Json)]) -> String {
+    Json::Obj(
+        fields
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.clone()))
+            .collect(),
+    )
+    .render()
+}
+
+/// Shared header + variable tail of a stream-quality payload.
+fn stream_payload(
+    query: &QualityQuery,
+    clock_ps: f64,
+    config: &ExperimentConfig,
+    tail: &[(&str, Json)],
+) -> String {
+    let WorkloadSel::Stream { name, cycles } = &query.workload else {
+        unreachable!("stream payload for a stream workload");
+    };
+    let mut fields = vec![
+        ("kind", Json::Str("stream".to_owned())),
+        ("design", Json::Str(query.design.to_string())),
+        ("cpr", Json::Num(query.cpr)),
+        ("clock_ps", Json::Num(clock_ps)),
+        ("workload", Json::Str(name.clone())),
+        ("cycles", Json::Num(*cycles as f64)),
+        ("backend", Json::Str(config.backend.label().to_owned())),
+    ];
+    fields.extend_from_slice(tail);
+    render_fields(&fields)
+}
+
+/// Shared header + variable tail of a kernel-quality payload.
+fn kernel_payload(
+    query: &QualityQuery,
+    clock_ps: f64,
+    config: &ExperimentConfig,
+    data: &KernelData,
+    tail: &[(&str, Json)],
+) -> String {
+    let WorkloadSel::Kernel { name, scale } = &query.workload else {
+        unreachable!("kernel payload for a kernel workload");
+    };
+    let mut fields = vec![
+        ("kind", Json::Str("kernel".to_owned())),
+        ("design", Json::Str(query.design.to_string())),
+        ("cpr", Json::Num(query.cpr)),
+        ("clock_ps", Json::Num(clock_ps)),
+        ("kernel", Json::Str(name.clone())),
+        ("scale", Json::Num(*scale as f64)),
+        ("backend", Json::Str(config.backend.label().to_owned())),
+        ("outputs", Json::Num(data.reference.output.len() as f64)),
+        ("adds", Json::Num(data.reference.adds as f64)),
+    ];
+    fields.extend_from_slice(tail);
+    render_fields(&fields)
+}
+
+/// Quality in dB of an RMS relative error in percent (the explorer's
+/// convention); infinite when error-free.
+fn db_of_rms_pct(rms_pct: f64) -> f64 {
+    if rms_pct <= 0.0 {
+        f64::INFINITY
+    } else {
+        isa_metrics::snr_db(rms_pct / 100.0)
+    }
+}
+
+/// Extracts the comparable quality figure from a quality payload
+/// (`quality_db` for streams, `psnr_db` for kernels).
+fn payload_quality_db(payload: &str) -> Option<f64> {
+    let value = Json::parse(payload).ok()?;
+    value
+        .get("quality_db")
+        .or_else(|| value.get("psnr_db"))
+        .and_then(Json::to_db)
+}
+
+// ---------------------------------------------------------------------------
+// Frontend: bounded admission, worker pool, in-order responses.
+// ---------------------------------------------------------------------------
+
+/// One admitted job: its submission sequence number and raw line.
+struct Job {
+    seq: u64,
+    line: String,
+}
+
+/// The in-order response buffer: responses are inserted under their
+/// submission sequence number and emitted strictly in that order, so a
+/// request script always yields the same response byte stream regardless
+/// of worker interleaving.
+#[derive(Debug, Default)]
+struct OutBuf {
+    state: Mutex<OutState>,
+    avail: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct OutState {
+    slots: BTreeMap<u64, String>,
+    next_emit: u64,
+    submitted: u64,
+    sealed: bool,
+}
+
+impl OutBuf {
+    fn note_submission(&self) {
+        self.state.lock().expect("outbuf lock").submitted += 1;
+    }
+
+    fn insert(&self, seq: u64, response: String) {
+        let mut state = self.state.lock().expect("outbuf lock");
+        state.slots.insert(seq, response);
+        drop(state);
+        self.avail.notify_all();
+    }
+
+    /// Marks the submission stream complete (no further sequence numbers).
+    fn seal(&self) {
+        let mut state = self.state.lock().expect("outbuf lock");
+        state.sealed = true;
+        drop(state);
+        self.avail.notify_all();
+    }
+
+    /// Blocks for the next in-order response; `None` once sealed and
+    /// fully drained.
+    fn pop_next(&self) -> Option<String> {
+        let mut state = self.state.lock().expect("outbuf lock");
+        loop {
+            let next = state.next_emit;
+            if let Some(response) = state.slots.remove(&next) {
+                state.next_emit += 1;
+                return Some(response);
+            }
+            if state.sealed && state.next_emit >= state.submitted {
+                return None;
+            }
+            state = self.avail.wait(state).expect("outbuf lock");
+        }
+    }
+}
+
+/// A gate workers wait behind until [`Frontend::start`].
+#[derive(Debug, Default)]
+struct Gate {
+    open: Mutex<bool>,
+    bell: Condvar,
+}
+
+impl Gate {
+    fn wait_open(&self) {
+        let mut open = self.open.lock().expect("gate lock");
+        while !*open {
+            open = self.bell.wait(open).expect("gate lock");
+        }
+    }
+
+    fn open(&self) {
+        *self.open.lock().expect("gate lock") = true;
+        self.bell.notify_all();
+    }
+}
+
+/// The concurrent front end over a [`Service`]: a bounded admission
+/// queue, a worker pool (held behind a start gate so tests can submit a
+/// whole script before any work begins, making shedding exactly
+/// reproducible), and the in-order reorder buffer.
+pub struct Frontend {
+    service: Arc<Service>,
+    queue: Arc<crate::queue::BoundedQueue<Job>>,
+    out: Arc<OutBuf>,
+    gate: Arc<Gate>,
+    handles: Vec<JoinHandle<()>>,
+    seq: u64,
+}
+
+impl Frontend {
+    /// Spawns `workers` worker threads over the service with a
+    /// `queue_cap`-bounded admission queue. Workers idle behind the start
+    /// gate until [`Frontend::start`].
+    #[must_use]
+    pub fn new(service: Arc<Service>, workers: usize, queue_cap: usize) -> Self {
+        let queue = Arc::new(crate::queue::BoundedQueue::<Job>::new(queue_cap));
+        let out = Arc::new(OutBuf::default());
+        let gate = Arc::new(Gate::default());
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let service = Arc::clone(&service);
+                let queue = Arc::clone(&queue);
+                let out = Arc::clone(&out);
+                let gate = Arc::clone(&gate);
+                std::thread::spawn(move || {
+                    gate.wait_open();
+                    while let Some(job) = queue.pop() {
+                        let response = service.answer_line(&job.line);
+                        out.insert(job.seq, response);
+                    }
+                })
+            })
+            .collect();
+        Self {
+            service,
+            queue,
+            out,
+            gate,
+            handles,
+            seq: 0,
+        }
+    }
+
+    /// Opens the worker gate (idempotent).
+    pub fn start(&self) {
+        self.gate.open();
+    }
+
+    /// Submits one request line: admitted to the queue, or — when the
+    /// queue is at capacity — shed on the spot with a retriable error
+    /// response in the request's output slot.
+    pub fn submit(&mut self, line: &str) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.out.note_submission();
+        let job = Job {
+            seq,
+            line: line.to_owned(),
+        };
+        if let Err(job) = self.queue.try_push(job) {
+            Counters::bump(&self.service.counters.shed);
+            let id = Json::parse(&job.line)
+                .ok()
+                .and_then(|v| v.get("id").cloned())
+                .unwrap_or(Json::Null);
+            self.out.insert(
+                job.seq,
+                error_response(&id, true, "service overloaded: admission queue full, retry"),
+            );
+        }
+    }
+
+    /// Finishes the session: opens the gate (if still closed), stops
+    /// admissions, drains the workers and returns every response in
+    /// submission order.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<String> {
+        self.start();
+        self.queue.close();
+        for handle in self.handles.drain(..) {
+            handle.join().expect("serve worker");
+        }
+        self.out.seal();
+        let mut responses = Vec::new();
+        while let Some(response) = self.out.pop_next() {
+            responses.push(response);
+        }
+        responses
+    }
+}
+
+/// Serves a line-delimited session: requests read from `reader`, ordered
+/// responses written (and flushed) to `writer` as they become available.
+/// Returns at end of input, after every admitted request is answered.
+///
+/// # Errors
+///
+/// Returns the first reader/writer I/O error.
+pub fn serve_lines<R: BufRead, W: Write + Send>(
+    service: &Arc<Service>,
+    reader: R,
+    mut writer: W,
+    workers: usize,
+    queue_cap: usize,
+) -> io::Result<()> {
+    let mut frontend = Frontend::new(Arc::clone(service), workers, queue_cap);
+    frontend.start();
+    let out = Arc::clone(&frontend.out);
+    std::thread::scope(|scope| {
+        let writer_handle = scope.spawn(move || -> io::Result<()> {
+            while let Some(response) = out.pop_next() {
+                writeln!(writer, "{response}")?;
+                writer.flush()?;
+            }
+            Ok(())
+        });
+        let mut read_error = None;
+        for line in reader.lines() {
+            match line {
+                Ok(line) => {
+                    if !line.trim().is_empty() {
+                        frontend.submit(&line);
+                    }
+                }
+                Err(e) => {
+                    read_error = Some(e);
+                    break;
+                }
+            }
+        }
+        let _ = frontend.finish();
+        let write_result = writer_handle.join().expect("serve writer");
+        match read_error {
+            Some(e) => Err(e),
+            None => write_result,
+        }
+    })
+}
+
+/// Serves connections on a Unix domain socket, one session thread per
+/// connection, forever. Intended for the `isa-serve --socket` daemon
+/// mode; tests and CI drive stdin instead.
+///
+/// # Errors
+///
+/// Returns the bind error; per-connection errors are logged and do not
+/// stop the accept loop.
+#[cfg(unix)]
+pub fn serve_unix(
+    service: &Arc<Service>,
+    path: &std::path::Path,
+    workers: usize,
+    queue_cap: usize,
+) -> io::Result<()> {
+    use std::os::unix::net::UnixListener;
+    // A stale socket file from a previous run would fail the bind.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                let service = Arc::clone(service);
+                let peer = stream.try_clone();
+                std::thread::spawn(move || {
+                    let result = match peer {
+                        Ok(read_half) => serve_lines(
+                            &service,
+                            io::BufReader::new(read_half),
+                            stream,
+                            workers,
+                            queue_cap,
+                        ),
+                        Err(e) => Err(e),
+                    };
+                    if let Err(e) = result {
+                        service.log(&format!("connection error: {e}"));
+                    }
+                });
+            }
+            Err(e) => {
+                service.log(&format!("accept error: {e}"));
+            }
+        }
+    }
+    Ok(())
+}

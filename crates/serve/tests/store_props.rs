@@ -1,0 +1,149 @@
+//! Property tests of the result store: round trips, byte-flip corruption,
+//! truncation, and torn-write recovery.
+//!
+//! The store's contract is absolute: a validated `Hit` carries exactly
+//! the bytes that were `put`, and *any* single-byte damage to a record —
+//! flip, truncation, torn write — is detected as `Corrupt`/`Miss`, never
+//! served. These tests drive that contract over generated payloads and
+//! over every byte position / truncation length of a representative
+//! record, which is feasible because records are small.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use isa_serve::store::{encode_record, validate_record};
+use isa_serve::{FaultPlan, FaultPoint, ResultStore, StoreGet};
+use proptest::prelude::*;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "isa-serve-props-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A printable single-line payload from arbitrary bytes (payloads are
+/// rendered JSON in production, but the store must not care).
+fn payload_from(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| char::from(b'!' + (b % 94))).collect()
+}
+
+/// A single-line key from a seed.
+fn key_from(seed: u64) -> String {
+    format!("quality/v1 design=({seed}) cpr={seed:016x}")
+}
+
+proptest! {
+    /// Whatever went in comes out, for any key/payload pair.
+    #[test]
+    fn round_trip_returns_exact_payload(
+        key_seed in any::<u64>(),
+        payload_bytes in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let dir = temp_dir("roundtrip");
+        let store = ResultStore::open(&dir).unwrap();
+        let faults = FaultPlan::none();
+        let key = key_from(key_seed);
+        let payload = payload_from(&payload_bytes);
+        store.put(&key, &payload, &faults).unwrap();
+        prop_assert_eq!(store.get(&key, &faults).unwrap(), StoreGet::Hit(payload));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Distinct keys never alias, even when payloads collide.
+    #[test]
+    fn distinct_keys_are_independent(a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        let dir = temp_dir("independent");
+        let store = ResultStore::open(&dir).unwrap();
+        let faults = FaultPlan::none();
+        store.put(&key_from(a), "same payload", &faults).unwrap();
+        prop_assert_eq!(store.get(&key_from(b), &faults).unwrap(), StoreGet::Miss);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A seeded torn write is always detected on read and always healed
+    /// by a clean rewrite, whatever prefix length the seed picks.
+    #[test]
+    fn torn_write_is_detected_then_healed(seed in any::<u64>()) {
+        let dir = temp_dir("torn");
+        let store = ResultStore::open(&dir).unwrap();
+        let clean = FaultPlan::none();
+        let torn = FaultPlan::seeded(seed).with_rate(FaultPoint::TornWrite, 256);
+        let key = key_from(seed);
+        store.put(&key, "the payload", &torn).unwrap();
+        match store.get(&key, &clean).unwrap() {
+            StoreGet::Corrupt(_) | StoreGet::Miss => {}
+            StoreGet::Hit(p) => panic!("torn record served: {p:?}"),
+        }
+        store.put(&key, "the payload", &clean).unwrap();
+        prop_assert_eq!(
+            store.get(&key, &clean).unwrap(),
+            StoreGet::Hit("the payload".to_owned())
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Flipping any single byte of a record makes it unservable: every
+/// position either fails validation outright or (for a key-line flip)
+/// reads as a different record's key — never a `Hit` with wrong bytes.
+#[test]
+fn every_single_byte_flip_is_detected() {
+    let key = "quality/v1 design=(8,2,1,4) cpr=3fc999999999999a";
+    let payload = r#"{"kind":"stream","quality_db":71.48567690838718}"#;
+    let record = encode_record(key, payload);
+    let bytes = record.as_bytes();
+    for pos in 0..bytes.len() {
+        for flip in [0x01u8, 0x80] {
+            let mut damaged = bytes.to_vec();
+            damaged[pos] ^= flip;
+            match validate_record(&damaged, key) {
+                StoreGet::Hit(p) => {
+                    panic!("flip {flip:#04x} at byte {pos} served a hit with payload {p:?}")
+                }
+                StoreGet::Corrupt(_) | StoreGet::Miss => {}
+            }
+        }
+    }
+}
+
+/// Truncating a record at any length short of the full record is
+/// detected (the crash-mid-write spectrum, end to end).
+#[test]
+fn every_truncation_is_detected() {
+    let key = "cheapest/v1 min_db=403e000000000000";
+    let payload = r#"{"kind":"cheapest","design":"(8,0,0,0)","area":226}"#;
+    let record = encode_record(key, payload);
+    let bytes = record.as_bytes();
+    for len in 0..bytes.len() {
+        match validate_record(&bytes[..len], key) {
+            StoreGet::Hit(p) => panic!("truncation to {len} bytes served {p:?}"),
+            StoreGet::Corrupt(_) | StoreGet::Miss => {}
+        }
+    }
+    assert_eq!(
+        validate_record(bytes, key),
+        StoreGet::Hit(payload.to_owned()),
+        "the untruncated record itself must validate"
+    );
+}
+
+/// Appending trailing garbage (a torn write over a longer stale record)
+/// is detected via the length field.
+#[test]
+fn trailing_garbage_is_detected() {
+    let key = "k";
+    let record = encode_record(key, "payload");
+    let mut damaged = record.into_bytes();
+    damaged.extend_from_slice(b"GARBAGE");
+    match validate_record(&damaged, key) {
+        StoreGet::Corrupt(reason) => assert!(reason.contains("length"), "{reason}"),
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}

@@ -8,6 +8,7 @@
 #   prove   -> symbolic equivalence + false-path STA proofs (fails on any)
 #   miri    -> LaneBatch pack/transpose tests under Miri (when installed)
 #   golden  -> experiment CSVs diffed against tests/golden/
+#   serve   -> chaos battery + cold/hot/chaos byte-identity + store gate
 #   bench   -> backend speedup gates (plus criterion when a registry is up)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -59,6 +60,41 @@ fi
 
 echo "==> golden figures (scripts/golden.sh)"
 scripts/golden.sh
+
+echo "==> serve chaos battery (release, same as CI)"
+cargo test --release -q -p isa-serve
+
+echo "==> serve cold/hot/chaos byte-identity smoke (released binary)"
+# Same three-pass script as CI's serve job: cold computes and persists,
+# hot serves from the store, chaos re-runs hot under injected store
+# faults — all three response streams must be byte-identical.
+cargo build --release -q -p isa-serve
+serve_store="$(mktemp -d)"
+serve_script="$(mktemp)"
+cat > "$serve_script" <<'EOF'
+{"id":1,"op":"ping"}
+{"id":2,"op":"quality","design":"8,2,1,4","cpr":0.0,"workload":"uniform","cycles":800}
+{"id":3,"op":"quality","design":"8,2,1,4","cpr":0.2,"workload":"uniform","cycles":800}
+{"id":4,"op":"quality","design":"8,1,1,4","cpr":0.1,"workload":"walk","cycles":800}
+{"id":5,"op":"quality","design":"exact","cpr":0.1,"workload":"sine","cycles":800}
+{"id":6,"op":"quality","design":"8,2,1,4","cpr":0.1,"workload":"fir","scale":1}
+{"id":7,"op":"cheapest","min_quality_db":30,"cpr":0.1,"workload":"uniform","cycles":800}
+EOF
+serve_cold="$(mktemp)" serve_hot="$(mktemp)" serve_chaos="$(mktemp)"
+./target/release/isa-serve --store "$serve_store" --quiet \
+  < "$serve_script" > "$serve_cold"
+./target/release/isa-serve --store "$serve_store" --quiet \
+  < "$serve_script" > "$serve_hot"
+diff "$serve_cold" "$serve_hot"
+ISA_SERVE_FAULTS="seed=42,store_read=64,store_write=64,torn=128" \
+  ./target/release/isa-serve --store "$serve_store" --quiet \
+  < "$serve_script" > "$serve_chaos"
+diff "$serve_cold" "$serve_chaos"
+rm -rf "$serve_store" "$serve_script" "$serve_cold" "$serve_hot" "$serve_chaos"
+
+echo "==> serve hot-store speedup gate (serve_bench, reduced counts; CI gates 5x at BENCH_PR9.json counts)"
+cargo run --release -q -p isa-serve --bin serve_bench -- \
+  --cycles 1500 --designs 3 --repeat 2 --min-hot-speedup 5 >/dev/null
 
 # CI's test job also compiles the criterion bench crate and its bench job
 # runs the microbenchmarks; both need a crate registry, which offline

@@ -31,7 +31,10 @@
 //!   analytical + gate-level evaluator and exhaustive or NSGA-II-style
 //!   evolutionary strategies;
 //! * [`experiments`] — the per-figure reproduction
-//!   pipelines, all driving the engine.
+//!   pipelines, all driving the engine;
+//! * [`serve`] — the resident query service: a line-delimited JSON
+//!   front end over the engine with an on-disk result store, request
+//!   coalescing, budget-tiered degradation and seeded fault injection.
 //!
 //! See the `examples/` directory for runnable entry points and the root
 //! `README.md` for a quickstart, the architecture inventory and how the
@@ -78,5 +81,6 @@ pub use isa_explore as explore;
 pub use isa_learn as learn;
 pub use isa_metrics as metrics;
 pub use isa_netlist as netlist;
+pub use isa_serve as serve;
 pub use isa_timing_sim as timing_sim;
 pub use isa_workloads as workloads;

@@ -1,0 +1,110 @@
+//! End-to-end smoke test of the serve layer at reduced scale: one
+//! service instance answers the full op set, persists results, serves a
+//! second instance byte-identically from the store, and degrades
+//! policy-exactly under a simulation budget.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use overclocked_isa::serve::{FaultPlan, Json, ServeConfig, Service};
+
+fn store_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "overclocked-serve-smoke-{tag}-{}",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn serve_round_trip_store_and_degradation() {
+    let dir = store_dir("roundtrip");
+    let _ = std::fs::remove_dir_all(&dir);
+    let script = [
+        r#"{"id":1,"op":"ping"}"#,
+        r#"{"id":2,"op":"quality","design":"8,2,1,4","cpr":0.2,"workload":"uniform","cycles":400}"#,
+        r#"{"id":3,"op":"quality","design":"exact","cpr":0.0,"workload":"walk","cycles":400}"#,
+        r#"{"id":4,"op":"quality","design":"8,2,1,4","cpr":0.1,"workload":"fir","scale":1}"#,
+        r#"{"id":5,"op":"cheapest","min_quality_db":20,"cpr":0.05,"workload":"uniform","cycles":400}"#,
+    ];
+
+    // Cold pass: everything is computed and persisted.
+    let cold = Arc::new(
+        Service::new(ServeConfig {
+            threads: 2,
+            store_dir: Some(dir.clone()),
+            quiet: true,
+            ..ServeConfig::default()
+        })
+        .unwrap(),
+    );
+    let cold_responses: Vec<String> = script.iter().map(|l| cold.answer_line(l)).collect();
+    for (line, response) in script.iter().zip(&cold_responses) {
+        let v = Json::parse(response).expect("valid response JSON");
+        assert_eq!(
+            v.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "line {line} -> {response}"
+        );
+        assert_eq!(v.get("degraded").and_then(Json::as_bool), Some(false));
+    }
+
+    // Hot pass in a fresh process-equivalent: byte-identical, no sims.
+    let hot = Arc::new(
+        Service::new(ServeConfig {
+            threads: 2,
+            store_dir: Some(dir.clone()),
+            quiet: true,
+            ..ServeConfig::default()
+        })
+        .unwrap(),
+    );
+    let hot_responses: Vec<String> = script.iter().map(|l| hot.answer_line(l)).collect();
+    assert_eq!(
+        hot_responses, cold_responses,
+        "hot bytes diverged from cold"
+    );
+    assert_eq!(hot.counters().computed.load(Ordering::Relaxed), 0);
+    assert!(hot.counters().store_hits.load(Ordering::Relaxed) >= 4);
+
+    // Budgeted service: the same stream query degrades to the exact
+    // structural bound; its quality field is a real number, flagged.
+    let budgeted = Arc::new(
+        Service::new(ServeConfig {
+            threads: 2,
+            sim_budget: Some(100),
+            quiet: true,
+            ..ServeConfig::default()
+        })
+        .unwrap(),
+    );
+    let response = budgeted.answer_line(script[1]);
+    let v = Json::parse(&response).unwrap();
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(v.get("degraded").and_then(Json::as_bool), Some(true));
+    let result = v.get("result").unwrap();
+    assert_eq!(
+        result.get("bound").and_then(Json::as_str),
+        Some("structural-exact")
+    );
+    assert!(result.get("quality_db").and_then(Json::to_db).unwrap() > 0.0);
+
+    // Panic isolation end to end: an injected evaluation panic errors
+    // retriably without taking the service down.
+    let chaotic = Arc::new(
+        Service::new(ServeConfig {
+            threads: 2,
+            faults: FaultPlan::seeded(3)
+                .with_rate(overclocked_isa::serve::FaultPoint::EvalPanic, 256),
+            quiet: true,
+            ..ServeConfig::default()
+        })
+        .unwrap(),
+    );
+    let failed = chaotic.answer_line(script[1]);
+    let fv = Json::parse(&failed).unwrap();
+    assert_eq!(fv.get("status").and_then(Json::as_str), Some("error"));
+    assert_eq!(fv.get("retriable").and_then(Json::as_bool), Some(true));
+    assert!(chaotic.answer_line(script[0]).contains("pong"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
