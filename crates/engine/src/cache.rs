@@ -22,8 +22,10 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use isa_core::Design;
+use isa_obs::{Counter, Histogram, Registry};
 
 use crate::context::{BuildError, DesignContext, ExperimentConfig};
 
@@ -80,6 +82,33 @@ struct Inner {
     tick: u64,
 }
 
+/// The cache's instrument handles (registered as `engine.cache.*`).
+/// Hits and misses were always countable from the outside; evictions
+/// and failed builds happen deep inside the slot machinery and were a
+/// blind spot until they landed here.
+#[derive(Debug)]
+struct CacheMetrics {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    failed_builds: Counter,
+    build_panics: Counter,
+    build_ns: Histogram,
+}
+
+impl CacheMetrics {
+    fn new(registry: &Registry) -> Self {
+        Self {
+            hits: registry.counter("engine.cache.hits"),
+            misses: registry.counter("engine.cache.misses"),
+            evictions: registry.counter("engine.cache.evictions"),
+            failed_builds: registry.counter("engine.cache.failed_builds"),
+            build_panics: registry.counter("engine.cache.build_panics"),
+            build_ns: registry.histogram("engine.cache.build_ns"),
+        }
+    }
+}
+
 /// Thread-safe memo of [`DesignContext`]s, optionally bounded as an LRU.
 ///
 /// Concurrent requests for *different* designs synthesize in parallel;
@@ -90,29 +119,55 @@ struct Inner {
 /// slot's state lock, except transiently during eviction (which holds
 /// `inner` and briefly inspects slot states); build paths always release
 /// the slot lock before touching the map again.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ArtifactCache {
     inner: Mutex<Inner>,
     /// `None` = unbounded (the batch-experiment default).
     capacity: Option<usize>,
+    metrics: CacheMetrics,
+}
+
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ArtifactCache {
-    /// Creates an empty, unbounded cache.
+    /// Creates an empty, unbounded cache instrumented in the global
+    /// metric registry.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Self::new_in(isa_obs::global())
+    }
+
+    /// Creates an empty, unbounded cache instrumented in `registry`
+    /// (per-service scoping; tests that pin exact counts).
+    #[must_use]
+    pub fn new_in(registry: &Registry) -> Self {
+        Self {
+            inner: Mutex::new(Inner::default()),
+            capacity: None,
+            metrics: CacheMetrics::new(registry),
+        }
     }
 
     /// Creates an empty cache bounded to `capacity` built contexts: once
     /// more are resident, the least-recently-used entry is evicted from
     /// the map (outstanding references stay valid). A capacity of zero is
-    /// treated as one.
+    /// treated as one. Instrumented in the global metric registry.
     #[must_use]
     pub fn bounded(capacity: usize) -> Self {
+        Self::bounded_in(capacity, isa_obs::global())
+    }
+
+    /// [`ArtifactCache::bounded`], instrumented in `registry`.
+    #[must_use]
+    pub fn bounded_in(capacity: usize, registry: &Registry) -> Self {
         Self {
             inner: Mutex::new(Inner::default()),
             capacity: Some(capacity.max(1)),
+            metrics: CacheMetrics::new(registry),
         }
     }
 
@@ -157,7 +212,10 @@ impl ArtifactCache {
             let slot = self.touch(key);
             let mut state = slot.state.lock().expect("artifact slot lock");
             match &*state {
-                SlotState::Ready(ctx) => return Ok(Arc::clone(ctx)),
+                SlotState::Ready(ctx) => {
+                    self.metrics.hits.inc();
+                    return Ok(Arc::clone(ctx));
+                }
                 SlotState::Building => {
                     // Wait for the winner, then re-inspect: Ready on
                     // success, Empty (rebuild ourselves) on failure.
@@ -165,6 +223,9 @@ impl ArtifactCache {
                         state = slot.ready.wait(state).expect("artifact slot lock");
                     }
                     if let SlotState::Ready(ctx) = &*state {
+                        // Served without building: a hit, albeit one
+                        // that waited out someone else's miss.
+                        self.metrics.hits.inc();
                         return Ok(Arc::clone(ctx));
                     }
                     // Fell back to Empty: loop and build it ourselves.
@@ -173,12 +234,17 @@ impl ArtifactCache {
                 SlotState::Empty => {
                     *state = SlotState::Building;
                     drop(state);
+                    self.metrics.misses.inc();
+                    let build_span = isa_obs::trace::span("engine.cache.build");
+                    let build_start = Instant::now();
                     let built = catch_unwind(AssertUnwindSafe(|| {
                         DesignContext::try_build(*design, config)
                     }));
+                    drop(build_span);
                     let mut state = slot.state.lock().expect("artifact slot lock");
                     match built {
                         Ok(Ok(ctx)) => {
+                            self.metrics.build_ns.observe_since(build_start);
                             let ctx = Arc::new(ctx);
                             *state = SlotState::Ready(Arc::clone(&ctx));
                             slot.ready.notify_all();
@@ -187,6 +253,7 @@ impl ArtifactCache {
                             return Ok(ctx);
                         }
                         Ok(Err(err)) => {
+                            self.metrics.failed_builds.inc();
                             *state = SlotState::Empty;
                             slot.ready.notify_all();
                             drop(state);
@@ -196,6 +263,7 @@ impl ArtifactCache {
                         Err(payload) => {
                             // A panicking build must not strand waiters or
                             // poison the slot; reset, clean up, re-raise.
+                            self.metrics.build_panics.inc();
                             *state = SlotState::Empty;
                             slot.ready.notify_all();
                             drop(state);
@@ -267,6 +335,7 @@ impl ArtifactCache {
                 return;
             };
             inner.slots.remove(&victim);
+            self.metrics.evictions.inc();
         }
     }
 

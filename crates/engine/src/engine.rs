@@ -19,7 +19,10 @@ use std::num::NonZeroUsize;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use isa_obs::{Counter, Histogram};
 
 use isa_core::{
     Adder, BehaviouralSubstrate, BitErrorDistribution, CombinedErrorStats, Design, ExactAdder,
@@ -30,6 +33,31 @@ use crate::cache::ArtifactCache;
 use crate::context::{BuildError, DesignContext, ExperimentConfig};
 use crate::plan::{ExperimentPlan, SubstrateChoice, WorkloadSpec};
 use crate::substrates::{GateLevelSubstrate, PredictedSubstrate};
+
+/// Process-wide engine instruments (`engine.*` in the global registry).
+/// The engine is shared machinery — per-instance scoping buys nothing
+/// here, unlike the serve layer's per-service counters.
+struct EngineMetrics {
+    runs: Counter,
+    run_ns: Histogram,
+    run_shards: Counter,
+    points_mapped: Counter,
+    point_panics: Counter,
+}
+
+fn engine_metrics() -> &'static EngineMetrics {
+    static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = isa_obs::global();
+        EngineMetrics {
+            runs: registry.counter("engine.runs"),
+            run_ns: registry.histogram("engine.run_ns"),
+            run_shards: registry.counter("engine.run_shards"),
+            points_mapped: registry.counter("engine.points_mapped"),
+            point_panics: registry.counter("engine.point_panics"),
+        }
+    })
+}
 
 /// Below this many cycles a stateless run is not worth sharding.
 const MIN_SHARD_CYCLES: usize = 8192;
@@ -182,6 +210,8 @@ impl Engine {
     /// results are merged in shard order regardless of completion order.
     #[must_use]
     pub fn run(&self, plan: &ExperimentPlan) -> Vec<RunResult> {
+        let _span = isa_obs::trace::span("engine.run");
+        let started = Instant::now();
         let substrate = self.resolve_substrate(plan);
         let workloads: Vec<WorkloadSpec> = plan.resolved_workloads();
         let designs = plan.design_list();
@@ -222,6 +252,9 @@ impl Engine {
             .flat_map(|(u, unit)| (0..unit.shards.len()).map(move |s| (u, s)))
             .collect();
 
+        let metrics = engine_metrics();
+        metrics.runs.inc();
+        metrics.run_shards.add(tasks.len() as u64);
         let shard_results: Vec<ShardOut> = self.parallel_indexed(tasks.len(), |t| {
             let (u, s) = tasks[t];
             let unit = &units[u];
@@ -261,6 +294,7 @@ impl Engine {
                 timing_bits,
             });
         }
+        metrics.run_ns.observe_since(started);
         results
     }
 
@@ -352,6 +386,8 @@ impl Engine {
         T: Send,
         F: Fn(RunUnit<'_>) -> T + Sync,
     {
+        let metrics = engine_metrics();
+        metrics.points_mapped.add(points.len() as u64);
         self.parallel_indexed(points.len(), |i| {
             let (design, cpr) = points[i];
             catch_unwind(AssertUnwindSafe(|| {
@@ -365,7 +401,10 @@ impl Engine {
                     inputs: &workload.inputs,
                 })
             }))
-            .map_err(|payload| panic_message(payload.as_ref()))
+            .map_err(|payload| {
+                metrics.point_panics.inc();
+                panic_message(payload.as_ref())
+            })
         })
     }
 

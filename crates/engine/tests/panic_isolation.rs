@@ -10,9 +10,18 @@ use std::sync::Arc;
 
 use isa_core::{paper_designs, Design, IsaConfig};
 use isa_engine::{ArtifactCache, Engine, ExperimentConfig, WorkloadSpec};
+use isa_obs::Registry;
 
 fn design(q: &str) -> Design {
     Design::Isa(q.parse::<IsaConfig>().unwrap())
+}
+
+/// Reads one `engine.cache.*` counter out of a scoped registry.
+fn cache_count(registry: &Registry, which: &str) -> u64 {
+    registry
+        .snapshot()
+        .counter(&format!("engine.cache.{which}"))
+        .unwrap_or(0)
 }
 
 /// One panicking evaluator among many healthy ones: the panicking point
@@ -51,7 +60,8 @@ fn panicking_point_fails_alone() {
 /// cache and builds cleanly.
 #[test]
 fn panicked_build_does_not_poison_the_cache() {
-    let cache = Arc::new(ArtifactCache::new());
+    let registry = Registry::new();
+    let cache = Arc::new(ArtifactCache::new_in(&registry));
     let engine = Engine::with_cache(2, Arc::clone(&cache));
     let config = ExperimentConfig::default();
     let d = design("(8,2,1,4)");
@@ -77,6 +87,13 @@ fn panicked_build_does_not_poison_the_cache() {
 
     // And the failed evaluation left at most the one Ready slot behind.
     assert!(cache.len() <= 1);
+
+    // The metrics agree: the *build* itself succeeded exactly once (the
+    // evaluator panicked, not the build), and the post-mortem fetch hit.
+    assert_eq!(cache_count(&registry, "misses"), 1);
+    assert_eq!(cache_count(&registry, "build_panics"), 0);
+    assert_eq!(cache_count(&registry, "failed_builds"), 0);
+    assert!(cache_count(&registry, "hits") >= 1, "second fetch must hit");
 }
 
 /// Ten threads hammer a cache slot whose first build panics (via an
@@ -85,7 +102,8 @@ fn panicked_build_does_not_poison_the_cache() {
 /// gets the error, and the slot is empty afterwards.
 #[test]
 fn failed_builds_wake_every_waiter() {
-    let cache = Arc::new(ArtifactCache::new());
+    let registry = Registry::new();
+    let cache = Arc::new(ArtifactCache::new_in(&registry));
     let config = ExperimentConfig {
         period_ps: 50.0, // infeasible for a 32-bit adder
         ..ExperimentConfig::default()
@@ -104,4 +122,60 @@ fn failed_builds_wake_every_waiter() {
         }
     });
     assert_eq!(cache.len(), 0, "failed builds leave no slot behind");
+
+    // Every thread can only return through its own failed build (a
+    // waiter woken to an Empty slot loops and builds it itself), so the
+    // failed-build counter lands on exactly the thread count.
+    assert_eq!(cache_count(&registry, "failed_builds"), 10);
+    assert_eq!(cache_count(&registry, "misses"), 10);
+    assert_eq!(cache_count(&registry, "hits"), 0);
+    assert_eq!(cache_count(&registry, "evictions"), 0);
+}
+
+/// The LRU blind spot, closed: a bounded cache's evictions are counted,
+/// and the counts line up exactly with the cache's visible behavior.
+#[test]
+fn evictions_and_failed_builds_are_counted_exactly() {
+    let registry = Registry::new();
+    let cache = ArtifactCache::bounded_in(2, &registry);
+    let config = ExperimentConfig::default();
+    let designs = [
+        design("(8,2,1,4)"),
+        design("(8,1,1,4)"),
+        design("(8,4,2,8)"),
+    ];
+
+    // Three builds through a capacity-2 LRU: exactly one eviction.
+    for d in &designs {
+        let _ctx = cache.try_context(d, &config).expect("feasible design");
+    }
+    assert_eq!(cache.len(), 2);
+    assert_eq!(cache_count(&registry, "misses"), 3);
+    assert_eq!(cache_count(&registry, "evictions"), 1);
+    assert_eq!(cache_count(&registry, "hits"), 0);
+
+    // The victim was the least recently used: re-fetching it is a miss
+    // (a rebuild evicting the next victim), re-fetching the newest hits.
+    let _again = cache.try_context(&designs[2], &config).expect("resident");
+    assert_eq!(cache_count(&registry, "hits"), 1);
+    let _rebuilt = cache.try_context(&designs[0], &config).expect("rebuild");
+    assert_eq!(cache_count(&registry, "misses"), 4);
+    assert_eq!(cache_count(&registry, "evictions"), 2);
+
+    // A failed build counts as a miss + failed_build, never an eviction.
+    let infeasible = ExperimentConfig {
+        period_ps: 50.0,
+        ..ExperimentConfig::default()
+    };
+    assert!(cache.try_context(&designs[0], &infeasible).is_err());
+    assert_eq!(cache_count(&registry, "failed_builds"), 1);
+    assert_eq!(cache_count(&registry, "misses"), 5);
+    assert_eq!(cache_count(&registry, "evictions"), 2);
+
+    // Build latency was recorded for every *successful* build only.
+    let snapshot = registry.snapshot();
+    let build_ns = snapshot
+        .histogram("engine.cache.build_ns")
+        .expect("registered");
+    assert_eq!(build_ns.count(), 4, "one observation per successful build");
 }

@@ -1,0 +1,70 @@
+//! `trace-summary` — fold a JSONL span trace into a profile table.
+//!
+//! ```text
+//! trace-summary <trace.jsonl> [--top N]
+//! ```
+//!
+//! Reads the trace written by `isa-serve --trace <path>` (or any sink
+//! installed through `isa_obs::trace`) and prints per-span-name rows:
+//! count, total time, self time (total minus direct children) and the
+//! longest single span, sorted by total time.
+
+use std::process::ExitCode;
+
+use isa_obs::profile::{fold, parse_trace, render_table};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: trace-summary <trace.jsonl> [--top N]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut top = usize::MAX;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--top" => {
+                let Some(n) = iter.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                top = n;
+            }
+            "--help" | "-h" => return usage(),
+            _ if path.is_none() => path = Some(arg.clone()),
+            _ => return usage(),
+        }
+    }
+    let Some(path) = path else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("trace-summary: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = match parse_trace(&text) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("trace-summary: malformed trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut rows = fold(&events);
+    let names = rows.len();
+    rows.truncate(top);
+    print!("{}", render_table(&rows));
+    println!(
+        "{} spans, {names} distinct names{}",
+        events.len(),
+        if rows.len() < names {
+            format!(" (top {} shown)", rows.len())
+        } else {
+            String::new()
+        }
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,39 @@
+//! `isa-obs` — the zero-dependency observability spine.
+//!
+//! Everything the rest of the workspace needs to *see itself run*, with
+//! no external crates and no unsafe code:
+//!
+//! - [`metrics`] — lock-free counters, gauges and log₂ latency
+//!   histograms behind a named [`Registry`]; snapshots never tear
+//!   (histogram totals derive from the bucket reads themselves).
+//! - [`trace`] — RAII spans over a thread-local stack, written as
+//!   structured JSONL with parent links and monotonic timestamps.
+//! - [`logger`] — a rate-limited structured [`Logger`] replacing
+//!   ad-hoc `eprintln!` call sites.
+//! - [`export`] — Prometheus-style text exposition (render, strict
+//!   parse, atomic file write, periodic [`export::Flusher`]) and the
+//!   JSON snapshot form.
+//! - [`profile`] — folds a JSONL trace into a per-span self/total-time
+//!   table (the `trace-summary` bin).
+//! - [`json`] — the hand-rolled JSON value shared by all of the above
+//!   (and re-exported by `isa-serve` for its wire protocol).
+//!
+//! The cardinal rule, enforced by the serve chaos battery: observability
+//! is **strictly out-of-band**. Instrumentation may never change
+//! response bytes, orderings, or stored artifacts — with metrics and
+//! tracing on or off, hot or cold, under faults or not.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod json;
+pub mod logger;
+pub mod metrics;
+pub mod profile;
+pub mod trace;
+
+pub use json::Json;
+pub use logger::{Level, Logger};
+pub use metrics::{global, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
+pub use trace::{span, Span};

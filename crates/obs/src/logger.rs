@@ -1,0 +1,260 @@
+//! A rate-limited structured logger (the replacement for ad-hoc
+//! `eprintln!` lines).
+//!
+//! Every emitted line is one JSON object:
+//!
+//! ```json
+//! {"ts_ms":1754640000123,"level":"warn","target":"isa-serve","msg":"..."}
+//! ```
+//!
+//! Behaviors the serve layer depends on:
+//!
+//! - **quiet mode** drops `info` and `warn`, never `error` — the same
+//!   contract the old `--quiet` flag had;
+//! - **rate limiting**: at most `rate_per_window` non-error lines per
+//!   one-second window. Excess lines are counted, and the count is
+//!   reported in a single summary line when the window rolls, so a
+//!   fault storm cannot flood stderr yet is never silently invisible;
+//! - the writer is injectable for tests (stderr by default).
+//!
+//! Timestamps are wall-clock milliseconds (logs are for humans and log
+//! shippers; monotonic time lives in [`crate::trace`]).
+
+use std::io::{self, Write};
+use std::sync::Mutex;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use crate::json::Json;
+
+/// Log severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Level {
+    /// Routine operational notes.
+    Info,
+    /// Unexpected but handled conditions.
+    Warn,
+    /// Failures (never suppressed, even under `quiet`).
+    Error,
+}
+
+impl Level {
+    fn label(self) -> &'static str {
+        match self {
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// The rate-limit window length.
+const WINDOW: Duration = Duration::from_secs(1);
+
+struct LoggerState {
+    window_start: Option<Instant>,
+    emitted_in_window: u32,
+    suppressed_in_window: u64,
+    writer: Box<dyn Write + Send>,
+}
+
+/// A structured, rate-limited logger for one target (component name).
+pub struct Logger {
+    target: String,
+    quiet: bool,
+    rate_per_window: u32,
+    state: Mutex<LoggerState>,
+}
+
+impl std::fmt::Debug for Logger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Logger")
+            .field("target", &self.target)
+            .field("quiet", &self.quiet)
+            .field("rate_per_window", &self.rate_per_window)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Logger {
+    /// A logger writing JSON lines to stderr, not quiet, limited to 32
+    /// non-error lines per second.
+    #[must_use]
+    pub fn new(target: &str) -> Self {
+        Self {
+            target: target.to_owned(),
+            quiet: false,
+            rate_per_window: 32,
+            state: Mutex::new(LoggerState {
+                window_start: None,
+                emitted_in_window: 0,
+                suppressed_in_window: 0,
+                writer: Box::new(io::stderr()),
+            }),
+        }
+    }
+
+    /// Sets quiet mode: `info` and `warn` are dropped, `error` still
+    /// emits.
+    #[must_use]
+    pub fn quiet(mut self, quiet: bool) -> Self {
+        self.quiet = quiet;
+        self
+    }
+
+    /// Sets the per-second cap on non-error lines (minimum 1).
+    #[must_use]
+    pub fn rate_per_sec(mut self, rate: u32) -> Self {
+        self.rate_per_window = rate.max(1);
+        self
+    }
+
+    /// Redirects output (tests; stderr by default).
+    #[must_use]
+    pub fn writer(self, writer: Box<dyn Write + Send>) -> Self {
+        self.state.lock().expect("logger lock").writer = writer;
+        self
+    }
+
+    /// Logs at [`Level::Info`].
+    pub fn info(&self, msg: &str) {
+        self.emit(Level::Info, msg);
+    }
+
+    /// Logs at [`Level::Warn`].
+    pub fn warn(&self, msg: &str) {
+        self.emit(Level::Warn, msg);
+    }
+
+    /// Logs at [`Level::Error`] (never rate-limited or quieted).
+    pub fn error(&self, msg: &str) {
+        self.emit(Level::Error, msg);
+    }
+
+    fn emit(&self, level: Level, msg: &str) {
+        if self.quiet && level != Level::Error {
+            return;
+        }
+        let mut state = self.state.lock().expect("logger lock");
+        let now = Instant::now();
+        let rolled = state
+            .window_start
+            .is_none_or(|start| now.duration_since(start) >= WINDOW);
+        if rolled {
+            if state.suppressed_in_window > 0 {
+                let summary = format!(
+                    "rate limit: suppressed {} log lines in the last window",
+                    state.suppressed_in_window
+                );
+                write_line(&mut state, Level::Warn, &self.target, &summary);
+            }
+            state.window_start = Some(now);
+            state.emitted_in_window = 0;
+            state.suppressed_in_window = 0;
+        }
+        if level != Level::Error && state.emitted_in_window >= self.rate_per_window {
+            state.suppressed_in_window += 1;
+            return;
+        }
+        state.emitted_in_window += 1;
+        write_line(&mut state, level, &self.target, msg);
+    }
+}
+
+fn write_line(state: &mut LoggerState, level: Level, target: &str, msg: &str) {
+    let ts_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX));
+    let line = Json::Obj(vec![
+        ("ts_ms".to_owned(), Json::Num(ts_ms as f64)),
+        ("level".to_owned(), Json::Str(level.label().to_owned())),
+        ("target".to_owned(), Json::Str(target.to_owned())),
+        ("msg".to_owned(), Json::Str(msg.to_owned())),
+    ]);
+    let _ = writeln!(state.writer, "{}", line.render());
+    let _ = state.writer.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[derive(Clone, Default)]
+    struct Capture(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl Capture {
+        fn lines(&self) -> Vec<Json> {
+            let bytes = self.0.lock().unwrap().clone();
+            String::from_utf8(bytes)
+                .unwrap()
+                .lines()
+                .map(|l| Json::parse(l).expect("structured log line"))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn quiet_drops_info_and_warn_but_not_error() {
+        let cap = Capture::default();
+        let log = Logger::new("t").quiet(true).writer(Box::new(cap.clone()));
+        log.info("a");
+        log.warn("b");
+        log.error("c");
+        let lines = cap.lines();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].get("level").and_then(Json::as_str), Some("error"));
+        assert_eq!(lines[0].get("msg").and_then(Json::as_str), Some("c"));
+        assert_eq!(lines[0].get("target").and_then(Json::as_str), Some("t"));
+    }
+
+    #[test]
+    fn bursts_are_capped_but_errors_pass() {
+        let cap = Capture::default();
+        let log = Logger::new("t")
+            .rate_per_sec(5)
+            .writer(Box::new(cap.clone()));
+        for i in 0..100 {
+            log.info(&format!("line {i}"));
+        }
+        log.error("must pass");
+        let lines = cap.lines();
+        // 5 info lines + the error; the suppression summary only appears
+        // once the window rolls.
+        assert_eq!(lines.len(), 6);
+        assert_eq!(
+            lines.last().unwrap().get("msg").and_then(Json::as_str),
+            Some("must pass")
+        );
+    }
+
+    #[test]
+    fn suppression_is_reported_when_the_window_rolls() {
+        let cap = Capture::default();
+        let log = Logger::new("t")
+            .rate_per_sec(1)
+            .writer(Box::new(cap.clone()));
+        log.info("first");
+        log.info("second"); // suppressed
+        log.info("third"); // suppressed
+        std::thread::sleep(WINDOW + Duration::from_millis(50));
+        log.info("fresh window");
+        let lines = cap.lines();
+        assert_eq!(lines.len(), 3);
+        let summary = lines[1].get("msg").and_then(Json::as_str).unwrap();
+        assert!(summary.contains("suppressed 2"), "{summary}");
+        assert_eq!(
+            lines[2].get("msg").and_then(Json::as_str),
+            Some("fresh window")
+        );
+    }
+}

@@ -1,0 +1,469 @@
+//! Lock-free metric primitives and the registry that names them.
+//!
+//! Three instrument kinds, all cheap enough for per-request hot paths:
+//!
+//! - [`Counter`] — a monotonic `u64`; one relaxed `fetch_add` per bump.
+//! - [`Gauge`] — a signed level (queue depth, in-flight computations).
+//! - [`Histogram`] — fixed log₂ buckets over `u64` observations
+//!   (nanoseconds by convention), each bucket an atomic, plus a
+//!   saturating overflow bucket. No locks, no allocation per observe.
+//!
+//! Handles are `Arc`-backed clones of the registered instrument: bumping
+//! a clone bumps the shared cell, so call sites keep a handle instead of
+//! re-resolving names. A [`Registry`] locks only at registration (a
+//! `Mutex<BTreeMap>` walked once per `counter()`/`gauge()`/`histogram()`
+//! call); the instruments themselves never lock.
+//!
+//! [`Snapshot`]s are taken with relaxed per-cell reads. A histogram
+//! snapshot's `count()` is *derived from the bucket reads themselves*,
+//! so "sum of parts == total" holds by construction even while other
+//! threads bump concurrently — a snapshot can lag, but it can never
+//! tear. The `sum` field is tracked in a separate atomic and is
+//! therefore only approximately consistent with the buckets under
+//! concurrent writes; it is exact once writers quiesce.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Number of finite histogram buckets: bucket `i` covers observations
+/// `v` with `2^(i-1) < v <= 2^i` (bucket 0 covers `v <= 1`). One extra
+/// saturating overflow bucket follows for `v > 2^(BUCKETS-1)`.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A monotonic counter handle. Clones share the same cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates an unregistered counter (tests, ad-hoc use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge handle (a level, not a rate). Clones share the cell.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Creates an unregistered gauge.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sets the level.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The shared cells of one histogram: `HISTOGRAM_BUCKETS` finite
+/// buckets, one overflow bucket, and a running sum.
+#[derive(Debug)]
+struct HistogramCells {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS + 1],
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket log₂ latency histogram handle. Bucket upper edges are
+/// `1, 2, 4, …, 2^39` (nanoseconds by convention: edge 39 is ≈ 9.2
+/// minutes); larger observations saturate into the overflow bucket.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCells>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self(Arc::new(HistogramCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }))
+    }
+}
+
+/// The bucket an observation lands in: the smallest `i` with
+/// `value <= 2^i`, saturated to the overflow bucket.
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    if value <= 1 {
+        0
+    } else {
+        ((64 - (value - 1).leading_zeros()) as usize).min(HISTOGRAM_BUCKETS)
+    }
+}
+
+/// The inclusive upper edge of finite bucket `i`, or `None` for the
+/// overflow bucket.
+#[must_use]
+pub fn bucket_upper_edge(i: usize) -> Option<u64> {
+    (i < HISTOGRAM_BUCKETS).then(|| 1u64 << i)
+}
+
+impl Histogram {
+    /// Creates an unregistered histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        self.0.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records the elapsed nanoseconds since `start` (saturated to
+    /// `u64`), returning the observed value.
+    pub fn observe_since(&self, start: Instant) -> u64 {
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.observe(ns);
+        ns
+    }
+
+    /// A point-in-time copy of the buckets and sum.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .0
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.0.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time histogram copy. `count()` derives from the buckets,
+/// so a snapshot is internally consistent even under concurrent bumps.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (`HISTOGRAM_BUCKETS` finite buckets
+    /// followed by the overflow bucket).
+    pub buckets: Vec<u64>,
+    /// Sum of all observed values (approximate while writers are live).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total observations — the sum of the bucket counts in this
+    /// snapshot, never a separately-read (tearable) total.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Merges another snapshot into this one bucketwise.
+    pub fn absorb(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+    }
+}
+
+/// A named-instrument registry. Registration is get-or-create: asking
+/// for an existing name returns a handle to the *same* cells, so
+/// independent subsystems can share an instrument by name.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// `true` when `name` is a well-formed metric name: non-empty, ASCII
+/// lowercase alphanumerics separated by `.`, `_` or `-`.
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || matches!(c, '.' | '_' | '-'))
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gets or registers the counter `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed name (names are compile-time constants at
+    /// every call site; a typo should fail loudly, not export garbage).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        self.inner
+            .lock()
+            .expect("metric registry lock")
+            .counters
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// Gets or registers the gauge `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed name.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        self.inner
+            .lock()
+            .expect("metric registry lock")
+            .gauges
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// Gets or registers the histogram `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Histogram {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        self.inner
+            .lock()
+            .expect("metric registry lock")
+            .histograms
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// A point-in-time snapshot of every registered instrument, sorted
+    /// by name.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().expect("metric registry lock");
+        Snapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(name, c)| (name.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(name, g)| (name.clone(), g.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(name, h)| (name.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a registry's instruments, sorted by name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, level)` for every gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, snapshot)` for every histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Merges another snapshot into this one: same-named counters and
+    /// gauges sum, same-named histograms merge bucketwise, and the
+    /// result stays sorted by name.
+    #[must_use]
+    pub fn merge(self, other: Snapshot) -> Snapshot {
+        let mut counters: BTreeMap<String, u64> = self.counters.into_iter().collect();
+        for (name, v) in other.counters {
+            *counters.entry(name).or_insert(0) += v;
+        }
+        let mut gauges: BTreeMap<String, i64> = self.gauges.into_iter().collect();
+        for (name, v) in other.gauges {
+            *gauges.entry(name).or_insert(0) += v;
+        }
+        let mut histograms: BTreeMap<String, HistogramSnapshot> =
+            self.histograms.into_iter().collect();
+        for (name, h) in other.histograms {
+            histograms.entry(name).or_default().absorb(&h);
+        }
+        Snapshot {
+            counters: counters.into_iter().collect(),
+            gauges: gauges.into_iter().collect(),
+            histograms: histograms.into_iter().collect(),
+        }
+    }
+
+    /// The value of counter `name`, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The level of gauge `name`, if present.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The snapshot of histogram `name`, if present.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+/// The process-wide registry. Deep subsystems (the engine, the filtered
+/// backend) register here; components with per-instance scoping needs
+/// (one `Service` per test) carry their own [`Registry`] and merge the
+/// global snapshot in at export time.
+#[must_use]
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_maps_edges_exactly() {
+        // Bucket 0 holds 0 and 1; bucket i holds (2^(i-1), 2^i].
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        for i in 1..HISTOGRAM_BUCKETS {
+            let edge = 1u64 << i;
+            // At the edge: in bucket i. One above: in bucket i+1 (or
+            // overflow). One below (the previous edge + 1): also bucket i.
+            assert_eq!(bucket_index(edge), i, "at edge 2^{i}");
+            assert_eq!(bucket_index(edge / 2 + 1), i, "just above edge 2^{}", i - 1);
+            let above = bucket_index(edge + 1);
+            assert_eq!(above, (i + 1).min(HISTOGRAM_BUCKETS), "just above 2^{i}");
+        }
+        // Everything past the last finite edge saturates.
+        assert_eq!(bucket_index(1 << HISTOGRAM_BUCKETS), HISTOGRAM_BUCKETS);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS);
+    }
+
+    #[test]
+    fn histogram_observations_land_where_the_index_says() {
+        let h = Histogram::new();
+        let values = [0u64, 1, 2, 3, 4, 1023, 1024, 1025, u64::MAX];
+        for &v in &values {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), values.len() as u64);
+        assert_eq!(snap.buckets[0], 2); // 0, 1
+        assert_eq!(snap.buckets[1], 1); // 2
+        assert_eq!(snap.buckets[2], 2); // 3, 4
+        assert_eq!(snap.buckets[10], 2); // 1023, 1024
+        assert_eq!(snap.buckets[11], 1); // 1025
+        assert_eq!(snap.buckets[HISTOGRAM_BUCKETS], 1); // u64::MAX
+        let finite_sum: u64 = values[..values.len() - 1].iter().sum();
+        assert_eq!(snap.sum, finite_sum.wrapping_add(u64::MAX));
+    }
+
+    #[test]
+    fn registry_returns_shared_handles() {
+        let reg = Registry::new();
+        let a = reg.counter("x.hits");
+        let b = reg.counter("x.hits");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.snapshot().counter("x.hits"), Some(3));
+        let g = reg.gauge("x.depth");
+        g.add(5);
+        g.dec();
+        assert_eq!(reg.snapshot().gauge("x.depth"), Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn malformed_names_are_rejected() {
+        let _ = Registry::new().counter("Bad Name!");
+    }
+
+    #[test]
+    fn merge_sums_and_absorbs() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("shared").add(2);
+        b.counter("shared").add(3);
+        a.counter("only_a").inc();
+        b.gauge("depth").set(7);
+        a.histogram("lat").observe(4);
+        b.histogram("lat").observe(1 << 20);
+        let merged = a.snapshot().merge(b.snapshot());
+        assert_eq!(merged.counter("shared"), Some(5));
+        assert_eq!(merged.counter("only_a"), Some(1));
+        assert_eq!(merged.gauge("depth"), Some(7));
+        let h = merged.histogram("lat").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum, 4 + (1 << 20));
+    }
+}

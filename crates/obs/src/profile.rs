@@ -1,0 +1,222 @@
+//! Folding a JSONL trace into a per-span-name profile.
+//!
+//! The `trace-summary` bin (and tests) parse the span records emitted
+//! by [`crate::trace`] and aggregate them by span name into **total**
+//! time (the span's own duration) and **self** time (total minus the
+//! durations of its direct children), the two columns a flat profile
+//! needs to answer "where did the time actually go".
+
+use std::collections::HashMap;
+
+use crate::json::Json;
+
+/// One parsed span record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanEvent {
+    /// Span name (the aggregation key).
+    pub name: String,
+    /// Process-unique span id.
+    pub id: u64,
+    /// Parent span id, if the span was nested.
+    pub parent: Option<u64>,
+    /// Per-thread ordinal the span ran on.
+    pub thread: u64,
+    /// Microseconds since the process trace epoch at open.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// Parses a JSONL trace into span events.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line; lines with
+/// `kind != "span"` are skipped, not errors (the format is open to
+/// other record kinds).
+pub fn parse_trace(text: &str) -> Result<Vec<SpanEvent>, String> {
+    let mut events = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = Json::parse(line).map_err(|e| format!("line {line_no}: {e}"))?;
+        if v.get("kind").and_then(Json::as_str) != Some("span") {
+            continue;
+        }
+        let field_u64 = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or(format!("line {line_no}: missing or invalid {key:?}"))
+        };
+        let parent = match v.get("parent") {
+            None | Some(Json::Null) => None,
+            Some(p) => Some(
+                p.as_u64()
+                    .ok_or(format!("line {line_no}: invalid \"parent\""))?,
+            ),
+        };
+        events.push(SpanEvent {
+            name: v
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or(format!("line {line_no}: missing or invalid \"name\""))?
+                .to_owned(),
+            id: field_u64("id")?,
+            parent,
+            thread: field_u64("thread")?,
+            start_us: field_u64("start_us")?,
+            dur_us: field_u64("dur_us")?,
+        });
+    }
+    Ok(events)
+}
+
+/// One aggregated profile row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProfileRow {
+    /// Span name.
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Sum of span durations, µs.
+    pub total_us: u64,
+    /// Sum of durations minus direct children's durations, µs
+    /// (saturating: clock granularity can make children appear longer
+    /// than their parent).
+    pub self_us: u64,
+    /// Longest single span, µs.
+    pub max_us: u64,
+}
+
+/// Folds span events into per-name rows, sorted by descending total
+/// time (name as the tiebreak).
+#[must_use]
+pub fn fold(events: &[SpanEvent]) -> Vec<ProfileRow> {
+    let mut child_time: HashMap<u64, u64> = HashMap::new();
+    for event in events {
+        if let Some(parent) = event.parent {
+            *child_time.entry(parent).or_insert(0) += event.dur_us;
+        }
+    }
+    let mut rows: HashMap<&str, ProfileRow> = HashMap::new();
+    for event in events {
+        let row = rows.entry(&event.name).or_insert_with(|| ProfileRow {
+            name: event.name.clone(),
+            count: 0,
+            total_us: 0,
+            self_us: 0,
+            max_us: 0,
+        });
+        row.count += 1;
+        row.total_us += event.dur_us;
+        row.self_us += event
+            .dur_us
+            .saturating_sub(child_time.get(&event.id).copied().unwrap_or(0));
+        row.max_us = row.max_us.max(event.dur_us);
+    }
+    let mut rows: Vec<ProfileRow> = rows.into_values().collect();
+    rows.sort_by(|a, b| {
+        b.total_us
+            .cmp(&a.total_us)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    rows
+}
+
+/// Renders rows as a fixed-width text table.
+#[must_use]
+pub fn render_table(rows: &[ProfileRow]) -> String {
+    use std::fmt::Write as _;
+    let name_width = rows
+        .iter()
+        .map(|r| r.name.len())
+        .max()
+        .unwrap_or(4)
+        .max("span".len());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<name_width$}  {:>8}  {:>12}  {:>12}  {:>10}",
+        "span", "count", "total_ms", "self_ms", "max_ms"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<name_width$}  {:>8}  {:>12.3}  {:>12.3}  {:>10.3}",
+            row.name,
+            row.count,
+            row.total_us as f64 / 1000.0,
+            row.self_us as f64 / 1000.0,
+            row.max_us as f64 / 1000.0,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(name: &str, id: u64, parent: Option<u64>, dur_us: u64) -> SpanEvent {
+        SpanEvent {
+            name: name.to_owned(),
+            id,
+            parent,
+            thread: 1,
+            start_us: 0,
+            dur_us,
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children_only() {
+        // request(100) > eval(60) > build(20): request self = 40 (only
+        // eval is a direct child), eval self = 40, build self = 20.
+        let events = [
+            event("request", 1, None, 100),
+            event("eval", 2, Some(1), 60),
+            event("build", 3, Some(2), 20),
+        ];
+        let rows = fold(&events);
+        let by_name = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+        assert_eq!(by_name("request").self_us, 40);
+        assert_eq!(by_name("eval").self_us, 40);
+        assert_eq!(by_name("build").self_us, 20);
+        // Sorted by total descending.
+        assert_eq!(rows[0].name, "request");
+    }
+
+    #[test]
+    fn aggregation_counts_and_maxima() {
+        let events = [
+            event("req", 1, None, 10),
+            event("req", 2, None, 30),
+            event("req", 3, None, 20),
+        ];
+        let rows = fold(&events);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].count, 3);
+        assert_eq!(rows[0].total_us, 60);
+        assert_eq!(rows[0].self_us, 60);
+        assert_eq!(rows[0].max_us, 30);
+    }
+
+    #[test]
+    fn parse_trace_round_trips_real_records() {
+        let text = concat!(
+            r#"{"kind":"span","name":"a","id":1,"parent":null,"thread":1,"start_us":5,"dur_us":9}"#,
+            "\n",
+            r#"{"kind":"other","ignored":true}"#,
+            "\n",
+            r#"{"kind":"span","name":"b","id":2,"parent":1,"thread":1,"start_us":6,"dur_us":3}"#,
+            "\n",
+        );
+        let events = parse_trace(text).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].parent, None);
+        assert_eq!(events[1].parent, Some(1));
+        assert!(parse_trace("not json\n").is_err());
+    }
+}

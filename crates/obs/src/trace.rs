@@ -1,0 +1,177 @@
+//! A lightweight span layer writing structured JSONL to a global sink.
+//!
+//! A [`Span`] is an RAII guard: [`span("name")`](span) opens it, the
+//! drop closes it and appends one JSON line to the installed sink:
+//!
+//! ```json
+//! {"kind":"span","name":"serve.request","id":7,"parent":3,
+//!  "thread":1,"start_us":10522,"dur_us":1834}
+//! ```
+//!
+//! Parent links come from a **thread-local span stack**: the span open
+//! at the top of the current thread's stack when a new span opens
+//! becomes its parent, so nesting falls out of ordinary scoping with no
+//! global coordination. Span ids are process-unique; `thread` is a
+//! small dense per-thread ordinal (the OS thread id is not exposed as
+//! an integer on stable). Timestamps are **monotonic** (`Instant`
+//! against a process epoch), never wall-clock, so spans are immune to
+//! clock steps.
+//!
+//! When no sink is installed ([`enabled`] is `false`) a span is a
+//! no-op guard: no allocation, no stack push, no lock. Tracing is
+//! therefore safe to leave compiled into every hot path — the
+//! out-of-band invariant (identical response bytes with tracing on or
+//! off) is checked by the serve chaos battery.
+
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::Json;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ORDINAL: AtomicU64 = AtomicU64::new(1);
+static SINK: Mutex<Option<Box<dyn Write + Send>>> = Mutex::new(None);
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static THREAD_ORDINAL: u64 = NEXT_THREAD_ORDINAL.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The process trace epoch: all `start_us` values are relative to the
+/// first call (made eagerly by [`install_writer`]).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// `true` while a sink is installed. One relaxed load — the fast path
+/// of every [`span`] call.
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs `writer` as the global span sink and enables tracing.
+/// Replaces (and flushes) any previous sink.
+pub fn install_writer(writer: Box<dyn Write + Send>) {
+    let _ = epoch();
+    let mut sink = SINK.lock().expect("trace sink lock");
+    if let Some(old) = sink.as_mut() {
+        let _ = old.flush();
+    }
+    *sink = Some(writer);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Opens `path` (truncating) and installs it as the span sink.
+///
+/// # Errors
+///
+/// Returns the error if the file cannot be created.
+pub fn install_file(path: &Path) -> io::Result<()> {
+    let file = File::create(path)?;
+    install_writer(Box::new(BufWriter::new(file)));
+    Ok(())
+}
+
+/// Disables tracing and removes the sink, flushing it first. A no-op
+/// when no sink is installed.
+pub fn uninstall() {
+    ENABLED.store(false, Ordering::Relaxed);
+    let mut sink = SINK.lock().expect("trace sink lock");
+    if let Some(mut old) = sink.take() {
+        let _ = old.flush();
+    }
+}
+
+/// Flushes the sink, if one is installed.
+pub fn flush() {
+    if let Some(w) = SINK.lock().expect("trace sink lock").as_mut() {
+        let _ = w.flush();
+    }
+}
+
+/// An open span. Closing (dropping) it emits the JSONL record. Spans
+/// must be dropped in the reverse order they were opened within one
+/// thread (ordinary scoping guarantees this).
+#[must_use = "a span measures the scope it lives in; dropping it immediately records nothing useful"]
+#[derive(Debug)]
+pub struct Span {
+    /// `None` when tracing was disabled at open time (no-op guard).
+    live: Option<LiveSpan>,
+}
+
+#[derive(Debug)]
+struct LiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    start: Instant,
+    start_us: u64,
+    thread: u64,
+}
+
+/// Opens a span named `name` parented to the current thread's innermost
+/// open span. When tracing is disabled this is one atomic load.
+pub fn span(name: &str) -> Span {
+    if !enabled() {
+        return Span { live: None };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().copied();
+        stack.push(id);
+        parent
+    });
+    let start = Instant::now();
+    let start_us = u64::try_from(start.duration_since(epoch()).as_micros()).unwrap_or(u64::MAX);
+    Span {
+        live: Some(LiveSpan {
+            id,
+            parent,
+            name: name.to_owned(),
+            start,
+            start_us,
+            thread: THREAD_ORDINAL.with(|t| *t),
+        }),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Ordinarily our id is on top; search defensively so one
+            // leaked guard cannot desynchronize the whole thread.
+            if let Some(pos) = stack.iter().rposition(|&id| id == live.id) {
+                stack.remove(pos);
+            }
+        });
+        let dur_us = u64::try_from(live.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let record = Json::Obj(vec![
+            ("kind".to_owned(), Json::Str("span".to_owned())),
+            ("name".to_owned(), Json::Str(live.name)),
+            ("id".to_owned(), Json::Num(live.id as f64)),
+            (
+                "parent".to_owned(),
+                live.parent.map_or(Json::Null, |p| Json::Num(p as f64)),
+            ),
+            ("thread".to_owned(), Json::Num(live.thread as f64)),
+            ("start_us".to_owned(), Json::Num(live.start_us as f64)),
+            ("dur_us".to_owned(), Json::Num(dur_us as f64)),
+        ]);
+        if let Some(w) = SINK.lock().expect("trace sink lock").as_mut() {
+            let _ = writeln!(w, "{}", record.render());
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Span-nesting property test: random open/close sequences (and
+//! multi-threaded nesting) always yield well-parented JSONL — every
+//! record's parent link matches the span that was innermost when it
+//! opened, and parents never cross threads.
+//!
+//! The trace sink is process-global, so every leg runs inside one test
+//! function (this file is its own test binary; other test binaries do
+//! not install sinks).
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+use isa_obs::profile::{parse_trace, SpanEvent};
+use isa_obs::trace;
+
+#[derive(Clone, Default)]
+struct Capture(Arc<Mutex<Vec<u8>>>);
+
+impl Write for Capture {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Capture {
+    fn take_events(&self) -> Vec<SpanEvent> {
+        let bytes = std::mem::take(&mut *self.0.lock().unwrap());
+        parse_trace(std::str::from_utf8(&bytes).unwrap()).expect("well-formed JSONL")
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Drives one random open/close sequence, returning the expected parent
+/// *name* of every opened span (names are unique per run).
+fn random_session(seed: u64, prefix: &str) -> HashMap<String, Option<String>> {
+    let mut rng = seed;
+    let mut guards: Vec<(String, trace::Span)> = Vec::new();
+    let mut expected = HashMap::new();
+    let mut opened = 0u64;
+    for _ in 0..200 {
+        let open = guards.is_empty() || (guards.len() < 12 && xorshift(&mut rng).is_multiple_of(2));
+        if open {
+            let name = format!("{prefix}.s{opened}");
+            opened += 1;
+            expected.insert(name.clone(), guards.last().map(|(n, _)| n.clone()));
+            let span = trace::span(&name);
+            guards.push((name, span));
+        } else {
+            drop(guards.pop());
+        }
+    }
+    while let Some(guard) = guards.pop() {
+        drop(guard);
+    }
+    expected
+}
+
+/// Checks every recorded event against the model: the parent id (if
+/// any) must belong to the expected parent name, and both ends of the
+/// link must be on the same thread.
+fn check_parenting(events: &[SpanEvent], expected: &HashMap<String, Option<String>>) {
+    let by_id: HashMap<u64, &SpanEvent> = events.iter().map(|e| (e.id, e)).collect();
+    for event in events {
+        let Some(want_parent) = expected.get(&event.name) else {
+            continue; // another leg's span
+        };
+        let got_parent = event.parent.map(|pid| {
+            let parent = by_id.get(&pid).expect("parent id must be recorded too");
+            assert_eq!(
+                parent.thread, event.thread,
+                "parent link crosses threads: {} <- {}",
+                parent.name, event.name
+            );
+            assert!(
+                parent.start_us <= event.start_us,
+                "parent {} opened after child {}",
+                parent.name,
+                event.name
+            );
+            parent.name.clone()
+        });
+        assert_eq!(
+            &got_parent, want_parent,
+            "span {} parented to {:?}, expected {:?}",
+            event.name, got_parent, want_parent
+        );
+    }
+}
+
+#[test]
+fn random_open_close_sequences_yield_well_parented_jsonl() {
+    let capture = Capture::default();
+    trace::install_writer(Box::new(capture.clone()));
+
+    // Leg 1: seeded random sequences on one thread.
+    for seed in 1..=20u64 {
+        let expected = random_session(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15), "single");
+        trace::flush();
+        let events = capture.take_events();
+        let ours: Vec<&SpanEvent> = events
+            .iter()
+            .filter(|e| e.name.starts_with("single."))
+            .collect();
+        assert_eq!(ours.len(), expected.len(), "every opened span must record");
+        check_parenting(&events, &expected);
+    }
+
+    // Leg 2: concurrent threads nest independently; stacks are
+    // thread-local, so parent links must never cross threads.
+    let handles: Vec<_> = (0..4u64)
+        .map(|t| std::thread::spawn(move || random_session(0xDEAD_BEEF + t, &format!("thread{t}"))))
+        .collect();
+    let mut expected = HashMap::new();
+    for handle in handles {
+        expected.extend(handle.join().expect("session thread"));
+    }
+    trace::flush();
+    let events = capture.take_events();
+    let ours = events
+        .iter()
+        .filter(|e| e.name.starts_with("thread"))
+        .count();
+    assert_eq!(ours, expected.len());
+    check_parenting(&events, &expected);
+
+    // Leg 3: disabled tracing emits nothing and spans stay no-ops.
+    trace::uninstall();
+    {
+        let _outer = trace::span("disabled.outer");
+        let _inner = trace::span("disabled.inner");
+    }
+    assert!(capture.take_events().is_empty(), "disabled spans recorded");
+    assert!(!trace::enabled());
+}

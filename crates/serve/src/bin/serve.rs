@@ -10,7 +10,8 @@
 //! ```text
 //! isa-serve [--store DIR] [--threads N] [--workers N] [--queue-cap N]
 //!           [--sim-budget ADDS] [--artifact-cap N] [--backend B]
-//!           [--socket PATH] [--quiet]
+//!           [--socket PATH] [--metrics-file PATH] [--metrics-period-ms N]
+//!           [--trace PATH] [--quiet]
 //! ```
 //!
 //! * `--store DIR` — content-addressed on-disk result store (off by
@@ -23,7 +24,16 @@
 //!   `degraded:true` (default: unlimited);
 //! * `--artifact-cap N` — synthesized-design LRU capacity (default 64);
 //! * `--backend B` — `scalar` | `bitsliced` | `filtered` (default);
-//! * `--socket PATH` — serve a Unix socket instead of stdin/stdout.
+//! * `--socket PATH` — serve a Unix socket instead of stdin/stdout;
+//! * `--metrics-file PATH` — atomically rewrite a Prometheus-style text
+//!   exposition of every metric on a period (plus once at exit);
+//! * `--metrics-period-ms N` — exposition rewrite period (default 2000);
+//! * `--trace PATH` — append structured JSONL span events (fold with
+//!   `trace-summary PATH`).
+//!
+//! Observability is strictly out-of-band: response bytes are identical
+//! with or without `--metrics-file`/`--trace` (the chaos battery pins
+//! this).
 //!
 //! Fault injection for chaos testing is env-gated: set
 //! `ISA_SERVE_FAULTS=seed=42,store_read=64,torn=256,panic=8,slow=16`.
@@ -38,7 +48,8 @@ use isa_serve::{serve_lines, FaultPlan, ServeConfig, Service};
 fn usage() -> ! {
     eprintln!(
         "usage: isa-serve [--store DIR] [--threads N] [--workers N] [--queue-cap N] \
-         [--sim-budget ADDS] [--artifact-cap N] [--backend B] [--socket PATH] [--quiet]"
+         [--sim-budget ADDS] [--artifact-cap N] [--backend B] [--socket PATH] \
+         [--metrics-file PATH] [--metrics-period-ms N] [--trace PATH] [--quiet]"
     );
     exit(2);
 }
@@ -73,6 +84,9 @@ fn main() {
         "--artifact-cap",
         "--backend",
         "--socket",
+        "--metrics-file",
+        "--metrics-period-ms",
+        "--trace",
         "--quiet",
     ];
     for a in &args {
@@ -82,6 +96,9 @@ fn main() {
         }
     }
 
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let logger = isa_obs::Logger::new("isa-serve").quiet(quiet);
+
     let mut config = ExperimentConfig::default();
     if let Some(backend) = arg::<isa_engine::SimBackend>(&args, "--backend") {
         config.backend = backend;
@@ -89,7 +106,7 @@ fn main() {
     let faults = match FaultPlan::from_env() {
         Ok(plan) => {
             if plan.is_armed() {
-                eprintln!("[isa-serve] fault injection ARMED via ISA_SERVE_FAULTS");
+                logger.warn("fault injection ARMED via ISA_SERVE_FAULTS");
             }
             plan
         }
@@ -108,11 +125,21 @@ fn main() {
         store_dir: arg::<String>(&args, "--store").map(Into::into),
         config,
         faults,
-        quiet: args.iter().any(|a| a == "--quiet"),
+        quiet,
     };
     let workers: usize = arg(&args, "--workers").unwrap_or(2);
     let queue_cap: usize = arg(&args, "--queue-cap").unwrap_or(64);
     let socket: Option<String> = arg(&args, "--socket");
+    let metrics_file: Option<String> = arg(&args, "--metrics-file");
+    let metrics_period_ms: u64 = arg(&args, "--metrics-period-ms").unwrap_or(2000);
+    let trace_file: Option<String> = arg(&args, "--trace");
+
+    if let Some(path) = &trace_file {
+        if let Err(e) = isa_obs::trace::install_file(std::path::Path::new(path)) {
+            eprintln!("error: cannot open trace file {path}: {e}");
+            exit(1);
+        }
+    }
 
     let service = match Service::new(cfg) {
         Ok(service) => Arc::new(service),
@@ -122,10 +149,27 @@ fn main() {
         }
     };
 
+    // Periodic exposition rewrites; dropping the flusher at exit performs
+    // one final write, so short stdin sessions still leave a fresh file.
+    let _flusher = metrics_file.map(|path| {
+        let producer = Arc::clone(&service);
+        isa_obs::export::Flusher::spawn(
+            std::path::PathBuf::from(path),
+            std::time::Duration::from_millis(metrics_period_ms.max(1)),
+            move || {
+                let merged = producer
+                    .registry()
+                    .snapshot()
+                    .merge(isa_obs::global().snapshot());
+                isa_obs::export::render(&merged)
+            },
+        )
+    });
+
     let result = match socket {
         #[cfg(unix)]
         Some(path) => {
-            eprintln!("[isa-serve] listening on {path}");
+            logger.info(&format!("listening on {path}"));
             isa_serve::serve_unix(&service, std::path::Path::new(&path), workers, queue_cap)
         }
         #[cfg(not(unix))]
@@ -138,6 +182,7 @@ fn main() {
             serve_lines(&service, stdin.lock(), io::stdout(), workers, queue_cap)
         }
     };
+    isa_obs::trace::flush();
     if let Err(e) = result {
         eprintln!("error: {e}");
         exit(1);

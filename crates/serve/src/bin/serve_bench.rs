@@ -16,7 +16,16 @@
 //! different bytes would be worthless.
 //!
 //! Usage: `serve_bench [--cycles N] [--designs N] [--repeat N]
-//! [--min-hot-speedup X] [--json PATH] [--store DIR]`
+//! [--min-hot-speedup X] [--json PATH] [--store DIR] [--metrics-file PATH]`
+//!
+//! The JSON report (schema `isa-serve-bench/v1`, additive fields only)
+//! also records two observability-derived figures: `safe_lane_fraction`
+//! (the filtered backend's fast-path share over the whole run, from the
+//! process-global `sim.filtered.*` counters) and `store_hit_ratio`
+//! (store hits over store lookups). `--metrics-file PATH` additionally
+//! writes the Prometheus-style exposition of the full merged registry
+//! and re-parses it through the strict schema checker, failing the
+//! process on any malformation.
 
 use std::io::Write as _;
 use std::sync::Arc;
@@ -82,6 +91,7 @@ fn main() {
     let repeat: usize = arg(&args, "--repeat").unwrap_or(3);
     let min_hot_speedup: f64 = arg(&args, "--min-hot-speedup").unwrap_or(1.0);
     let json_path: Option<String> = arg(&args, "--json");
+    let metrics_file: Option<String> = arg(&args, "--metrics-file");
     let store_dir: String = arg(&args, "--store").unwrap_or_else(|| {
         std::env::temp_dir()
             .join(format!("isa-serve-bench-{}", std::process::id()))
@@ -114,10 +124,7 @@ fn main() {
         cold_responses, hot_responses,
         "hot responses must be byte-identical to cold"
     );
-    let hits = service
-        .counters()
-        .store_hits
-        .load(std::sync::atomic::Ordering::Relaxed);
+    let hits = service.counters().store_hits.get();
     assert!(
         hits >= (n * repeat) as u64,
         "hot pass must be served from the store (hits={hits})"
@@ -130,13 +137,47 @@ fn main() {
     println!("hot:  {hot_per_pass:.4}s ({hot_qps:.1} q/s)");
     println!("hot speedup: {speedup:.1}x (min {min_hot_speedup})");
 
+    // Observability-derived figures: what fraction of simulated stream
+    // cycles the filtered backend served functionally, and what fraction
+    // of store lookups hit.
+    let global = isa_obs::global().snapshot();
+    let sim_cycles = global.counter("sim.filtered.cycles").unwrap_or(0);
+    let sim_fast = global.counter("sim.filtered.fast_path_cycles").unwrap_or(0);
+    let safe_lane_fraction = if sim_cycles == 0 {
+        0.0
+    } else {
+        sim_fast as f64 / sim_cycles as f64
+    };
+    let misses = service.counters().store_misses.get();
+    let store_hit_ratio = if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    };
+    println!("safe lane fraction: {safe_lane_fraction:.4}");
+    println!("store hit ratio: {store_hit_ratio:.4}");
+
+    if let Some(path) = metrics_file {
+        let merged = service.registry().snapshot().merge(global);
+        let text = isa_obs::export::render(&merged);
+        isa_obs::export::write_atomic(std::path::Path::new(&path), &text)
+            .expect("write metrics exposition");
+        let reread = std::fs::read_to_string(&path).expect("reread metrics exposition");
+        if let Err(e) = isa_obs::export::parse(&reread) {
+            eprintln!("FAIL: metrics exposition failed schema check: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path} (exposition schema ok)");
+    }
+
     let pass = speedup >= min_hot_speedup;
     if let Some(path) = json_path {
         let json = format!(
             "{{\"schema\":\"isa-serve-bench/v1\",\"requests\":{n},\"cycles\":{cycles},\
              \"repeat\":{repeat},\"cold_s\":{cold_s},\"hot_s_per_pass\":{hot_per_pass},\
              \"cold_qps\":{cold_qps},\"hot_qps\":{hot_qps},\"hot_speedup\":{speedup},\
-             \"min_hot_speedup\":{min_hot_speedup},\"pass\":{pass}}}\n"
+             \"min_hot_speedup\":{min_hot_speedup},\"safe_lane_fraction\":{safe_lane_fraction},\
+             \"store_hit_ratio\":{store_hit_ratio},\"pass\":{pass}}}\n"
         );
         let tmp = format!("{path}.tmp");
         let mut f = std::fs::File::create(&tmp).expect("create bench json");

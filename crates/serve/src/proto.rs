@@ -14,7 +14,8 @@
 //! {"op":"cheapest","id":3,"min_quality_db":30,"cpr":0.10,
 //!  "workload":"uniform","cycles":10000}
 //! {"op":"stats","id":4}
-//! {"op":"ping","id":5}
+//! {"op":"metrics","id":5}
+//! {"op":"ping","id":6}
 //! ```
 //!
 //! Stream workloads (`uniform`, `walk`, `sine`, `accumulate`) take
@@ -125,6 +126,10 @@ pub enum Request {
     Cheapest(CheapestQuery),
     /// Service counters (non-deterministic; never stored).
     Stats,
+    /// Full metric-registry snapshot — counters, gauges and latency
+    /// histograms — merged across the service and the process-global
+    /// registry (non-deterministic; never stored).
+    Metrics,
     /// Liveness probe.
     Ping,
 }
@@ -156,6 +161,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, (Json, String)> {
     let request = match op {
         "ping" => Request::Ping,
         "stats" => Request::Stats,
+        "metrics" => Request::Metrics,
         "quality" => {
             let design = parse_design(&value).map_err(&fail)?;
             let cpr = parse_cpr(&value).map_err(&fail)?;

@@ -36,9 +36,11 @@ use std::collections::{BTreeMap, HashMap};
 use std::io::{self, BufRead, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use isa_obs::{Counter, Gauge, Histogram, Logger, Registry};
 
 use isa_core::{
     paper_designs, structural_errors, Adder as _, CombinedErrorStats, Design, ExactAdder,
@@ -95,36 +97,87 @@ impl Default for ServeConfig {
 }
 
 /// Monotonic service counters (the `stats` op; diagnostics only, never
-/// part of a stored payload).
-#[derive(Debug, Default)]
+/// part of a stored payload). Each field is a shared handle into the
+/// service's [`Registry`] under `serve.*`, so the same numbers surface
+/// through the `metrics` op and the Prometheus-style exposition.
+#[derive(Debug)]
 pub struct Counters {
     /// Requests received (including malformed ones).
-    pub requests: AtomicU64,
+    pub requests: Counter,
     /// Store lookups that served a validated record.
-    pub store_hits: AtomicU64,
+    pub store_hits: Counter,
     /// Store lookups that found nothing.
-    pub store_misses: AtomicU64,
+    pub store_misses: Counter,
     /// Store records that failed validation (recomputed, rewritten).
-    pub store_corrupt: AtomicU64,
+    pub store_corrupt: Counter,
     /// Store reads that failed with I/O errors (treated as misses).
-    pub store_read_errors: AtomicU64,
+    pub store_read_errors: Counter,
     /// Store writes that failed (answer served anyway).
-    pub store_write_errors: AtomicU64,
+    pub store_write_errors: Counter,
     /// Requests that waited on an identical in-flight computation.
-    pub coalesced: AtomicU64,
+    pub coalesced: Counter,
     /// Full simulations executed.
-    pub computed: AtomicU64,
+    pub computed: Counter,
     /// Degraded (analytical-bound) answers served.
-    pub degraded: AtomicU64,
+    pub degraded: Counter,
     /// Requests shed at the admission queue.
-    pub shed: AtomicU64,
+    pub shed: Counter,
     /// Evaluations that panicked (isolated to their request).
-    pub eval_panics: AtomicU64,
+    pub eval_panics: Counter,
 }
 
 impl Counters {
-    fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    fn new(registry: &Registry) -> Self {
+        Self {
+            requests: registry.counter("serve.requests"),
+            store_hits: registry.counter("serve.store_hits"),
+            store_misses: registry.counter("serve.store_misses"),
+            store_corrupt: registry.counter("serve.store_corrupt"),
+            store_read_errors: registry.counter("serve.store_read_errors"),
+            store_write_errors: registry.counter("serve.store_write_errors"),
+            coalesced: registry.counter("serve.coalesced"),
+            computed: registry.counter("serve.computed"),
+            degraded: registry.counter("serve.degraded"),
+            shed: registry.counter("serve.shed"),
+            eval_panics: registry.counter("serve.eval_panics"),
+        }
+    }
+}
+
+/// Per-stage latency histograms of the request lifecycle (`serve.*_ns`),
+/// plus the live gauges: admission → coalesce → store → eval → respond.
+#[derive(Debug)]
+struct StageMetrics {
+    /// Whole `answer_line` wall time.
+    request_ns: Histogram,
+    /// Submission-to-worker-pickup wait in the admission queue.
+    admission_wait_ns: Histogram,
+    /// Wait endured by coalesced duplicates for their leader's answer.
+    coalesce_wait_ns: Histogram,
+    /// Result-store lookup latency.
+    store_get_ns: Histogram,
+    /// Leader compute time (simulate or degrade).
+    eval_ns: Histogram,
+    /// Response write+flush latency.
+    respond_ns: Histogram,
+    /// Jobs admitted but not yet picked up by a worker.
+    queue_depth: Gauge,
+    /// Evaluation keys currently in flight (leaders holding a slot).
+    inflight: Gauge,
+}
+
+impl StageMetrics {
+    fn new(registry: &Registry) -> Self {
+        Self {
+            request_ns: registry.histogram("serve.request_ns"),
+            admission_wait_ns: registry.histogram("serve.admission_wait_ns"),
+            coalesce_wait_ns: registry.histogram("serve.coalesce_wait_ns"),
+            store_get_ns: registry.histogram("serve.store_get_ns"),
+            eval_ns: registry.histogram("serve.eval_ns"),
+            respond_ns: registry.histogram("serve.respond_ns"),
+            queue_depth: registry.gauge("serve.queue_depth"),
+            inflight: registry.gauge("serve.inflight"),
+        }
     }
 }
 
@@ -168,7 +221,10 @@ pub struct Service {
     inflight: Mutex<HashMap<String, Arc<InFlight>>>,
     streams: StreamCache,
     kernels: Mutex<HashMap<(String, u64), Arc<KernelData>>>,
+    registry: Registry,
     counters: Counters,
+    stages: StageMetrics,
+    logger: Logger,
 }
 
 impl Service {
@@ -180,13 +236,17 @@ impl Service {
     ///
     /// Returns the I/O error if the store directory cannot be created.
     pub fn new(cfg: ServeConfig) -> io::Result<Self> {
-        let cache = Arc::new(ArtifactCache::bounded(cfg.artifact_cap));
+        let registry = Registry::new();
+        let cache = Arc::new(ArtifactCache::bounded_in(cfg.artifact_cap, &registry));
         let engine = Engine::with_cache(cfg.threads, Arc::clone(&cache));
         let substrate = GateLevelSubstrate::new(engine.cache(), cfg.config.clone());
         let store = match &cfg.store_dir {
             Some(dir) => Some(ResultStore::open(dir)?),
             None => None,
         };
+        let counters = Counters::new(&registry);
+        let stages = StageMetrics::new(&registry);
+        let logger = Logger::new("isa-serve").quiet(cfg.quiet);
         Ok(Self {
             cfg,
             engine,
@@ -195,7 +255,10 @@ impl Service {
             inflight: Mutex::new(HashMap::new()),
             streams: Mutex::new(HashMap::new()),
             kernels: Mutex::new(HashMap::new()),
-            counters: Counters::default(),
+            registry,
+            counters,
+            stages,
+            logger,
         })
     }
 
@@ -205,6 +268,15 @@ impl Service {
         &self.counters
     }
 
+    /// The service's metric registry (`serve.*` plus its artifact cache's
+    /// `engine.cache.*`). Process-wide metrics — the engine run totals,
+    /// the filtered backend — live in [`isa_obs::global`]; the `metrics`
+    /// op merges both views.
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
     /// The configuration answers are computed under.
     #[must_use]
     pub fn config(&self) -> &ExperimentConfig {
@@ -212,9 +284,7 @@ impl Service {
     }
 
     fn log(&self, msg: &str) {
-        if !self.cfg.quiet {
-            eprintln!("[isa-serve] {msg}");
-        }
+        self.logger.warn(msg);
     }
 
     /// Answers one request line with one response line (no trailing
@@ -222,12 +292,15 @@ impl Service {
     /// become error responses.
     #[must_use]
     pub fn answer_line(&self, line: &str) -> String {
-        Counters::bump(&self.counters.requests);
-        let envelope = match parse_request(line) {
-            Ok(envelope) => envelope,
-            Err((id, msg)) => return error_response(&id, false, &msg),
+        let _span = isa_obs::span("serve.request");
+        let started = Instant::now();
+        self.counters.requests.inc();
+        let response = match parse_request(line) {
+            Ok(envelope) => self.answer(&envelope),
+            Err((id, msg)) => error_response(&id, false, &msg),
         };
-        self.answer(&envelope)
+        self.stages.request_ns.observe_since(started);
+        response
     }
 
     /// Answers one parsed request.
@@ -237,6 +310,7 @@ impl Service {
         match &envelope.request {
             Request::Ping => ok_response(id, false, "{\"kind\":\"pong\"}"),
             Request::Stats => ok_response(id, false, &self.stats_payload()),
+            Request::Metrics => ok_response(id, false, &self.metrics_payload()),
             Request::Quality(query) => match self.quality_answer(query) {
                 Ok(answer) => ok_response(id, answer.degraded, &answer.payload),
                 Err((retriable, msg)) => error_response(id, retriable, &msg),
@@ -265,24 +339,28 @@ impl Service {
     /// coalesced compute → (inside `compute`) simulate or degrade.
     fn answer_keyed(&self, key: &str, compute: impl FnOnce() -> QResult) -> QResult {
         if let Some(store) = &self.store {
-            match store.get(key, &self.cfg.faults) {
+            let _span = isa_obs::span("serve.store.get");
+            let lookup_started = Instant::now();
+            let got = store.get(key, &self.cfg.faults);
+            self.stages.store_get_ns.observe_since(lookup_started);
+            match got {
                 Ok(StoreGet::Hit(payload)) => {
-                    Counters::bump(&self.counters.store_hits);
+                    self.counters.store_hits.inc();
                     return Ok(Answer {
                         payload,
                         degraded: false,
                         storeable: false,
                     });
                 }
-                Ok(StoreGet::Miss) => Counters::bump(&self.counters.store_misses),
+                Ok(StoreGet::Miss) => self.counters.store_misses.inc(),
                 Ok(StoreGet::Corrupt(reason)) => {
-                    Counters::bump(&self.counters.store_corrupt);
+                    self.counters.store_corrupt.inc();
                     self.log(&format!(
                         "corrupt store record for {key}: {reason}; recomputing"
                     ));
                 }
                 Err(e) => {
-                    Counters::bump(&self.counters.store_read_errors);
+                    self.counters.store_read_errors.inc();
                     self.log(&format!("store read failed for {key}: {e}; recomputing"));
                 }
             }
@@ -296,24 +374,34 @@ impl Service {
                 None => {
                     let flight = Arc::new(InFlight::default());
                     inflight.insert(key.to_owned(), Arc::clone(&flight));
+                    self.stages.inflight.inc();
                     (flight, true)
                 }
             }
         };
         if !leader {
-            Counters::bump(&self.counters.coalesced);
+            self.counters.coalesced.inc();
+            let _span = isa_obs::span("serve.coalesce.wait");
+            let wait_started = Instant::now();
             let mut done = flight.done.lock().expect("inflight slot lock");
             while done.is_none() {
                 done = flight.ready.wait(done).expect("inflight slot lock");
             }
+            self.stages.coalesce_wait_ns.observe_since(wait_started);
             return done.clone().expect("checked above");
         }
 
-        let result = compute();
+        let result = {
+            let _span = isa_obs::span("serve.eval");
+            let eval_started = Instant::now();
+            let result = compute();
+            self.stages.eval_ns.observe_since(eval_started);
+            result
+        };
         if let (Ok(answer), Some(store)) = (&result, &self.store) {
             if answer.storeable {
                 if let Err(e) = store.put(key, &answer.payload, &self.cfg.faults) {
-                    Counters::bump(&self.counters.store_write_errors);
+                    self.counters.store_write_errors.inc();
                     self.log(&format!(
                         "store write failed for {key}: {e}; serving anyway"
                     ));
@@ -323,6 +411,7 @@ impl Service {
         *flight.done.lock().expect("inflight slot lock") = Some(result.clone());
         flight.ready.notify_all();
         self.inflight.lock().expect("inflight lock").remove(key);
+        self.stages.inflight.dec();
         result
     }
 
@@ -343,7 +432,7 @@ impl Service {
         }
         let cost = self.query_cost(&query.workload);
         if self.cfg.sim_budget.is_some_and(|budget| cost > budget) {
-            Counters::bump(&self.counters.degraded);
+            self.counters.degraded.inc();
             return Ok(Answer {
                 payload: self.degraded_payload(query),
                 degraded: true,
@@ -353,7 +442,7 @@ impl Service {
         let outcome = catch_unwind(AssertUnwindSafe(|| self.simulate_quality(query)));
         match outcome {
             Ok(Ok(payload)) => {
-                Counters::bump(&self.counters.computed);
+                self.counters.computed.inc();
                 Ok(Answer {
                     payload,
                     degraded: false,
@@ -362,7 +451,7 @@ impl Service {
             }
             Ok(Err(msg)) => Err((false, msg)),
             Err(payload) => {
-                Counters::bump(&self.counters.eval_panics);
+                self.counters.eval_panics.inc();
                 let msg = crate::panic_text(payload.as_ref());
                 self.log(&format!("evaluation panicked (isolated): {msg}"));
                 Err((true, format!("evaluation panicked: {msg}")))
@@ -651,7 +740,7 @@ impl Service {
     /// The `stats` payload (non-deterministic; never stored).
     fn stats_payload(&self) -> String {
         let c = &self.counters;
-        let load = |a: &AtomicU64| Json::Num(a.load(Ordering::Relaxed) as f64);
+        let load = |counter: &Counter| Json::Num(counter.get() as f64);
         render_fields(&[
             ("kind", Json::Str("stats".to_owned())),
             ("requests", load(&c.requests)),
@@ -677,6 +766,22 @@ impl Service {
                 },
             ),
         ])
+    }
+
+    /// The `metrics` payload: the full registry snapshot — this service's
+    /// `serve.*` and `engine.cache.*` merged with the process-global
+    /// `engine.*` / `sim.filtered.*` — as one JSON object
+    /// (non-deterministic; never stored).
+    fn metrics_payload(&self) -> String {
+        let merged = self.registry.snapshot().merge(isa_obs::global().snapshot());
+        Json::Obj(vec![
+            ("kind".to_owned(), Json::Str("metrics".to_owned())),
+            (
+                "metrics".to_owned(),
+                isa_obs::export::snapshot_json(&merged),
+            ),
+        ])
+        .render()
     }
 }
 
@@ -764,10 +869,12 @@ fn payload_quality_db(payload: &str) -> Option<f64> {
 // Frontend: bounded admission, worker pool, in-order responses.
 // ---------------------------------------------------------------------------
 
-/// One admitted job: its submission sequence number and raw line.
+/// One admitted job: its submission sequence number, raw line, and
+/// admission timestamp (for the queue-wait histogram).
 struct Job {
     seq: u64,
     line: String,
+    admitted: Instant,
 }
 
 /// The in-order response buffer: responses are inserted under their
@@ -878,6 +985,8 @@ impl Frontend {
                 std::thread::spawn(move || {
                     gate.wait_open();
                     while let Some(job) = queue.pop() {
+                        service.stages.queue_depth.dec();
+                        service.stages.admission_wait_ns.observe_since(job.admitted);
                         let response = service.answer_line(&job.line);
                         out.insert(job.seq, response);
                     }
@@ -909,18 +1018,36 @@ impl Frontend {
         let job = Job {
             seq,
             line: line.to_owned(),
+            admitted: Instant::now(),
         };
-        if let Err(job) = self.queue.try_push(job) {
-            Counters::bump(&self.service.counters.shed);
-            let id = Json::parse(&job.line)
-                .ok()
-                .and_then(|v| v.get("id").cloned())
-                .unwrap_or(Json::Null);
-            self.out.insert(
-                job.seq,
-                error_response(&id, true, "service overloaded: admission queue full, retry"),
-            );
+        match self.queue.try_push(job) {
+            Ok(()) => self.service.stages.queue_depth.inc(),
+            Err(job) => {
+                self.service.counters.shed.inc();
+                let id = Json::parse(&job.line)
+                    .ok()
+                    .and_then(|v| v.get("id").cloned())
+                    .unwrap_or(Json::Null);
+                self.out.insert(
+                    job.seq,
+                    error_response(&id, true, "service overloaded: admission queue full, retry"),
+                );
+            }
         }
+    }
+
+    /// Opens the gate (if still closed), stops admissions, joins the
+    /// workers and seals the reorder buffer — without consuming any
+    /// responses, so a concurrent drainer (the [`serve_lines`] writer
+    /// thread) receives every one. Popping here instead would race that
+    /// thread for the responses and silently drop whatever it won.
+    fn shutdown(&mut self) {
+        self.start();
+        self.queue.close();
+        for handle in self.handles.drain(..) {
+            handle.join().expect("serve worker");
+        }
+        self.out.seal();
     }
 
     /// Finishes the session: opens the gate (if still closed), stops
@@ -928,12 +1055,7 @@ impl Frontend {
     /// submission order.
     #[must_use]
     pub fn finish(mut self) -> Vec<String> {
-        self.start();
-        self.queue.close();
-        for handle in self.handles.drain(..) {
-            handle.join().expect("serve worker");
-        }
-        self.out.seal();
+        self.shutdown();
         let mut responses = Vec::new();
         while let Some(response) = self.out.pop_next() {
             responses.push(response);
@@ -959,11 +1081,14 @@ pub fn serve_lines<R: BufRead, W: Write + Send>(
     let mut frontend = Frontend::new(Arc::clone(service), workers, queue_cap);
     frontend.start();
     let out = Arc::clone(&frontend.out);
+    let respond_ns = Arc::clone(service);
     std::thread::scope(|scope| {
         let writer_handle = scope.spawn(move || -> io::Result<()> {
             while let Some(response) = out.pop_next() {
+                let write_started = Instant::now();
                 writeln!(writer, "{response}")?;
                 writer.flush()?;
+                respond_ns.stages.respond_ns.observe_since(write_started);
             }
             Ok(())
         });
@@ -981,7 +1106,7 @@ pub fn serve_lines<R: BufRead, W: Write + Send>(
                 }
             }
         }
-        let _ = frontend.finish();
+        frontend.shutdown();
         let write_result = writer_handle.join().expect("serve writer");
         match read_error {
             Some(e) => Err(e),

@@ -131,13 +131,13 @@ fn hot_and_cold_answers_are_byte_identical() {
     let warm_service = service(Some(&dir), FaultPlan::none(), None);
     let hot = run_script(&warm_service, &lines);
     assert_eq!(cold, hot, "hot answers diverged from cold");
-    let hits = warm_service.counters().store_hits.load(Ordering::Relaxed);
+    let hits = warm_service.counters().store_hits.get();
     assert!(
         hits >= 7,
         "second service must answer from the store, hits={hits}"
     );
     assert_eq!(
-        warm_service.counters().computed.load(Ordering::Relaxed),
+        warm_service.counters().computed.get(),
         0,
         "second service must not simulate at all"
     );
@@ -169,7 +169,7 @@ fn evaluation_panics_are_isolated_to_their_request() {
             .contains("panicked"),
         "error names the panic"
     );
-    assert_eq!(panicking.counters().eval_panics.load(Ordering::Relaxed), 1);
+    assert_eq!(panicking.counters().eval_panics.get(), 1);
     // The process (and the same service) is still fully available.
     let pong = panicking.answer_line(r#"{"id":2,"op":"ping"}"#);
     assert!(pong.contains("\"pong\""));
@@ -177,7 +177,7 @@ fn evaluation_panics_are_isolated_to_their_request() {
     let healthy = service(Some(&dir), FaultPlan::none(), None);
     let retried = healthy.answer_line(line);
     assert!(retried.contains("\"status\":\"ok\""), "{retried}");
-    assert_eq!(healthy.counters().computed.load(Ordering::Relaxed), 1);
+    assert_eq!(healthy.counters().computed.get(), 1);
     fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -222,7 +222,7 @@ fn degradation_follows_the_budget_exactly() {
             .map(f64::to_bits),
         "structural error of bound and simulation agree bit-exactly"
     );
-    assert_eq!(svc.counters().degraded.load(Ordering::Relaxed), 1);
+    assert_eq!(svc.counters().degraded.get(), 1);
 }
 
 /// With the worker gate closed, submissions beyond the queue bound are
@@ -257,7 +257,7 @@ fn overload_sheds_exactly_the_overflow() {
             assert_eq!(v.get("retriable").and_then(Json::as_bool), Some(true));
         }
     }
-    assert_eq!(svc.counters().shed.load(Ordering::Relaxed), 4);
+    assert_eq!(svc.counters().shed.get(), 4);
 }
 
 /// Slow-evaluation faults delay but never change or drop answers, and
@@ -300,7 +300,7 @@ fn corrupt_records_are_recomputed_and_healed() {
         baseline,
         "healed answers diverged"
     );
-    let corrupt = second.counters().store_corrupt.load(Ordering::Relaxed);
+    let corrupt = second.counters().store_corrupt.get();
     assert!(
         corrupt > 0,
         "vandalized records must be detected, saw {corrupt}"
@@ -308,6 +308,6 @@ fn corrupt_records_are_recomputed_and_healed() {
     // Healed: a third service is served from the store without computing.
     let third = service(Some(&dir), FaultPlan::none(), None);
     assert_eq!(run_script(&third, &lines), baseline);
-    assert_eq!(third.counters().computed.load(Ordering::Relaxed), 0);
+    assert_eq!(third.counters().computed.get(), 0);
     fs::remove_dir_all(&dir).unwrap();
 }

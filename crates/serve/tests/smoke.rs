@@ -109,7 +109,7 @@ fn degraded_tier_matches_structural_model() {
         s_pct.to_bits()
     );
     // No synthesis happened for a degraded stream answer.
-    assert_eq!(svc.counters().computed.load(Ordering::Relaxed), 0);
+    assert_eq!(svc.counters().computed.get(), 0);
 }
 
 /// The cheapest answer is Pareto-consistent with the per-design quality

@@ -37,12 +37,14 @@
 //! bit-sliced event run.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use isa_core::batch::{pack_planes_into_slices, segment_len, LaneBatch, LANES};
 use isa_netlist::builders::AdderNetlist;
 use isa_netlist::classify::LaneClassifier;
 use isa_netlist::tape::{InstructionTape, CHUNK};
 use isa_netlist::timing::{ps_to_fs, DelayAnnotation};
+use isa_obs::Counter;
 
 use crate::bitsim::{run_clocked_batch, BitClockedCore};
 use crate::timedtape::{run_clocked_batch_timed, TimedTape, TimedTapeCore};
@@ -107,9 +109,51 @@ pub fn counters() -> (u64, u64) {
     )
 }
 
+/// `sim.filtered.*` counters in the global [`isa_obs`] registry — the
+/// per-backend view the metrics exposition and the serve `metrics` op
+/// report. Strictly out-of-band: bumped from [`record`] alongside the
+/// legacy counter pair, never consulted by the simulation itself.
+struct SimMetrics {
+    runs: Counter,
+    cycles: Counter,
+    fast_path_cycles: Counter,
+    simulated_cycles: Counter,
+    waves: Counter,
+    tier0_runs: Counter,
+    fallback_runs: Counter,
+}
+
+fn sim_metrics() -> &'static SimMetrics {
+    static METRICS: OnceLock<SimMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = isa_obs::global();
+        SimMetrics {
+            runs: registry.counter("sim.filtered.runs"),
+            cycles: registry.counter("sim.filtered.cycles"),
+            fast_path_cycles: registry.counter("sim.filtered.fast_path_cycles"),
+            simulated_cycles: registry.counter("sim.filtered.simulated_cycles"),
+            waves: registry.counter("sim.filtered.waves"),
+            tier0_runs: registry.counter("sim.filtered.tier0_runs"),
+            fallback_runs: registry.counter("sim.filtered.fallback_runs"),
+        }
+    })
+}
+
 fn record(stats: &FilterStats) {
     TOTAL_CYCLES.fetch_add(stats.cycles, Ordering::Relaxed);
     FAST_PATH_CYCLES.fetch_add(stats.fast_path, Ordering::Relaxed);
+    let metrics = sim_metrics();
+    metrics.runs.inc();
+    metrics.cycles.add(stats.cycles);
+    metrics.fast_path_cycles.add(stats.fast_path);
+    metrics.simulated_cycles.add(stats.cycles - stats.fast_path);
+    metrics.waves.add(stats.waves);
+    if stats.tier0 {
+        metrics.tier0_runs.inc();
+    }
+    if stats.fell_back {
+        metrics.fallback_runs.inc();
+    }
 }
 
 /// Runs an adder's operand stream on the filtered backend, returning the

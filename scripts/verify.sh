@@ -8,7 +8,9 @@
 #   prove   -> symbolic equivalence + false-path STA proofs (fails on any)
 #   miri    -> LaneBatch pack/transpose tests under Miri (when installed)
 #   golden  -> experiment CSVs diffed against tests/golden/
-#   serve   -> chaos battery + cold/hot/chaos byte-identity + store gate
+#   serve   -> chaos battery + cold/hot/chaos byte-identity + observability
+#              out-of-band pass (metrics + tracing on, bytes unchanged) +
+#              store gate with exposition schema check
 #   bench   -> backend speedup gates (plus criterion when a registry is up)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -90,11 +92,36 @@ ISA_SERVE_FAULTS="seed=42,store_read=64,store_write=64,torn=128" \
   ./target/release/isa-serve --store "$serve_store" --quiet \
   < "$serve_script" > "$serve_chaos"
 diff "$serve_cold" "$serve_chaos"
-rm -rf "$serve_store" "$serve_script" "$serve_cold" "$serve_hot" "$serve_chaos"
 
-echo "==> serve hot-store speedup gate (serve_bench, reduced counts; CI gates 5x at BENCH_PR9.json counts)"
+echo "==> serve observability out-of-band pass (metrics + tracing on; bytes unchanged)"
+# Same invariant as CI's obs step: the metric exposition and span tracing
+# must never leak into answers — the streams with observability on (hot,
+# and hot under chaos faults) stay byte-identical to the cold pass, and
+# the trace folds cleanly through the profiler.
+serve_obs="$(mktemp)" serve_obs_chaos="$(mktemp)"
+serve_metrics="$(mktemp)" serve_trace="$(mktemp)"
+./target/release/isa-serve --store "$serve_store" --quiet \
+  --metrics-file "$serve_metrics" --metrics-period-ms 500 \
+  --trace "$serve_trace" \
+  < "$serve_script" > "$serve_obs"
+diff "$serve_cold" "$serve_obs"
+ISA_SERVE_FAULTS="seed=42,store_read=64,store_write=64,torn=128" \
+  ./target/release/isa-serve --store "$serve_store" --quiet \
+  --metrics-file "$serve_metrics" --trace "$serve_trace" \
+  < "$serve_script" > "$serve_obs_chaos"
+diff "$serve_cold" "$serve_obs_chaos"
+cargo run --release -q -p isa-obs --bin trace-summary -- "$serve_trace" >/dev/null
+rm -rf "$serve_store" "$serve_script" "$serve_cold" "$serve_hot" "$serve_chaos" \
+  "$serve_obs" "$serve_obs_chaos" "$serve_metrics" "$serve_trace"
+
+echo "==> serve hot-store speedup gate (serve_bench, reduced counts; CI gates 5x at BENCH_PR10.json counts)"
+# --metrics-file doubles as the exposition schema check: serve_bench
+# re-parses what it wrote and exits non-zero on any malformation.
+bench_metrics="$(mktemp)"
 cargo run --release -q -p isa-serve --bin serve_bench -- \
-  --cycles 1500 --designs 3 --repeat 2 --min-hot-speedup 5 >/dev/null
+  --cycles 1500 --designs 3 --repeat 2 --min-hot-speedup 5 \
+  --metrics-file "$bench_metrics" >/dev/null
+rm -f "$bench_metrics"
 
 # CI's test job also compiles the criterion bench crate and its bench job
 # runs the microbenchmarks; both need a crate registry, which offline

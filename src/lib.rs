@@ -34,7 +34,12 @@
 //!   pipelines, all driving the engine;
 //! * [`serve`] — the resident query service: a line-delimited JSON
 //!   front end over the engine with an on-disk result store, request
-//!   coalescing, budget-tiered degradation and seeded fault injection.
+//!   coalescing, budget-tiered degradation and seeded fault injection;
+//! * [`obs`] — the zero-dependency observability spine every layer
+//!   above reports through: lock-free metric registry (counters, gauges,
+//!   log-bucket latency histograms), thread-local span tracing to JSONL,
+//!   rate-limited structured logging, Prometheus-style exposition, and
+//!   the `trace-summary` profiler — all strictly out-of-band.
 //!
 //! See the `examples/` directory for runnable entry points and the root
 //! `README.md` for a quickstart, the architecture inventory and how the
@@ -81,6 +86,7 @@ pub use isa_explore as explore;
 pub use isa_learn as learn;
 pub use isa_metrics as metrics;
 pub use isa_netlist as netlist;
+pub use isa_obs as obs;
 pub use isa_serve as serve;
 pub use isa_timing_sim as timing_sim;
 pub use isa_workloads as workloads;

@@ -3,7 +3,6 @@
 //! second instance byte-identically from the store, and degrades
 //! policy-exactly under a simulation budget.
 
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use overclocked_isa::serve::{FaultPlan, Json, ServeConfig, Service};
@@ -63,8 +62,8 @@ fn serve_round_trip_store_and_degradation() {
         hot_responses, cold_responses,
         "hot bytes diverged from cold"
     );
-    assert_eq!(hot.counters().computed.load(Ordering::Relaxed), 0);
-    assert!(hot.counters().store_hits.load(Ordering::Relaxed) >= 4);
+    assert_eq!(hot.counters().computed.get(), 0);
+    assert!(hot.counters().store_hits.get() >= 4);
 
     // Budgeted service: the same stream query degrades to the exact
     // structural bound; its quality field is a real number, flagged.
